@@ -1,0 +1,95 @@
+// Command rogbench reruns the paper's experiments and prints the tables
+// and series each figure plots.
+//
+// Usage:
+//
+//	rogbench -list
+//	rogbench -exp fig1            # quick scale (~1/9 duration)
+//	rogbench -exp fig7 -full      # paper scale (60 virtual minutes)
+//	rogbench -all                 # every experiment, quick scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rog"
+	"rog/internal/harness"
+	"rog/internal/trace"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		full  = flag.Bool("full", false, "run at paper scale (60 virtual minutes per system)")
+		list  = flag.Bool("list", false, "list available experiments")
+		seeds = flag.Int("seeds", 1, "replicate fig1/fig6/fig7 across N seeds and report mean±std")
+	)
+	flag.Parse()
+
+	scale := rog.QuickScale
+	if *full {
+		scale = rog.FullScale
+	}
+
+	switch {
+	case *list:
+		for _, e := range rog.Experiments() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+	case *seeds > 1:
+		runSeeds(*exp, scale, *seeds)
+	case *all:
+		for _, e := range rog.Experiments() {
+			runOne(e.ID, scale)
+		}
+	case *exp != "":
+		runOne(*exp, scale)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runSeeds replicates one of the end-to-end figures across seeds.
+func runSeeds(exp string, scale rog.ExperimentScale, n int) {
+	opts := harness.EndToEndOptions{Scale: scale}
+	switch exp {
+	case "fig1":
+		opts.Paradigm, opts.Env = "cruda", trace.Outdoor
+	case "fig6":
+		opts.Paradigm, opts.Env = "cruda", trace.Indoor
+	case "fig7":
+		opts.Paradigm, opts.Env = "crimp", trace.Outdoor
+	default:
+		fmt.Fprintf(os.Stderr, "rogbench: -seeds works with fig1, fig6 or fig7 (got %q)\n", exp)
+		os.Exit(2)
+	}
+	seedList := make([]uint64, n)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+	start := time.Now()
+	sums, err := harness.RunEndToEndSeeds(opts, seedList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("== %s across %d seeds (scale=%s) ==\n\n", exp, n, scale.Name)
+	fmt.Println(harness.SeedSummaryTable(sums))
+	fmt.Printf("[completed in %.1fs wall clock]\n", time.Since(start).Seconds())
+}
+
+func runOne(id string, scale rog.ExperimentScale) {
+	start := time.Now()
+	out, err := rog.RunExperiment(id, scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+	fmt.Printf("[%s completed in %.1fs wall clock, scale=%s]\n\n", id, time.Since(start).Seconds(), scale.Name)
+}

@@ -1,0 +1,118 @@
+// Command rogtrain trains one workload with a chosen synchronization
+// strategy over the simulated robot team and prints live progress — the
+// single-run counterpart of rogbench's comparisons.
+//
+// Usage:
+//
+//	rogtrain -strategy rog -threshold 4 -env outdoor -minutes 10
+//	rogtrain -paradigm crimp -strategy ssp -threshold 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rog"
+	"rog/internal/harness"
+)
+
+func main() {
+	var (
+		paradigm  = flag.String("paradigm", "cruda", "workload: cruda or crimp")
+		strategy  = flag.String("strategy", "rog", "bsp, ssp, flown or rog")
+		threshold = flag.Int("threshold", 4, "staleness threshold")
+		env       = flag.String("env", "outdoor", "indoor or outdoor")
+		workers   = flag.Int("workers", 4, "number of robots")
+		minutes   = flag.Float64("minutes", 10, "virtual training minutes")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		csvPath   = flag.String("csv", "", "write the checkpoint series to this CSV file")
+	)
+	flag.Parse()
+
+	var strat rog.Strategy
+	switch strings.ToLower(*strategy) {
+	case "bsp":
+		strat = rog.BSP
+	case "ssp":
+		strat = rog.SSP
+	case "flown":
+		strat = rog.FLOWN
+	case "rog":
+		strat = rog.ROG
+	default:
+		fmt.Fprintf(os.Stderr, "rogtrain: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	e := rog.Outdoor
+	if *env == "indoor" {
+		e = rog.Indoor
+	}
+
+	var wl rog.Workload
+	computeSec, modelBytes := 2.64, 2.1e6
+	metric := "accuracy"
+	if *paradigm == "crimp" {
+		opts := rog.DefaultCRIMPOptions()
+		opts.Workers = *workers
+		opts.Seed = *seed
+		wl = rog.NewCRIMPWorkload(opts)
+		computeSec, modelBytes = 1.4, 0.76e6
+		metric = "trajectory error"
+	} else {
+		opts := rog.DefaultCRUDAOptions()
+		opts.Workers = *workers
+		opts.Seed = *seed
+		fmt.Println("pretraining shared model on the clean domain...")
+		c := rog.NewCRUDAWorkload(opts)
+		fmt.Printf("pretrained: clean acc %.3f, after domain shift %.3f\n",
+			c.PretrainCleanAcc, c.PretrainNoisyAcc)
+		wl = c
+	}
+
+	cfg := rog.Config{
+		Strategy:          strat,
+		Workers:           *workers,
+		Threshold:         *threshold,
+		Env:               e,
+		Seed:              *seed,
+		ComputeSeconds:    computeSec,
+		PaperModelBytes:   modelBytes,
+		LR:                0.025,
+		Momentum:          0.9,
+		LRDecayIters:      600,
+		MaxVirtualSeconds: *minutes * 60,
+		CheckpointEvery:   10,
+	}
+	res, err := rog.Run(cfg, wl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%s on %s (%s, %d workers, %.0f virtual minutes)\n",
+		res.Label(), *paradigm, e, *workers, *minutes)
+	for _, p := range res.Series.Points {
+		fmt.Printf("  t=%7.1fs  iter=%5d  energy=%9.0fJ  %s=%.4f\n",
+			p.Time, p.Iter, p.Energy, metric, p.Value)
+	}
+	c := res.Composition
+	fmt.Printf("\navg iteration: compute %.2fs, comm %.2fs, stall %.2fs (stall share %.1f%%)\n",
+		c.Compute, c.Comm, c.Stall, 100*res.StallFrac)
+	fmt.Printf("completed %d iterations, %.0fJ total\n", res.Iterations, res.TotalJoules)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := harness.WriteSeriesCSV(f, []*rog.Result{res}); err != nil {
+			fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+}

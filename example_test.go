@@ -1,0 +1,48 @@
+package rog_test
+
+import (
+	"fmt"
+
+	"rog"
+)
+
+// Example shows the complete integration surface: build a workload, pick a
+// strategy, run, and read the result. Everything is deterministic given
+// the seed.
+func Example() {
+	opts := rog.DefaultCRUDAOptions()
+	opts.PretrainIters = 60 // keep the example fast
+	workload := rog.NewCRUDAWorkload(opts)
+
+	res, err := rog.Run(rog.Config{
+		Strategy:          rog.ROG,
+		Workers:           4,
+		Threshold:         4,
+		Env:               rog.Outdoor,
+		Seed:              7,
+		MaxVirtualSeconds: 60,
+		CheckpointEvery:   5,
+	}, workload)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("label:", res.Label())
+	fmt.Println("made progress:", res.Iterations > 0)
+	fmt.Println("burned energy:", res.TotalJoules > 0)
+	// Output:
+	// label: ROG-4
+	// made progress: true
+	// burned energy: true
+}
+
+// ExampleGenerateTrace synthesizes a calibrated outdoor bandwidth trace
+// and reads its Fig. 3 statistics.
+func ExampleGenerateTrace() {
+	tr := rog.GenerateTrace(rog.Outdoor, 300, 42)
+	fmt.Println("five minutes of samples:", len(tr.Samples) == 3000)
+	fmt.Println("unstable:", tr.MeanFluctuationInterval(0.2) < 1.0)
+	// Output:
+	// five minutes of samples: true
+	// unstable: true
+}

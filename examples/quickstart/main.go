@@ -1,0 +1,53 @@
+// Quickstart: apply ROG to an existing training loop in tens of lines.
+//
+// The paper's pitch is that adopting ROG means swapping the optimizer. In
+// this reproduction the equivalent is implementing the small rog.Workload
+// interface on your own model and data — everything below `main` is the
+// complete integration.
+package main
+
+import (
+	"fmt"
+
+	"rog"
+)
+
+func main() {
+	// A ready-made workload: 4 robots adapting a pretrained classifier to
+	// a domain shift over an unstable outdoor wireless network.
+	opts := rog.DefaultCRUDAOptions()
+	opts.PretrainIters = 200
+	wl := rog.NewCRUDAWorkload(opts)
+	fmt.Printf("pretrained model: clean accuracy %.3f -> after domain shift %.3f\n",
+		wl.PretrainCleanAcc, wl.PretrainNoisyAcc)
+
+	// Train for 5 virtual minutes with ROG (threshold 4), then with BSP,
+	// and compare what each achieved in the same time budget.
+	for _, spec := range []struct {
+		strategy  rog.Strategy
+		threshold int
+	}{
+		{rog.ROG, 4},
+		{rog.BSP, 0},
+	} {
+		wl := rog.NewCRUDAWorkload(opts) // fresh copy: same pretrained state
+		cfg := rog.Config{
+			Strategy:          spec.strategy,
+			Workers:           4,
+			Threshold:         spec.threshold,
+			Env:               rog.Outdoor,
+			Seed:              7,
+			MaxVirtualSeconds: 300,
+			CheckpointEvery:   10,
+		}
+		res, err := rog.Run(cfg, wl)
+		if err != nil {
+			panic(err)
+		}
+		c := res.Composition
+		fmt.Printf("\n%s: %d iterations in 5 virtual minutes\n", res.Label(), res.Iterations)
+		fmt.Printf("  avg iteration: compute %.2fs  comm %.2fs  stall %.2fs\n",
+			c.Compute, c.Comm, c.Stall)
+		fmt.Printf("  final accuracy %.4f, energy %.0fJ\n", res.FinalValue, res.TotalJoules)
+	}
+}

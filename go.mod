@@ -1,0 +1,3 @@
+module rog
+
+go 1.22

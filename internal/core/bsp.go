@@ -1,0 +1,73 @@
+package core
+
+// runBSP drives Bulk Synchronous Parallel: every iteration all workers
+// compute, push their whole (compressed) model of gradients, wait at the
+// barrier until everyone's push arrived and everyone's averaged pull is
+// delivered, then start the next iteration together. A single slow link
+// stalls the entire team — the straggler effect the paper sets out to kill.
+func (c *cluster) runBSP() {
+	type roundState struct {
+		start    float64
+		commSec  []float64
+		pushLeft int
+		pullLeft int
+	}
+	var startRound func()
+	n := int64(0)
+
+	startRound = func() {
+		if c.iter[0] >= int64(c.cfg.MaxIterations) || c.k.Now() >= c.cfg.MaxVirtualSeconds {
+			return
+		}
+		n++
+		rs := &roundState{
+			start:    c.k.Now(),
+			commSec:  make([]float64, c.cfg.Workers),
+			pushLeft: c.cfg.Workers,
+			pullLeft: c.cfg.Workers,
+		}
+		for w := 0; w < c.cfg.Workers; w++ {
+			c.wl.ComputeGradients(w)
+			c.snapshotInto(w)
+		}
+		// Each worker pushes when its own compute finishes (devices may be
+		// heterogeneous); the barrier still waits for every push and pull.
+		for w := 0; w < c.cfg.Workers; w++ {
+			w := w
+			c.k.After(c.computeSecondsFor(w), func() {
+				pushStart := c.k.Now()
+				c.ch.StartFlow(w, float64(c.part.TotalWireSize()), func() {
+					rs.commSec[w] += c.k.Now() - pushStart
+					for u := 0; u < c.part.NumUnits(); u++ {
+						c.deliverPush(w, u, n)
+					}
+					rs.pushLeft--
+					if rs.pushLeft == 0 {
+						// Barrier reached: server has every gradient;
+						// send averaged models back.
+						for s := 0; s < c.cfg.Workers; s++ {
+							s := s
+							pullStart := c.k.Now()
+							c.ch.StartFlow(s, float64(c.part.TotalWireSize()), func() {
+								rs.commSec[s] += c.k.Now() - pullStart
+								for u := 0; u < c.part.NumUnits(); u++ {
+									c.deliverPull(s, u)
+								}
+								rs.pullLeft--
+								if rs.pullLeft == 0 {
+									// Iteration ends for everyone at the
+									// same instant (the barrier).
+									for x := 0; x < c.cfg.Workers; x++ {
+										c.finishIteration(x, rs.start, rs.commSec[x])
+									}
+									startRound()
+								}
+							})
+						}
+					}
+				})
+			})
+		}
+	}
+	startRound()
+}

@@ -1,0 +1,515 @@
+// Package core contains the distributed-training drivers: the ROG
+// worker/parameter-server pair (Algos. 1–4 of the paper) and the BSP, SSP
+// and FLOWN baselines, all executed as deterministic state machines over
+// the simnet virtual-time channel while doing real SGD math on real models.
+//
+// The parameter-update discipline is the paper's: workers never apply their
+// own gradients directly; gradients travel worker → server (averaged into
+// per-worker copies) → worker, and parameters change only when averaged
+// gradient rows are pulled (Algo. 1 PullAveragedGradients). BSP/SSP/FLOWN
+// move whole models through the same machinery; ROG moves individual rows.
+package core
+
+import (
+	"fmt"
+
+	"rog/internal/atp"
+	"rog/internal/compress"
+	"rog/internal/energy"
+	"rog/internal/metrics"
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/simnet"
+	"rog/internal/trace"
+)
+
+// Strategy selects the synchronization algorithm.
+type Strategy int
+
+const (
+	// BSP is bulk synchronous parallel: a full barrier every iteration.
+	BSP Strategy = iota
+	// SSP is stale synchronous parallel with a fixed staleness threshold.
+	SSP
+	// FLOWN is the dynamic-threshold scheduling baseline (model-granular
+	// scheduling from estimated bandwidth, after Chen et al. [19]).
+	FLOWN
+	// ROG is the paper's row-granulated system: RSP staleness control with
+	// ATP adaptive row scheduling.
+	ROG
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case BSP:
+		return "BSP"
+	case SSP:
+		return "SSP"
+	case FLOWN:
+		return "FLOWN"
+	case ROG:
+		return "ROG"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Workload abstracts the training task (CRUDA or CRIMP): per-worker model
+// replicas, local gradient computation, and a global quality metric.
+type Workload interface {
+	// Model returns worker w's model replica. Replicas must share one
+	// architecture.
+	Model(w int) *nn.Sequential
+	// ComputeGradients runs one local forward/backward on worker w's data
+	// shard, accumulating into the replica's gradient matrices, and
+	// returns the batch loss.
+	ComputeGradients(w int) float64
+	// Evaluate returns the team's current quality metric (mean over
+	// workers): accuracy for CRUDA, trajectory error for CRIMP.
+	Evaluate() float64
+	// Increasing reports whether higher Evaluate values are better.
+	Increasing() bool
+}
+
+// Config parameterizes one experiment run.
+type Config struct {
+	Strategy  Strategy
+	Workers   int
+	Threshold int // staleness threshold (SSP/FLOWN/ROG); ignored by BSP
+
+	Env  trace.Env
+	Seed uint64
+	// Traces overrides the generated per-worker link traces — the replay
+	// path of the paper's artifact, which replays recorded bandwidth
+	// through tc. Must have Workers entries when set; Env/Seed are then
+	// ignored for trace generation.
+	Traces []*trace.Trace
+
+	// ComputeSeconds is the virtual time of one local iteration including
+	// gradient (de)compression, before BatchScale (paper: 2.18 s compute +
+	// ≈0.46 s compression on Jetson Xavier NX).
+	ComputeSeconds float64
+	// BatchScale multiplies compute time (×2/×4 in the batch-size
+	// sensitivity study). The data batch itself is scaled by the workload.
+	BatchScale float64
+	// ComputeSkew holds per-worker compute-time multipliers for
+	// heterogeneous teams (the paper's robots vs laptops). nil means a
+	// homogeneous team. Must have Workers entries when set.
+	ComputeSkew []float64
+	// DynamicBatching equalizes compute time across a skewed team by
+	// resizing per-device batches, as the paper does with [49] ("all the
+	// involved devices spend equal time computing"): every device computes
+	// for the team-mean time instead of its own skewed time.
+	DynamicBatching bool
+
+	// PaperModelBytes is the compressed model size whose transmission
+	// behaviour the channel is scaled to reproduce (2.1 MB for CRUDA,
+	// 0.76 MB for CRIMP). The local model is much smaller, so link
+	// capacities are scaled down by localWireSize/PaperModelBytes,
+	// preserving the paper's comm:compute ratio.
+	PaperModelBytes float64
+	// ScaleReferenceBytes overrides the local wire size used for that
+	// channel scaling (0 = use this run's own partition size). The
+	// granularity ablation needs it: comparing rows vs elements only makes
+	// sense on the *same* channel, not one rescaled to each granularity's
+	// inflated wire size.
+	ScaleReferenceBytes float64
+
+	LR       float64
+	Momentum float64
+	// LRDecayIters > 0 applies the 1/(1+n/decay) schedule the convergence
+	// proof assumes (η_t ∝ 1/√t-style decay); n is the worker's own
+	// iteration count, so per-iteration semantics stay comparable across
+	// strategies.
+	LRDecayIters float64
+
+	Granularity rowsync.Granularity // Rows unless running the ablation
+	Coeff       atp.Coefficients    // importance-metric weights (ROG)
+
+	// Pipeline enables the paper's future-work extension (Sec. VI-D):
+	// overlapping each robot's computation with its communication,
+	// Pipe-SGD style. Only meaningful for the ROG strategy.
+	Pipeline bool
+
+	// PerUnitCheckSeconds models the ablation where a timeout judgement is
+	// inserted between every two units instead of speculative transmission
+	// (Sec. III-A): each unit's transmission is stretched by this many
+	// seconds of dead air. 0 = speculative transmission (the default).
+	PerUnitCheckSeconds float64
+
+	MaxIterations     int     // stop after worker 0 completes this many
+	MaxVirtualSeconds float64 // and/or after this much virtual time
+	CheckpointEvery   int     // evaluate every N worker-0 iterations
+
+	RecordMicro bool // collect Fig. 8 micro-event samples for worker 1
+}
+
+// Validate fills defaults and rejects nonsense.
+func (c *Config) Validate() error {
+	if c.Workers < 2 {
+		return fmt.Errorf("core: need ≥2 workers, got %d", c.Workers)
+	}
+	if c.Strategy != BSP && c.Threshold < 2 {
+		return fmt.Errorf("core: threshold must be ≥2, got %d", c.Threshold)
+	}
+	if c.ComputeSeconds <= 0 {
+		c.ComputeSeconds = 2.64 // 2.18 compute + 0.46 compression
+	}
+	if c.BatchScale <= 0 {
+		c.BatchScale = 1
+	}
+	if c.PaperModelBytes <= 0 {
+		c.PaperModelBytes = 2.1e6
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Coeff == (atp.Coefficients{}) {
+		c.Coeff = atp.DefaultCoefficients()
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 10
+	}
+	if c.ComputeSkew != nil && len(c.ComputeSkew) != c.Workers {
+		return fmt.Errorf("core: ComputeSkew has %d entries for %d workers", len(c.ComputeSkew), c.Workers)
+	}
+	if c.Traces != nil && len(c.Traces) != c.Workers {
+		return fmt.Errorf("core: Traces has %d entries for %d workers", len(c.Traces), c.Workers)
+	}
+	if c.MaxIterations <= 0 && c.MaxVirtualSeconds <= 0 {
+		return fmt.Errorf("core: no termination condition configured")
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 1 << 30
+	}
+	if c.MaxVirtualSeconds <= 0 {
+		c.MaxVirtualSeconds = 1e12
+	}
+	return nil
+}
+
+// MicroSample is one Fig. 8 data point: what the link offered and how ROG
+// responded.
+type MicroSample struct {
+	Time      float64 // virtual seconds
+	LinkMbps  float64 // instantaneous link capacity of the observed worker
+	TxRate    float64 // fraction of units delivered in that push
+	Staleness int64   // iterations the worker lags the fastest worker
+}
+
+// Result is everything an experiment reports.
+type Result struct {
+	Strategy    Strategy
+	Threshold   int
+	Series      metrics.Series      // quality vs iter/time/energy checkpoints
+	Composition metrics.Composition // average per worker-iteration
+	Iterations  int                 // completed by worker 0
+	TotalJoules float64             // summed across the team
+	StallFrac   float64             // stall share of the average iteration
+	Micro       []MicroSample
+	FinalValue  float64
+}
+
+// Label renders "BSP", "SSP-4", "ROG-20", …
+func (r *Result) Label() string {
+	if r.Strategy == BSP || r.Strategy == FLOWN {
+		return r.Strategy.String()
+	}
+	return fmt.Sprintf("%s-%d", r.Strategy, r.Threshold)
+}
+
+// cluster is the shared runtime state of one experiment.
+type cluster struct {
+	cfg  Config
+	wl   Workload
+	k    *simnet.Kernel
+	ch   *simnet.Channel
+	part *rowsync.Partition
+
+	opt   []*nn.SGD            // per-worker optimizer (applies pulled rows)
+	local []*rowsync.GradStore // per-worker accumulated gradients g′
+	// pushIter[w][u]: last local iteration whose gradients for unit u were
+	// pushed (the worker-side `iters` of Algo. 1).
+	pushIter [][]int64
+
+	upCodec   []*compress.Codec // worker→server compression (error feedback)
+	downCodec []*compress.Codec // server→worker, one per worker copy
+
+	serverAcc []*rowsync.GradStore // server's per-worker averaged copies ḡ^s
+	versions  *rowsync.VersionStore
+	// serverIter[u]: latest training iteration (any worker) whose gradients
+	// updated unit u on the server — the freshness input of the server-mode
+	// importance metric.
+	serverIter []int64
+
+	meters []*energy.Meter
+	comp   metrics.CompositionRecorder
+	series metrics.Series
+
+	iter    []int64 // completed iterations per worker
+	halted  []bool
+	tracker *atp.TimeTracker
+
+	micro []MicroSample
+
+	// decode scratch
+	scratch []float32
+}
+
+func newCluster(cfg Config, wl Workload) *cluster {
+	k := simnet.NewKernel()
+	links := cfg.Traces
+	if links == nil {
+		links = make([]*trace.Trace, cfg.Workers)
+		for w := range links {
+			links[w] = trace.GenerateEnv(cfg.Env, 300, cfg.Seed*1000+uint64(w)+1)
+		}
+	}
+	params := wl.Model(0).Params()
+	part := rowsync.NewPartition(params, cfg.Granularity)
+	// Scale the channel so our small model transmits in the same time the
+	// paper's compressed model would on the real link.
+	ref := cfg.ScaleReferenceBytes
+	if ref <= 0 {
+		ref = float64(part.TotalWireSize())
+	}
+	scale := ref / cfg.PaperModelBytes
+
+	c := &cluster{
+		cfg:     cfg,
+		wl:      wl,
+		k:       k,
+		ch:      simnet.NewChannel(k, links, scale),
+		part:    part,
+		tracker: atp.NewTimeTracker(cfg.Workers, 1.0),
+		scratch: make([]float32, maxUnitLen(part)),
+	}
+	c.series.Name = fmt.Sprintf("%s-%d", cfg.Strategy, cfg.Threshold)
+	for w := 0; w < cfg.Workers; w++ {
+		c.opt = append(c.opt, nn.NewSGD(cfg.LR, cfg.Momentum))
+		c.local = append(c.local, rowsync.NewGradStore(part))
+		c.pushIter = append(c.pushIter, make([]int64, part.NumUnits()))
+		c.upCodec = append(c.upCodec, compress.NewCodec(part.Widths()))
+		c.downCodec = append(c.downCodec, compress.NewCodec(part.Widths()))
+		c.serverAcc = append(c.serverAcc, rowsync.NewGradStore(part))
+		c.meters = append(c.meters, energy.NewMeter(energy.PaperModel()))
+		c.iter = append(c.iter, 0)
+		c.halted = append(c.halted, false)
+	}
+	c.versions = rowsync.NewVersionStore(cfg.Workers, part.NumUnits())
+	c.serverIter = make([]int64, part.NumUnits())
+	return c
+}
+
+func maxUnitLen(p *rowsync.Partition) int {
+	m := 0
+	for u := 0; u < p.NumUnits(); u++ {
+		if l := p.Unit(u).Len; l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// computeSeconds is one iteration's virtual compute time for worker w,
+// honoring heterogeneity and dynamic batching.
+func (c *cluster) computeSecondsFor(w int) float64 {
+	base := c.cfg.ComputeSeconds * c.cfg.BatchScale
+	if c.cfg.ComputeSkew == nil {
+		return base
+	}
+	if c.cfg.DynamicBatching {
+		// Dynamic batching resizes each device's batch so everyone
+		// computes for the team mean.
+		var sum float64
+		for _, s := range c.cfg.ComputeSkew {
+			sum += s
+		}
+		return base * sum / float64(len(c.cfg.ComputeSkew))
+	}
+	return base * c.cfg.ComputeSkew[w]
+}
+
+// computeSeconds is the homogeneous-team compute time (worker 0's view);
+// retained for call sites that predate heterogeneity support.
+func (c *cluster) computeSeconds() float64 {
+	return c.computeSecondsFor(0)
+}
+
+// shouldHalt reports whether worker w must stop before another iteration.
+func (c *cluster) shouldHalt(w int) bool {
+	return c.iter[w] >= int64(c.cfg.MaxIterations) ||
+		c.k.Now() >= c.cfg.MaxVirtualSeconds
+}
+
+// deliverPush decodes worker w's unit u at local iteration n into the
+// server: averaged into every worker's copy and version-stamped (Algo. 2
+// lines 2–6).
+func (c *cluster) deliverPush(w, u int, n int64) {
+	g := c.local[w].Unit(u)
+	payload := c.upCodec[w].Encode(u, g)
+	vals := c.scratch[:len(g)]
+	compress.Decode(payload, vals)
+	inv := 1 / float32(c.cfg.Workers)
+	for s := 0; s < c.cfg.Workers; s++ {
+		c.serverAcc[s].AddUnit(u, vals, inv)
+	}
+	c.versions.Update(w, u, n)
+	if n > c.serverIter[u] {
+		c.serverIter[u] = n
+	}
+	// Worker side of Algo. 1 lines 9–11.
+	c.local[w].ZeroUnit(u)
+	c.pushIter[w][u] = n
+}
+
+// deliverPull decodes the server's averaged unit u for worker w and applies
+// it to w's replica (Algo. 1 lines 13–16), then clears w's server copy.
+func (c *cluster) deliverPull(w, u int) {
+	acc := c.serverAcc[w].Unit(u)
+	payload := c.downCodec[w].Encode(u, acc)
+	vals := c.scratch[:len(acc)]
+	compress.Decode(payload, vals)
+	c.applyUnit(w, u, vals)
+	c.serverAcc[w].ZeroUnit(u)
+}
+
+// applyUnit runs the SGD row update on one unit of worker w's replica.
+func (c *cluster) applyUnit(w, u int, vals []float32) {
+	params := c.wl.Model(w).Params()
+	un := c.part.Unit(u)
+	p := params[un.Param]
+	// Units are contiguous ranges; apply row by row through the optimizer
+	// so momentum state stays per-row.
+	startRow := un.Offset / p.Cols
+	endOff := un.Offset + un.Len
+	for off := un.Offset; off < endOff; {
+		row := off / p.Cols
+		colStart := off - row*p.Cols
+		width := p.Cols - colStart
+		if off+width > endOff {
+			width = endOff - off
+		}
+		if colStart == 0 && width == p.Cols {
+			c.opt[w].ApplyRow(params, un.Param, row, vals[off-un.Offset:off-un.Offset+width])
+		} else {
+			// Partial row (element granularity): apply directly with the
+			// same step rule, bypassing per-row momentum.
+			lr := float32(c.opt[w].LR)
+			pr := p.Data[off : off+width]
+			src := vals[off-un.Offset : off-un.Offset+width]
+			for i := range pr {
+				pr[i] -= lr * src[i]
+			}
+		}
+		off += width
+	}
+	_ = startRow
+}
+
+// snapshotInto accumulates worker w's freshly computed gradients into its
+// local store (Algo. 1 lines 2–3) and refreshes the worker's learning rate
+// under the decay schedule.
+func (c *cluster) snapshotInto(w int) {
+	model := c.wl.Model(w)
+	grads := model.Grads()
+	c.local[w].Accumulate(grads)
+	model.ZeroGrads()
+	if c.cfg.LRDecayIters > 0 {
+		c.opt[w].LR = c.cfg.LR / (1 + float64(c.iter[w])/c.cfg.LRDecayIters)
+	}
+}
+
+// checkpoint evaluates the workload and appends a series point.
+func (c *cluster) checkpoint() {
+	var joules float64
+	for _, m := range c.meters {
+		joules += m.Joules()
+	}
+	// The iteration axis uses the team mean so that strategies letting fast
+	// workers race ahead are not credited with free extra work per
+	// "iteration" (statistical efficiency compares equal gradient counts).
+	var sum int64
+	for _, it := range c.iter {
+		sum += it
+	}
+	c.series.Add(metrics.Point{
+		Iter:   int(sum / int64(len(c.iter))),
+		Time:   c.k.Now(),
+		Energy: joules,
+		Value:  c.wl.Evaluate(),
+	})
+}
+
+// finishIteration updates meters and composition for one worker-iteration
+// and advances the iteration counter.
+func (c *cluster) finishIteration(w int, startTime, commSeconds float64) {
+	total := c.k.Now() - startTime
+	comp := c.computeSecondsFor(w)
+	stall := total - comp - commSeconds
+	if stall < 0 {
+		stall = 0
+	}
+	c.meters[w].Add(energy.Compute, comp)
+	c.meters[w].Add(energy.Communicate, commSeconds)
+	c.meters[w].Add(energy.Stall, stall)
+	c.comp.Record(metrics.Composition{Compute: comp, Comm: commSeconds, Stall: stall})
+	c.iter[w]++
+	if w == 0 && c.iter[0]%int64(c.cfg.CheckpointEvery) == 0 {
+		c.checkpoint()
+	}
+}
+
+// result finalizes the Result after the kernel drains.
+func (c *cluster) result() *Result {
+	var joules float64
+	for _, m := range c.meters {
+		joules += m.Joules()
+	}
+	comp := c.comp.Average()
+	stallFrac := 0.0
+	if comp.Total() > 0 {
+		stallFrac = comp.Stall / comp.Total()
+	}
+	r := &Result{
+		Strategy:    c.cfg.Strategy,
+		Threshold:   c.cfg.Threshold,
+		Series:      c.series,
+		Composition: comp,
+		Iterations:  int(c.iter[0]),
+		TotalJoules: joules,
+		StallFrac:   stallFrac,
+		Micro:       c.micro,
+		FinalValue:  c.series.Last().Value,
+	}
+	return r
+}
+
+// Run executes one experiment to completion and returns its Result.
+func Run(cfg Config, wl Workload) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := newCluster(cfg, wl)
+	c.checkpoint() // baseline point at t=0
+	switch cfg.Strategy {
+	case BSP:
+		c.runBSP()
+	case SSP:
+		c.runSSP()
+	case FLOWN:
+		c.runFLOWN()
+	case ROG:
+		if cfg.Pipeline {
+			c.runROGPipelined()
+		} else {
+			c.runROG()
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+	c.k.RunUntilIdle(200_000_000)
+	c.checkpoint() // final point
+	return c.result(), nil
+}

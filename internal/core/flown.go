@@ -1,0 +1,108 @@
+package core
+
+import "math"
+
+// runFLOWN drives the dynamic-threshold scheduling baseline (after Chen et
+// al. [19], the paper's strongest baseline). The scheduler estimates each
+// worker's bandwidth from its most recent transmission and assigns a
+// per-worker synchronization period: workers predicted slow sync less often
+// (their staleness allowance grows), workers predicted fast sync every
+// iteration. Scheduling is model-granular, so when the wireless bandwidth
+// shifts *during* a transmission the schedule is already stale — the
+// mismatch the paper blames for FLOWN's residual stall (Sec. I, Fig. 1).
+func (c *cluster) runFLOWN() {
+	waiters := newWaitList()
+	// Estimated bandwidth per worker (bytes/s on the shared channel),
+	// seeded optimistically from the first links.
+	estBw := make([]float64, c.cfg.Workers)
+	for w := range estBw {
+		estBw[w] = c.ch.LinkMbps(w) / float64(c.cfg.Workers) * 1e6 / 8
+	}
+	lastSync := make([]int64, c.cfg.Workers)
+
+	// syncPeriod computes the worker's scheduled period τ_w ∈ [1, t−1]:
+	// the slower the predicted transmission, the less often it syncs.
+	syncPeriod := func(w int) int64 {
+		tMax := 0.0
+		for s := range estBw {
+			if tt := float64(c.part.TotalWireSize()) / estBw[s]; tt > tMax {
+				tMax = tt
+			}
+		}
+		own := float64(c.part.TotalWireSize()) / estBw[w]
+		if tMax <= 0 {
+			return 1
+		}
+		tau := int64(math.Ceil(float64(c.cfg.Threshold) * own / tMax))
+		if tau < 1 {
+			tau = 1
+		}
+		if max := int64(c.cfg.Threshold - 1); tau > max {
+			tau = max
+		}
+		return tau
+	}
+
+	var startIter func(w int)
+	startIter = func(w int) {
+		if c.shouldHalt(w) {
+			c.halted[w] = true
+			return
+		}
+		iterStart := c.k.Now()
+		n := c.iter[w] + 1
+		commSec := 0.0
+
+		c.wl.ComputeGradients(w)
+		c.snapshotInto(w)
+
+		c.k.After(c.computeSecondsFor(w), func() {
+			// Scheduling decision: skip synchronization this iteration if
+			// the worker is inside its assigned period and skipping cannot
+			// trip the global threshold.
+			mustSync := n-lastSync[w] >= syncPeriod(w) ||
+				n-c.versions.Min() >= int64(c.cfg.Threshold)-1
+			if !mustSync {
+				c.finishIteration(w, iterStart, 0)
+				startIter(w)
+				return
+			}
+			pushStart := c.k.Now()
+			bytes := float64(c.part.TotalWireSize())
+			c.ch.StartFlow(w, bytes, func() {
+				dur := c.k.Now() - pushStart
+				commSec += dur
+				if dur > 0 {
+					estBw[w] = bytes / dur // next iteration's (stale) estimate
+				}
+				for u := 0; u < c.part.NumUnits(); u++ {
+					c.deliverPush(w, u, n)
+				}
+				lastSync[w] = n
+				waiters.wake()
+
+				pull := func() bool {
+					if n-c.versions.Min() >= int64(c.cfg.Threshold) {
+						return false
+					}
+					pullStart := c.k.Now()
+					c.ch.StartFlow(w, bytes, func() {
+						commSec += c.k.Now() - pullStart
+						for u := 0; u < c.part.NumUnits(); u++ {
+							c.deliverPull(w, u)
+						}
+						c.finishIteration(w, iterStart, commSec)
+						startIter(w)
+					})
+					return true
+				}
+				if !pull() {
+					waiters.park(w, pull)
+				}
+			})
+		})
+	}
+	for w := 0; w < c.cfg.Workers; w++ {
+		startIter(w)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+
+	"rog/internal/atp"
+	"rog/internal/energy"
+	"rog/internal/metrics"
+)
+
+// runROGPipelined implements the paper's future-work extension (Sec. VI-D):
+// overlapping communication and computation on each robot, in the spirit of
+// Pipe-SGD [65]. Each worker owns two serial resources — the CPU and the
+// radio. While the radio synchronizes iteration n's rows, the CPU already
+// computes iteration n+1's gradients (on the model state before pull n,
+// which adds one bounded unit of staleness, still governed by RSP). The
+// pipeline depth is one: compute(n+2) cannot start until comm(n+1) begins,
+// i.e. until comm(n) finished.
+//
+// Accounting: an iteration's span runs from the previous comm completion to
+// its own; compute and comm overlap, so the stall residual is clamped at
+// zero and total metered time may exceed wall time (both chips draw power
+// simultaneously, so the energy integral remains correct).
+func (c *cluster) runROGPipelined() {
+	waiters := newWaitList()
+	numUnits := c.part.NumUnits()
+	mtaCount := int(math.Ceil(atp.MTA(c.cfg.Threshold) * float64(numUnits)))
+
+	type wstate struct {
+		computeIter int64 // iterations whose gradients have been computed
+		readyIter   int64 // snapshot awaiting the radio (0 = none)
+		cpuBusy     bool
+		commBusy    bool
+		spanStart   float64 // previous comm completion (iteration span start)
+	}
+	states := make([]*wstate, c.cfg.Workers)
+	for w := range states {
+		states[w] = &wstate{}
+	}
+
+	var tryCompute func(w int)
+	var beginComm func(w int, n int64)
+
+	finish := func(w int, commSec float64) {
+		st := states[w]
+		span := c.k.Now() - st.spanStart
+		st.spanStart = c.k.Now()
+		comp := c.computeSecondsFor(w)
+		stall := span - comp - commSec
+		if stall < 0 {
+			stall = 0
+		}
+		c.meters[w].Add(energy.Compute, comp)
+		c.meters[w].Add(energy.Communicate, commSec)
+		c.meters[w].Add(energy.Stall, stall)
+		c.comp.Record(metrics.Composition{Compute: comp, Comm: commSec, Stall: stall})
+		c.iter[w]++
+		if w == 0 && c.iter[0]%int64(c.cfg.CheckpointEvery) == 0 {
+			c.checkpoint()
+		}
+	}
+
+	beginComm = func(w int, n int64) {
+		st := states[w]
+		st.commBusy = true
+		st.readyIter = 0
+		commSec := 0.0
+
+		rows := make([]atp.RowInfo, numUnits)
+		var meanSum float64
+		for u := 0; u < numUnits; u++ {
+			rows[u] = atp.RowInfo{ID: u, MeanAbs: c.local[w].MeanAbs(u), Iter: c.pushIter[w][u]}
+			meanSum += rows[u].MeanAbs
+		}
+		if meanSum > 0 {
+			norm := float64(numUnits) / meanSum
+			for u := range rows {
+				rows[u].MeanAbs *= norm
+			}
+		}
+		ranked := atp.Rank(rows, atp.Worker, c.cfg.Coeff)
+		var forced, rest []int
+		for _, u := range ranked {
+			if n-c.pushIter[w][u] >= int64(c.cfg.Threshold)-1 {
+				forced = append(forced, u)
+			} else {
+				rest = append(rest, u)
+			}
+		}
+		plan := append(forced, rest...)
+		must := mtaCount
+		if len(forced) > must {
+			must = len(forced)
+		}
+		pc := c.newPlan(plan)
+		c.sendPlan(w, pc, must, c.tracker.Budget(), func(u int) {
+			c.deliverPush(w, u, n)
+		}, func(_ int, mtaTime, elapsed float64) {
+			commSec += elapsed
+			if must > 0 && mtaTime > 0 {
+				c.tracker.Observe(w, mtaTime)
+			}
+			waiters.wake()
+			pull := func() bool {
+				if n-c.versions.Min() >= int64(c.cfg.Threshold) {
+					return false
+				}
+				c.pullROG(w, n, mtaCount, &commSec, func() {
+					finish(w, commSec)
+					st.commBusy = false
+					if st.readyIter != 0 {
+						beginComm(w, st.readyIter)
+					}
+					tryCompute(w)
+				})
+				return true
+			}
+			if !pull() {
+				waiters.park(w, pull)
+			}
+		})
+		// The radio is now busy with iteration n; the CPU may start on n+1.
+		tryCompute(w)
+	}
+
+	tryCompute = func(w int) {
+		st := states[w]
+		if st.cpuBusy || st.readyIter != 0 {
+			return // CPU occupied, or a snapshot still waits for the radio
+		}
+		if st.computeIter >= int64(c.cfg.MaxIterations) || c.k.Now() >= c.cfg.MaxVirtualSeconds {
+			c.halted[w] = true
+			return
+		}
+		st.cpuBusy = true
+		st.computeIter++
+		n := st.computeIter
+		c.wl.ComputeGradients(w)
+		c.k.After(c.computeSecondsFor(w), func() {
+			c.snapshotInto(w)
+			st.cpuBusy = false
+			st.readyIter = n
+			if !st.commBusy {
+				beginComm(w, n)
+			}
+		})
+	}
+
+	for w := 0; w < c.cfg.Workers; w++ {
+		tryCompute(w)
+	}
+}

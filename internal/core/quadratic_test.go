@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rog/internal/nn"
+	"rog/internal/tensor"
+	"rog/internal/trace"
+)
+
+// quadWorkload is the convex setting of Theorem 1: minimize
+// f(x) = Σ_t ½‖x − c_t‖² where each worker holds its own component
+// functions (its c_t samples). The unique minimizer is the mean of all
+// centers, so convergence can be checked against a closed form.
+type quadWorkload struct {
+	models  []*nn.Sequential
+	centers [][]float32 // per worker, the mean of its component centers
+	optimum []float32   // global mean
+	rngs    []*tensor.RNG
+	noise   float64
+	dim     int
+}
+
+func newQuadWorkload(workers, dim int, seed uint64) *quadWorkload {
+	r := tensor.NewRNG(seed)
+	q := &quadWorkload{dim: dim, noise: 0.05}
+	q.optimum = make([]float32, dim)
+	for w := 0; w < workers; w++ {
+		c := make([]float32, dim)
+		for i := range c {
+			c[i] = float32(r.Norm() * 2)
+			q.optimum[i] += c[i]
+		}
+		q.centers = append(q.centers, c)
+		q.rngs = append(q.rngs, tensor.NewRNG(seed+uint64(w)+50))
+		// The "model" is a single 4×(dim/4) parameter matrix holding x,
+		// expressed as a bias-free linear layer so it has multiple rows
+		// for the row scheduler to work with.
+		m := nn.NewSequential(nn.NewLinear(4, dim/4, tensor.NewRNG(1)))
+		q.models = append(q.models, m)
+	}
+	for i := range q.optimum {
+		q.optimum[i] /= float32(workers)
+	}
+	return q
+}
+
+func (q *quadWorkload) Model(w int) *nn.Sequential { return q.models[w] }
+
+// ComputeGradients: ∇½‖x−c‖² = x − c, with sampling noise standing in for
+// the stochastic component draw.
+func (q *quadWorkload) ComputeGradients(w int) float64 {
+	params := q.models[w].Params()
+	grads := q.models[w].Grads()
+	x := params[0].Data // weight matrix; the bias row participates too
+	g := grads[0].Data
+	var loss float64
+	for i := range x {
+		d := float64(x[i] - q.centers[w][i])
+		g[i] += float32(d + q.rngs[w].Norm()*q.noise)
+		loss += 0.5 * d * d
+	}
+	// The bias matrix (params[1]) pulls toward zero, consistent across
+	// workers, so it does not disturb the optimum of the weight part.
+	b := params[1].Data
+	gb := grads[1].Data
+	for i := range b {
+		gb[i] += b[i]
+	}
+	return loss
+}
+
+// Evaluate returns −distance(x̄, x*) so that "increasing" semantics hold.
+func (q *quadWorkload) Evaluate() float64 {
+	var dist float64
+	n := 0
+	for _, m := range q.models {
+		x := m.Params()[0].Data
+		for i := range x {
+			d := float64(x[i] - q.optimum[i])
+			dist += d * d
+			n++
+		}
+	}
+	return -math.Sqrt(dist / float64(n))
+}
+
+func (q *quadWorkload) Increasing() bool { return true }
+
+// TestTheorem1ConvexConvergence runs every strategy on the convex problem
+// of the proof over an unstable outdoor channel. All must converge to the
+// same minimizer: mean distance to x* below a small epsilon.
+func TestTheorem1ConvexConvergence(t *testing.T) {
+	for _, tc := range []struct {
+		s  Strategy
+		th int
+	}{
+		{BSP, 0}, {SSP, 4}, {FLOWN, 4}, {ROG, 4}, {ROG, 8},
+	} {
+		cfg := Config{
+			Strategy:        tc.s,
+			Workers:         3,
+			Threshold:       tc.th,
+			Env:             trace.Outdoor,
+			Seed:            7,
+			ComputeSeconds:  1.0,
+			PaperModelBytes: 2.1e6,
+			LR:              0.3,
+			Momentum:        0,
+			LRDecayIters:    60, // the decaying step size of the theorem
+			MaxIterations:   450,
+			CheckpointEvery: 50,
+		}
+		wl := newQuadWorkload(3, 16, 99)
+		res, err := Run(cfg, wl)
+		if err != nil {
+			t.Fatalf("%v-%d: %v", tc.s, tc.th, err)
+		}
+		finalDist := -res.FinalValue
+		if finalDist > 0.15 {
+			t.Errorf("%v-%d did not converge to x*: RMS distance %.4f", tc.s, tc.th, finalDist)
+		}
+	}
+}

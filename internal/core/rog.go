@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+
+	"rog/internal/atp"
+	"rog/internal/simnet"
+)
+
+// minBudget floors the MTA-time budget so a transient zero-bandwidth
+// estimate cannot collapse transmissions to nothing.
+const minBudget = 0.05
+
+// planContext carries one speculative transmission: the ranked unit plan
+// and its cumulative wire sizes.
+type planContext struct {
+	plan   []int
+	prefix []float64 // prefix[i] = bytes of plan[:i]; len = len(plan)+1
+}
+
+func (c *cluster) newPlan(plan []int) planContext {
+	p := planContext{plan: plan, prefix: make([]float64, len(plan)+1)}
+	for i, u := range plan {
+		p.prefix[i+1] = p.prefix[i] + float64(c.part.WireSize(u))
+	}
+	return p
+}
+
+// deliveredCount maps bytes-on-the-wire to fully transmitted units: the
+// in-flight unit at a timeout is discarded, exactly the speculative-
+// transmission cost of Sec. III-A.
+func (p planContext) deliveredCount(bytes float64) int {
+	k := 0
+	for k < len(p.plan) && p.prefix[k+1] <= bytes+1e-9 {
+		k++
+	}
+	return k
+}
+
+// sendPlan transmits plan units in order on worker w's link: speculatively
+// within `budget` seconds, but always completing the first mustCount units
+// (Algo. 4 lines 3–7). deliver fires for each fully transmitted unit;
+// done receives the delivered count, the (possibly estimated) time the
+// first mustCount units took, and the total elapsed transmission time.
+func (c *cluster) sendPlan(w int, pc planContext, mustCount int, budget float64, deliver func(u int), done func(delivered int, mtaTime, elapsed float64)) {
+	if len(pc.plan) == 0 {
+		c.k.After(0, func() { done(0, 0, 0) })
+		return
+	}
+	if mustCount > len(pc.plan) {
+		mustCount = len(pc.plan)
+	}
+	if budget < minBudget {
+		budget = minBudget
+	}
+	if c.cfg.PerUnitCheckSeconds > 0 {
+		c.sendPlanSequential(w, pc, mustCount, budget, deliver, done)
+		return
+	}
+	start := c.k.Now()
+	total := pc.prefix[len(pc.plan)]
+	mustBytes := pc.prefix[mustCount]
+
+	var timer *simnet.Timer
+	var flow *simnet.Flow
+	// StartFlow only schedules events; neither callback can fire until the
+	// kernel processes the next event, so both captures are safe.
+	flow = c.ch.StartFlow(w, total, func() {
+		timer.Stop()
+		for _, u := range pc.plan {
+			deliver(u)
+		}
+		elapsed := c.k.Now() - start
+		mta := elapsed
+		if total > 0 {
+			mta = elapsed * mustBytes / total
+		}
+		done(len(pc.plan), mta, elapsed)
+	})
+	timer = c.k.After(budget, func() {
+		sent := c.ch.Cancel(flow)
+		k := pc.deliveredCount(sent)
+		for _, u := range pc.plan[:k] {
+			deliver(u)
+		}
+		if k < mustCount {
+			// Forced continuation: retransmit the discarded partial unit
+			// and finish the MTA floor (Algo. 4 lines 4–7).
+			remaining := mustBytes - pc.prefix[k]
+			c.ch.StartFlow(w, remaining, func() {
+				for _, u := range pc.plan[k:mustCount] {
+					deliver(u)
+				}
+				elapsed := c.k.Now() - start
+				done(mustCount, elapsed, elapsed)
+			})
+			return
+		}
+		mta := budget
+		if sent > 0 {
+			mta = budget * mustBytes / sent
+		}
+		done(k, mta, budget)
+	})
+}
+
+// sendPlanSequential is the granularity-ablation path: a timeout judgement
+// is inserted between every two unit transmissions (cost
+// PerUnitCheckSeconds each) instead of speculating — the design the paper
+// rejects in Sec. III-A for under-utilizing the channel.
+func (c *cluster) sendPlanSequential(w int, pc planContext, mustCount int, budget float64, deliver func(u int), done func(delivered int, mtaTime, elapsed float64)) {
+	start := c.k.Now()
+	mtaTime := 0.0
+	var next func(i int)
+	next = func(i int) {
+		elapsed := c.k.Now() - start
+		if i == mustCount {
+			mtaTime = elapsed
+		}
+		if i >= len(pc.plan) || (elapsed >= budget && i >= mustCount) {
+			if i < mustCount {
+				mtaTime = elapsed
+			}
+			done(i, mtaTime, elapsed)
+			return
+		}
+		u := pc.plan[i]
+		c.ch.StartFlow(w, float64(c.part.WireSize(u)), func() {
+			deliver(u)
+			// The inserted judgement: dead air before the next unit.
+			c.k.After(c.cfg.PerUnitCheckSeconds, func() { next(i + 1) })
+		})
+	}
+	next(0)
+}
+
+// runROG drives the paper's system: per-iteration speculative row pushes
+// and pulls ordered by the ATP importance metric, bounded by the MTA-time
+// budget, under RSP's two-level staleness control.
+func (c *cluster) runROG() {
+	waiters := newWaitList()
+	numUnits := c.part.NumUnits()
+	mtaCount := int(math.Ceil(atp.MTA(c.cfg.Threshold) * float64(numUnits)))
+
+	var startIter func(w int)
+	startIter = func(w int) {
+		if c.shouldHalt(w) {
+			c.halted[w] = true
+			return
+		}
+		iterStart := c.k.Now()
+		n := c.iter[w] + 1
+		commSec := 0.0
+
+		c.wl.ComputeGradients(w)
+		c.snapshotInto(w)
+
+		c.k.After(c.computeSecondsFor(w), func() {
+			// --- Push phase (Algo. 1 PushGradients + Algo. 3 worker mode).
+			// Gradient magnitudes are normalized by their mean so the f1
+			// term lives on the same O(1) scale as the staleness term,
+			// keeping the paper's f1=f2=1 meaningful for any model.
+			rows := make([]atp.RowInfo, numUnits)
+			var meanSum float64
+			for u := 0; u < numUnits; u++ {
+				rows[u] = atp.RowInfo{ID: u, MeanAbs: c.local[w].MeanAbs(u), Iter: c.pushIter[w][u]}
+				meanSum += rows[u].MeanAbs
+			}
+			if meanSum > 0 {
+				norm := float64(numUnits) / meanSum
+				for u := range rows {
+					rows[u].MeanAbs *= norm
+				}
+			}
+			ranked := atp.Rank(rows, atp.Worker, c.cfg.Coeff)
+			// Within-worker RSP bound: rows whose staleness would reach the
+			// threshold must go out this iteration, budget or not.
+			var forced, rest []int
+			for _, u := range ranked {
+				if n-c.pushIter[w][u] >= int64(c.cfg.Threshold)-1 {
+					forced = append(forced, u)
+				} else {
+					rest = append(rest, u)
+				}
+			}
+			plan := append(forced, rest...)
+			must := mtaCount
+			if len(forced) > must {
+				must = len(forced)
+			}
+			pc := c.newPlan(plan)
+			pushStart := c.k.Now()
+			c.sendPlan(w, pc, must, c.tracker.Budget(), func(u int) {
+				c.deliverPush(w, u, n)
+			}, func(delivered int, mtaTime, elapsed float64) {
+				commSec += elapsed
+				if must > 0 && mtaTime > 0 {
+					c.tracker.Observe(w, mtaTime)
+				}
+				_ = pushStart
+				if c.cfg.RecordMicro && w == 1 {
+					var maxIt int64
+					for _, it := range c.iter {
+						if it > maxIt {
+							maxIt = it
+						}
+					}
+					stale := maxIt - (n - 1)
+					if stale < 0 {
+						stale = 0
+					}
+					c.micro = append(c.micro, MicroSample{
+						Time:      c.k.Now(),
+						LinkMbps:  c.ch.LinkMbps(w) / c.ch.Scale, // un-scaled trace value
+						TxRate:    float64(delivered) / float64(numUnits),
+						Staleness: stale,
+					})
+				}
+				waiters.wake()
+
+				// --- RSP server-side wait (Algo. 2 lines 7–9): worker r's
+				// pull is served only when it is not ≥ threshold ahead of
+				// the slowest row anywhere.
+				pull := func() bool {
+					if n-c.versions.Min() >= int64(c.cfg.Threshold) {
+						return false
+					}
+					c.pullROG(w, n, mtaCount, &commSec, func() {
+						c.finishIteration(w, iterStart, commSec)
+						startIter(w)
+					})
+					return true
+				}
+				if !pull() {
+					waiters.park(w, pull)
+				}
+			})
+		})
+	}
+	for w := 0; w < c.cfg.Workers; w++ {
+		startIter(w)
+	}
+}
+
+// pullROG transmits the most important averaged rows from the server's
+// per-worker copy to worker w (Algo. 2 lines 10–13, server mode of the
+// importance metric: fresher rows first).
+func (c *cluster) pullROG(w int, n int64, mtaCount int, commSec *float64, onDone func()) {
+	var rows []atp.RowInfo
+	var meanSum float64
+	for u := 0; u < c.part.NumUnits(); u++ {
+		ma := c.serverAcc[w].MeanAbs(u)
+		if ma == 0 {
+			continue // nothing accumulated for this row — skip
+		}
+		rows = append(rows, atp.RowInfo{ID: u, MeanAbs: ma, Iter: c.serverIter[u]})
+		meanSum += ma
+	}
+	if meanSum > 0 {
+		norm := float64(len(rows)) / meanSum
+		for i := range rows {
+			rows[i].MeanAbs *= norm
+		}
+	}
+	plan := atp.Rank(rows, atp.Server, c.cfg.Coeff)
+	must := mtaCount
+	if must > len(plan) {
+		must = len(plan)
+	}
+	pc := c.newPlan(plan)
+	c.sendPlan(w, pc, must, c.tracker.Budget(), func(u int) {
+		c.deliverPull(w, u)
+	}, func(_ int, _, elapsed float64) {
+		*commSec += elapsed
+		onDone()
+	})
+}

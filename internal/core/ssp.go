@@ -1,0 +1,78 @@
+package core
+
+// waitList holds workers blocked on the staleness predicate, with the
+// check to re-evaluate whenever server versions advance.
+type waitList struct {
+	pending map[int]func() bool // worker → "try to resume; true if resumed"
+}
+
+func newWaitList() *waitList { return &waitList{pending: make(map[int]func() bool)} }
+
+// park registers worker w's retry closure.
+func (wl *waitList) park(w int, retry func() bool) { wl.pending[w] = retry }
+
+// wake retries every parked worker; resumed ones are removed.
+func (wl *waitList) wake() {
+	for w, retry := range wl.pending {
+		if retry() {
+			delete(wl.pending, w)
+		}
+	}
+}
+
+// runSSP drives Stale Synchronous Parallel: workers proceed independently,
+// pushing and pulling whole models each iteration; a worker entering
+// iteration n is blocked while n − min(clock) ≥ threshold. Small thresholds
+// keep statistical efficiency but stall under bandwidth fades; large ones
+// trade accuracy-per-iteration for speed (paper Fig. 1).
+func (c *cluster) runSSP() {
+	waiters := newWaitList()
+	var startIter func(w int)
+
+	startIter = func(w int) {
+		if c.shouldHalt(w) {
+			c.halted[w] = true
+			return
+		}
+		iterStart := c.k.Now()
+		n := c.iter[w] + 1
+		commSec := 0.0
+
+		c.wl.ComputeGradients(w)
+		c.snapshotInto(w)
+
+		c.k.After(c.computeSecondsFor(w), func() {
+			pushStart := c.k.Now()
+			c.ch.StartFlow(w, float64(c.part.TotalWireSize()), func() {
+				commSec += c.k.Now() - pushStart
+				for u := 0; u < c.part.NumUnits(); u++ {
+					c.deliverPush(w, u, n)
+				}
+				waiters.wake()
+
+				pull := func() bool {
+					// SSP condition: too far ahead of the slowest clock?
+					if n-c.versions.Min() >= int64(c.cfg.Threshold) {
+						return false
+					}
+					pullStart := c.k.Now()
+					c.ch.StartFlow(w, float64(c.part.TotalWireSize()), func() {
+						commSec += c.k.Now() - pullStart
+						for u := 0; u < c.part.NumUnits(); u++ {
+							c.deliverPull(w, u)
+						}
+						c.finishIteration(w, iterStart, commSec)
+						startIter(w)
+					})
+					return true
+				}
+				if !pull() {
+					waiters.park(w, pull)
+				}
+			})
+		})
+	}
+	for w := 0; w < c.cfg.Workers; w++ {
+		startIter(w)
+	}
+}

@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"testing"
+
+	"rog/internal/nn"
+	"rog/internal/tensor"
+)
+
+func smallImages() *ImageSet {
+	cfg := DefaultImageConfig()
+	cfg.Classes = 5
+	cfg.TrainPer = 40
+	cfg.TestPer = 10
+	return NewImageSet(cfg)
+}
+
+func TestImageSetShapes(t *testing.T) {
+	d := smallImages()
+	if len(d.Train) != 200 || len(d.Test) != 50 {
+		t.Fatalf("sizes %d/%d", len(d.Train), len(d.Test))
+	}
+	if d.Dim() != 64 {
+		t.Fatalf("dim %d", d.Dim())
+	}
+	for _, s := range d.Train {
+		if len(s.X) != 64 || s.Y < 0 || s.Y >= 5 {
+			t.Fatalf("bad sample: len=%d y=%d", len(s.X), s.Y)
+		}
+	}
+}
+
+func TestImageSetDeterministic(t *testing.T) {
+	a, b := smallImages(), smallImages()
+	for i := range a.Train {
+		if a.Train[i].X[0] != b.Train[i].X[0] || a.Train[i].Y != b.Train[i].Y {
+			t.Fatal("same seed produced different images")
+		}
+	}
+}
+
+func TestImageSetLearnableByConvMLP(t *testing.T) {
+	d := smallImages()
+	r := tensor.NewRNG(3)
+	model := nn.NewConvMLP(1, 8, 8, []int{6}, []int{24}, 5, r)
+	opt := nn.NewSGD(0.03, 0.9)
+	shard := NewShard(d.Train, 7)
+	for i := 0; i < 250; i++ {
+		x, y := shard.Batch(24)
+		model.ZeroGrads()
+		_, g := nn.SoftmaxCrossEntropy(model.Forward(x), y)
+		model.Backward(g)
+		opt.Step(model.Params(), model.Grads())
+	}
+	x, y := batchAll(d.Test)
+	if acc := nn.Accuracy(model.Forward(x), y); acc < 0.6 {
+		t.Fatalf("ConvMLP accuracy %.3f on images", acc)
+	}
+}
+
+func TestImageCorruptionDegrades(t *testing.T) {
+	d := smallImages()
+	r := tensor.NewRNG(3)
+	model := nn.NewConvMLP(1, 8, 8, []int{6}, []int{24}, 5, r)
+	opt := nn.NewSGD(0.03, 0.9)
+	shard := NewShard(d.Train, 7)
+	for i := 0; i < 250; i++ {
+		x, y := shard.Batch(24)
+		model.ZeroGrads()
+		_, g := nn.SoftmaxCrossEntropy(model.Forward(x), y)
+		model.Backward(g)
+		opt.Step(model.Params(), model.Grads())
+	}
+	corr := Corruption{Fog: 0.5, Brightness: 0.4, Gain: 0.7, Noise: 0.5, Seed: 5}
+	noisy := corr.Apply(d.Test, d.Dim())
+	cx, cy := batchAll(noisy)
+	x, y := batchAll(d.Test)
+	clean := nn.Accuracy(model.Forward(x), y)
+	foggy := nn.Accuracy(model.Forward(cx), cy)
+	if foggy >= clean-0.05 {
+		t.Fatalf("image corruption did not degrade: %.3f -> %.3f", clean, foggy)
+	}
+}

@@ -1,0 +1,22 @@
+package dataset
+
+import "math"
+
+// Thin wrappers keep the sampling code readable without repeating the
+// math-package qualifier in hot formulas.
+
+func sqrt(x float64) float64     { return math.Sqrt(x) }
+func ln(x float64) float64       { return math.Log(x) }
+func pow(x, y float64) float64   { return math.Pow(x, y) }
+func hypot(x, y float64) float64 { return math.Hypot(x, y) }
+func cos(x float64) float64      { return math.Cos(x) }
+func sin(x float64) float64      { return math.Sin(x) }
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,157 @@
+// Package harness assembles the paper's experiments: the CRUDA and CRIMP
+// workloads as core.Workload implementations, per-figure experiment
+// runners, and text renderers for every table and figure of the evaluation
+// section.
+package harness
+
+import (
+	"rog/internal/core"
+	"rog/internal/dataset"
+	"rog/internal/nn"
+	"rog/internal/tensor"
+)
+
+// CRUDAOptions configures the coordinated robotic unsupervised domain
+// adaptation workload (paper Sec. VI: Fed-CIFAR100 + ConvMLP, noised per
+// DeepTest; here the synthetic equivalents from internal/dataset).
+type CRUDAOptions struct {
+	Workers       int
+	BatchSize     int // per-worker batch (paper default 24 on robots)
+	BatchScale    int // multiplies BatchSize (sensitivity study)
+	Seed          uint64
+	PretrainIters int
+	Hidden        []int
+	// UseConvMLP trains the paper's actual model family — a convolutional
+	// stem with an MLP head — on the synthetic image dataset instead of
+	// the feature-vector MLP. Slower per iteration (real convolutions)
+	// but architecture-faithful; used by the ext-convmlp experiment.
+	UseConvMLP bool
+}
+
+// DefaultCRUDAOptions mirrors the paper's default setup at reduced scale.
+func DefaultCRUDAOptions() CRUDAOptions {
+	return CRUDAOptions{
+		Workers:       4,
+		BatchSize:     24,
+		BatchScale:    1,
+		Seed:          1,
+		PretrainIters: 500,
+		Hidden:        []int{64, 64},
+	}
+}
+
+// CRUDAWorkload implements core.Workload: a model pretrained on the clean
+// domain must adapt online to fog/brightness-corrupted data spread across
+// non-IID worker shards.
+type CRUDAWorkload struct {
+	models []*nn.Sequential
+	shards []*dataset.Shard
+	batch  int
+	evalX  *tensor.Matrix
+	evalY  []int
+	// PretrainCleanAcc and PretrainNoisyAcc record the accuracy story the
+	// paper tells: high on the clean domain, degraded by the shift.
+	PretrainCleanAcc float64
+	PretrainNoisyAcc float64
+}
+
+var _ core.Workload = (*CRUDAWorkload)(nil)
+
+// NewCRUDA builds the workload: synthesizes the dataset, pretrains one
+// model on the clean domain, corrupts the world, shards the corrupted data
+// Pachinko-style, and clones the pretrained model to every worker.
+func NewCRUDA(opts CRUDAOptions) *CRUDAWorkload {
+	var (
+		train, test []dataset.Sample
+		dim         int
+		classes     int
+		superclass  int
+		newModel    func(r *tensor.RNG) *nn.Sequential
+		corr        dataset.Corruption
+	)
+	if opts.UseConvMLP {
+		icfg := dataset.DefaultImageConfig()
+		icfg.Seed = opts.Seed
+		img := dataset.NewImageSet(icfg)
+		train, test = img.Train, img.Test
+		dim, classes, superclass = img.Dim(), icfg.Classes, 5
+		newModel = func(r *tensor.RNG) *nn.Sequential {
+			return nn.NewConvMLP(1, icfg.H, icfg.W, []int{6}, []int{32}, classes, r)
+		}
+		corr = dataset.Corruption{Fog: 0.5, Brightness: 0.4, Gain: 0.7, Noise: 0.5, Seed: opts.Seed + 9}
+	} else {
+		cfg := dataset.DefaultCRUDAConfig()
+		cfg.Seed = opts.Seed
+		cfg.TestPer = 20 // 2000-sample eval set keeps checkpoint noise low
+		data := dataset.NewCRUDA(cfg)
+		train, test = data.Train, data.Test
+		dim, classes, superclass = cfg.Dim, cfg.Classes, cfg.Superclass
+		newModel = func(r *tensor.RNG) *nn.Sequential {
+			return nn.NewClassifierMLP(dim, opts.Hidden, classes, r)
+		}
+		corr = dataset.Corruption{Fog: 0.65, Brightness: 0.6, Gain: 1.0, Noise: 0.7, Seed: opts.Seed + 9}
+	}
+
+	proto := newModel(tensor.NewRNG(opts.Seed + 77))
+	opt := nn.NewSGD(0.05, 0.9)
+	pre := dataset.NewShard(train, opts.Seed+3)
+	for i := 0; i < opts.PretrainIters; i++ {
+		x, y := pre.Batch(64)
+		proto.ZeroGrads()
+		_, g := nn.SoftmaxCrossEntropy(proto.Forward(x), y)
+		proto.Backward(g)
+		opt.Step(proto.Params(), proto.Grads())
+	}
+
+	noisyTrain := corr.Apply(train, dim)
+	noisyTest := corr.Apply(test, dim)
+
+	w := &CRUDAWorkload{batch: opts.BatchSize * opts.BatchScale}
+	w.evalX, w.evalY = samplesToBatch(noisyTest)
+	cleanX, cleanY := samplesToBatch(test)
+	w.PretrainCleanAcc = nn.Accuracy(proto.Forward(cleanX), cleanY)
+	w.PretrainNoisyAcc = nn.Accuracy(proto.Forward(w.evalX), w.evalY)
+
+	parts := dataset.PartitionPachinko(noisyTrain, opts.Workers, classes, superclass, 0.3, opts.Seed+13)
+	for i := 0; i < opts.Workers; i++ {
+		m := newModel(tensor.NewRNG(1))
+		m.CopyParamsFrom(proto)
+		w.models = append(w.models, m)
+		w.shards = append(w.shards, dataset.NewShard(parts[i], opts.Seed+uint64(i)*31+21))
+	}
+	return w
+}
+
+func samplesToBatch(samples []dataset.Sample) (*tensor.Matrix, []int) {
+	x := tensor.New(len(samples), len(samples[0].X))
+	y := make([]int, len(samples))
+	for i, s := range samples {
+		copy(x.Row(i), s.X)
+		y[i] = s.Y
+	}
+	return x, y
+}
+
+// Model returns worker w's replica.
+func (c *CRUDAWorkload) Model(w int) *nn.Sequential { return c.models[w] }
+
+// ComputeGradients runs one adaptation step on worker w's shard.
+func (c *CRUDAWorkload) ComputeGradients(w int) float64 {
+	x, y := c.shards[w].Batch(c.batch)
+	loss, g := nn.SoftmaxCrossEntropy(c.models[w].Forward(x), y)
+	c.models[w].Backward(g)
+	return loss
+}
+
+// Evaluate returns the mean corrupted-domain test accuracy across workers
+// (the paper checkpoints and validates on every worker, then averages).
+func (c *CRUDAWorkload) Evaluate() float64 {
+	var acc float64
+	for _, m := range c.models {
+		acc += nn.Accuracy(m.Forward(c.evalX), c.evalY)
+	}
+	return acc / float64(len(c.models))
+}
+
+// Increasing reports that accuracy grows as training improves.
+func (c *CRUDAWorkload) Increasing() bool { return true }

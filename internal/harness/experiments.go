@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+
+	"rog/internal/core"
+	"rog/internal/trace"
+)
+
+// Scale sizes an experiment. Quick keeps benchmark runs in seconds of wall
+// clock; Full matches the paper's 60–150 minute training budgets (virtual
+// time — still fast, but with full checkpoint resolution).
+type Scale struct {
+	Name            string
+	VirtualSeconds  float64 // training budget per system (virtual)
+	CheckpointEvery int
+	PretrainIters   int // CRUDA pretraining steps
+	ObsPerBot       int // CRIMP trajectory length
+	TestObs         int // CRIMP held-out poses
+	MicroSeconds    float64
+}
+
+// Quick is the benchmark scale: the same experiments at ~1/10 duration.
+var Quick = Scale{
+	Name:            "quick",
+	VirtualSeconds:  420,
+	CheckpointEvery: 8,
+	PretrainIters:   300,
+	ObsPerBot:       80,
+	TestObs:         6,
+	MicroSeconds:    240,
+}
+
+// Full is the paper scale: 60 minutes of virtual training per system.
+var Full = Scale{
+	Name:            "full",
+	VirtualSeconds:  3600,
+	CheckpointEvery: 25,
+	PretrainIters:   500,
+	ObsPerBot:       120,
+	TestObs:         8,
+	MicroSeconds:    240,
+}
+
+// SystemSpec identifies one compared system.
+type SystemSpec struct {
+	Strategy  core.Strategy
+	Threshold int
+}
+
+// Label renders "SSP-4" style names.
+func (s SystemSpec) Label() string {
+	if s.Strategy == core.BSP || s.Strategy == core.FLOWN {
+		return s.Strategy.String()
+	}
+	return fmt.Sprintf("%s-%d", s.Strategy, s.Threshold)
+}
+
+// PaperSystems is the lineup of Figs. 1/6/7: BSP, SSP-4, SSP-20, FLOWN,
+// ROG-4, ROG-20.
+func PaperSystems() []SystemSpec {
+	return []SystemSpec{
+		{core.BSP, 0},
+		{core.SSP, 4},
+		{core.SSP, 20},
+		{core.FLOWN, 4},
+		{core.ROG, 4},
+		{core.ROG, 20},
+	}
+}
+
+// SensitivitySystems is the reduced lineup of Fig. 9 (the paper omits
+// FLOWN there).
+func SensitivitySystems() []SystemSpec {
+	return []SystemSpec{{core.BSP, 0}, {core.SSP, 4}, {core.ROG, 4}}
+}
+
+// EndToEndOptions configures one end-to-end comparison run.
+type EndToEndOptions struct {
+	Paradigm    string // "cruda" or "crimp"
+	Env         trace.Env
+	Workers     int
+	BatchScale  int
+	Seed        uint64
+	Scale       Scale
+	Systems     []SystemSpec
+	Threshold   int // override threshold for ROG-only sweeps (0 = per spec)
+	RecordMicro bool
+	// ConvMLP (CRUDA) / GridMap (CRIMP) select the architecture-faithful
+	// model variants for the ext-convmlp / ext-gridmap experiments.
+	ConvMLP bool
+	GridMap bool
+}
+
+// paradigmConfig returns the per-paradigm timing constants: compute time
+// per iteration and the paper-equivalent compressed model size the channel
+// is scaled to (Sec. VI: 2.1 MB for ConvMLP/CRUDA, 0.76 MB for
+// nice-slam/CRIMP; compute 2.18 s + ≈0.46 s compression on the Jetson).
+func paradigmConfig(paradigm string) (computeSeconds, paperModelBytes float64) {
+	if paradigm == "crimp" {
+		return 1.4, 0.76e6
+	}
+	return 2.64, 2.1e6
+}
+
+// newWorkload builds a fresh workload for one system run (every system
+// must start from the same pretrained state, so each gets its own copy).
+func (o EndToEndOptions) newWorkload() core.Workload {
+	if o.Paradigm == "crimp" {
+		opts := DefaultCRIMPOptions()
+		opts.Workers = o.Workers
+		opts.Seed = o.Seed
+		opts.ObsPerBot = o.Scale.ObsPerBot
+		opts.TestObs = o.Scale.TestObs
+		opts.UseGridMap = o.GridMap
+		return NewCRIMP(opts)
+	}
+	opts := DefaultCRUDAOptions()
+	opts.Workers = o.Workers
+	opts.Seed = o.Seed
+	opts.PretrainIters = o.Scale.PretrainIters
+	opts.UseConvMLP = o.ConvMLP
+	if o.BatchScale > 1 {
+		opts.BatchScale = o.BatchScale
+	}
+	return NewCRUDA(opts)
+}
+
+// RunEndToEnd executes every system on an identical workload and network
+// seed, returning one Result per system in input order.
+func RunEndToEnd(o EndToEndOptions) ([]*core.Result, error) {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Systems) == 0 {
+		o.Systems = PaperSystems()
+	}
+	computeSec, paperBytes := paradigmConfig(o.Paradigm)
+	var out []*core.Result
+	for _, sys := range o.Systems {
+		wl := o.newWorkload()
+		cfg := core.Config{
+			Strategy:          sys.Strategy,
+			Workers:           o.Workers,
+			Threshold:         sys.Threshold,
+			Env:               o.Env,
+			Seed:              o.Seed,
+			ComputeSeconds:    computeSec,
+			BatchScale:        float64(max(1, o.BatchScale)),
+			PaperModelBytes:   paperBytes,
+			LR:                0.025,
+			Momentum:          0.9,
+			LRDecayIters:      600,
+			MaxVirtualSeconds: o.Scale.VirtualSeconds,
+			CheckpointEvery:   o.Scale.CheckpointEvery,
+			RecordMicro:       o.RecordMicro,
+		}
+		res, err := core.Run(cfg, wl)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", sys.Label(), err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

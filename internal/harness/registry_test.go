@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsAtTinyScale executes the entire registry at a
+// reduced scale — the same code paths the paper-scale runs take, end to
+// end. Skipped under -short.
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry sweep skipped in -short mode")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(tinyScale)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(out) < 80 {
+				t.Fatalf("%s: suspiciously short report:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s: missing title banner:\n%s", e.ID, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rog/internal/core"
+	"rog/internal/metrics"
+)
+
+// CompositionTable renders the average time composition of a training
+// iteration per system — the bar charts of Figs. 1a/6a/7a/9e/9f as rows.
+func CompositionTable(results []*core.Result) string {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		c := r.Composition
+		rows = append(rows, []string{
+			r.Label(),
+			fmt.Sprintf("%.2f", c.Compute),
+			fmt.Sprintf("%.2f", c.Comm),
+			fmt.Sprintf("%.2f", c.Stall),
+			fmt.Sprintf("%.2f", c.Total()),
+			fmt.Sprintf("%.1f%%", 100*r.StallFrac),
+		})
+	}
+	return metrics.FormatTable(
+		[]string{"system", "compute(s)", "comm(s)", "stall(s)", "iter total(s)", "stall share"},
+		rows,
+	)
+}
+
+// SeriesByTime renders quality against wall-clock time (Figs. 1c/6c/7c):
+// one column per system, one row per time step.
+func SeriesByTime(results []*core.Result, step float64) string {
+	if len(results) == 0 {
+		return ""
+	}
+	end := 0.0
+	for _, r := range results {
+		if t := r.Series.Last().Time; t > end {
+			end = t
+		}
+	}
+	headers := []string{"time(s)"}
+	for _, r := range results {
+		headers = append(headers, r.Label())
+	}
+	var rows [][]string
+	for t := step; t <= end+1e-9; t += step {
+		row := []string{fmt.Sprintf("%.0f", t)}
+		for _, r := range results {
+			row = append(row, fmtVal(r.Series.ValueAt(t)))
+		}
+		rows = append(rows, row)
+	}
+	return metrics.FormatTable(headers, rows)
+}
+
+// SeriesByIteration renders quality against iteration count (statistical
+// efficiency, Figs. 1b/6b/7b).
+func SeriesByIteration(results []*core.Result, step int) string {
+	if len(results) == 0 {
+		return ""
+	}
+	end := 0
+	for _, r := range results {
+		if it := r.Series.Last().Iter; it > end {
+			end = it
+		}
+	}
+	headers := []string{"iteration"}
+	for _, r := range results {
+		headers = append(headers, r.Label())
+	}
+	var rows [][]string
+	for it := step; it <= end; it += step {
+		row := []string{fmt.Sprintf("%d", it)}
+		for _, r := range results {
+			row = append(row, fmtVal(r.Series.ValueAtIter(it)))
+		}
+		rows = append(rows, row)
+	}
+	return metrics.FormatTable(headers, rows)
+}
+
+// EnergyTable renders the energy each system needs to reach a common
+// quality target (Figs. 1d/6d/7d), plus totals. The target defaults to the
+// most conservative final value across systems so that every system can
+// reach it.
+func EnergyTable(results []*core.Result, increasing bool) string {
+	target := commonTarget(results, increasing)
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		j, ok := r.Series.EnergyToReach(target, increasing)
+		cell := "not reached"
+		if ok {
+			cell = fmt.Sprintf("%.0f", j)
+		}
+		rows = append(rows, []string{
+			r.Label(),
+			fmt.Sprintf("%.4f", r.FinalValue),
+			cell,
+			fmt.Sprintf("%.0f", r.TotalJoules),
+			fmt.Sprintf("%d", r.Iterations),
+		})
+	}
+	title := fmt.Sprintf("energy to reach %s = %.4f\n", metricName(increasing), target)
+	return title + metrics.FormatTable(
+		[]string{"system", "final", "J to target", "total J", "iterations"},
+		rows,
+	)
+}
+
+// commonTarget picks the strictest quality level every system attained at
+// some checkpoint (noise-robust: best-over-series, not final value).
+func commonTarget(results []*core.Result, increasing bool) float64 {
+	// Per system, the best value it ever checkpointed; the common target is
+	// the loosest of those bests, so every system can reach it.
+	target := math.Inf(1) // min over bests for an increasing metric
+	if !increasing {
+		target = math.Inf(-1) // max over bests for a decreasing metric
+	}
+	for _, r := range results {
+		best := math.Inf(-1)
+		if !increasing {
+			best = math.Inf(1)
+		}
+		for _, p := range r.Series.Points {
+			if increasing && p.Value > best || !increasing && p.Value < best {
+				best = p.Value
+			}
+		}
+		if increasing && best < target || !increasing && best > target {
+			target = best
+		}
+	}
+	return target
+}
+
+func metricName(increasing bool) string {
+	if increasing {
+		return "accuracy"
+	}
+	return "error"
+}
+
+func fmtVal(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// MicroTable renders Fig. 8's micro-event samples: bandwidth vs ROG's
+// chosen transmission rate vs accumulated staleness.
+func MicroTable(samples []core.MicroSample, maxRows int) string {
+	rows := make([][]string, 0, len(samples))
+	stride := 1
+	if maxRows > 0 && len(samples) > maxRows {
+		stride = (len(samples) + maxRows - 1) / maxRows
+	}
+	for i := 0; i < len(samples); i += stride {
+		s := samples[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", s.Time),
+			fmt.Sprintf("%.1f", s.LinkMbps),
+			fmt.Sprintf("%.0f%%", 100*s.TxRate),
+			fmt.Sprintf("%d", s.Staleness),
+		})
+	}
+	return metrics.FormatTable([]string{"time(s)", "bandwidth(Mbps)", "tx rate", "staleness"}, rows)
+}
+
+// Summary is the one-line comparative verdict printed under each figure.
+func Summary(results []*core.Result, increasing bool) string {
+	var rog, best *core.Result
+	for _, r := range results {
+		if r.Strategy == core.ROG && (rog == nil || better(r.FinalValue, rog.FinalValue, increasing)) {
+			rog = r
+		}
+		if r.Strategy != core.ROG && (best == nil || better(r.FinalValue, best.FinalValue, increasing)) {
+			best = r
+		}
+	}
+	if rog == nil || best == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "best ROG %s=%.4f vs best baseline (%s) %.4f",
+		metricName(increasing), rog.FinalValue, best.Label(), best.FinalValue)
+	if increasing {
+		fmt.Fprintf(&b, " (gain %+.2f pts)", 100*(rog.FinalValue-best.FinalValue))
+	} else {
+		fmt.Fprintf(&b, " (reduction %+.1f%%)", 100*(best.FinalValue-rog.FinalValue)/math.Max(best.FinalValue, 1e-9))
+	}
+	target := commonTarget(results, increasing)
+	if jr, ok := rog.Series.EnergyToReach(target, increasing); ok {
+		if jb, ok2 := best.Series.EnergyToReach(target, increasing); ok2 && jb > 0 {
+			fmt.Fprintf(&b, "; energy to common target: ROG %.0fJ vs %.0fJ (%.1f%% saved)",
+				jr, jb, 100*(jb-jr)/jb)
+		}
+	}
+	return b.String()
+}
+
+func better(a, b float64, increasing bool) bool {
+	if increasing {
+		return a > b
+	}
+	return a < b
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"rog/internal/core"
+	"rog/internal/metrics"
+)
+
+// SeedSummary aggregates one system's results across experiment seeds —
+// the cheap way to separate a real effect from run-to-run noise.
+type SeedSummary struct {
+	Label      string
+	Seeds      int
+	MeanFinal  float64
+	StdFinal   float64
+	MeanStall  float64 // mean stall fraction
+	MeanIters  float64
+	MeanJoules float64
+}
+
+// RunEndToEndSeeds repeats an end-to-end comparison across seeds and
+// aggregates per system. The Systems and everything else in o are held
+// fixed; o.Seed is overridden by each seed in turn.
+func RunEndToEndSeeds(o EndToEndOptions, seeds []uint64) ([]SeedSummary, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("harness: no seeds given")
+	}
+	if len(o.Systems) == 0 {
+		o.Systems = PaperSystems()
+	}
+	sums := make([]SeedSummary, len(o.Systems))
+	finals := make([][]float64, len(o.Systems))
+	for _, seed := range seeds {
+		oo := o
+		oo.Seed = seed
+		results, err := RunEndToEnd(oo)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			sums[i].Label = r.Label()
+			sums[i].Seeds++
+			sums[i].MeanFinal += r.FinalValue
+			sums[i].MeanStall += r.StallFrac
+			sums[i].MeanIters += float64(r.Iterations)
+			sums[i].MeanJoules += r.TotalJoules
+			finals[i] = append(finals[i], r.FinalValue)
+		}
+	}
+	n := float64(len(seeds))
+	for i := range sums {
+		sums[i].MeanFinal /= n
+		sums[i].MeanStall /= n
+		sums[i].MeanIters /= n
+		sums[i].MeanJoules /= n
+		var varAcc float64
+		for _, v := range finals[i] {
+			d := v - sums[i].MeanFinal
+			varAcc += d * d
+		}
+		sums[i].StdFinal = math.Sqrt(varAcc / n)
+	}
+	return sums, nil
+}
+
+// SeedSummaryTable renders the aggregate as an aligned table.
+func SeedSummaryTable(sums []SeedSummary) string {
+	rows := make([][]string, 0, len(sums))
+	for _, s := range sums {
+		rows = append(rows, []string{
+			s.Label,
+			fmt.Sprintf("%.4f", s.MeanFinal),
+			fmt.Sprintf("%.4f", s.StdFinal),
+			fmt.Sprintf("%.1f%%", 100*s.MeanStall),
+			fmt.Sprintf("%.0f", s.MeanIters),
+			fmt.Sprintf("%.0f", s.MeanJoules),
+		})
+	}
+	return metrics.FormatTable(
+		[]string{"system", "mean final", "std", "mean stall", "mean iters", "mean J"},
+		rows,
+	)
+}
+
+// WriteSeriesCSV streams every result's checkpoint series as long-format
+// CSV: system,iter,time_s,energy_j,value — ready for any plotting tool.
+func WriteSeriesCSV(w io.Writer, results []*core.Result) error {
+	if _, err := fmt.Fprintln(w, "system,iter,time_s,energy_j,value"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, p := range r.Series.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.6f\n",
+				r.Label(), p.Iter, p.Time, p.Energy, p.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

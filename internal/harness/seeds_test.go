@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rog/internal/core"
+	"rog/internal/trace"
+)
+
+func TestRunEndToEndSeeds(t *testing.T) {
+	sums, err := RunEndToEndSeeds(EndToEndOptions{
+		Paradigm: "cruda",
+		Env:      trace.Outdoor,
+		Scale:    tinyScale,
+		Systems:  []SystemSpec{{core.BSP, 0}, {core.ROG, 4}},
+	}, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("summaries %d", len(sums))
+	}
+	for _, s := range sums {
+		if s.Seeds != 2 {
+			t.Fatalf("%s aggregated %d seeds", s.Label, s.Seeds)
+		}
+		if s.MeanFinal <= 0 || s.MeanIters <= 0 || s.MeanJoules <= 0 {
+			t.Fatalf("degenerate summary %+v", s)
+		}
+		if s.StdFinal < 0 {
+			t.Fatalf("negative std %+v", s)
+		}
+	}
+	table := SeedSummaryTable(sums)
+	if !strings.Contains(table, "ROG-4") || !strings.Contains(table, "mean final") {
+		t.Fatalf("summary table:\n%s", table)
+	}
+}
+
+func TestRunEndToEndSeedsValidation(t *testing.T) {
+	if _, err := RunEndToEndSeeds(EndToEndOptions{}, nil); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	results, err := RunEndToEnd(EndToEndOptions{
+		Paradigm: "cruda",
+		Env:      trace.Indoor,
+		Scale:    tinyScale,
+		Systems:  []SystemSpec{{core.ROG, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "system,iter,time_s,energy_j,value" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if len(lines) < 3 {
+		t.Fatalf("too few rows:\n%s", buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "ROG-4,") {
+		t.Fatalf("row: %s", lines[1])
+	}
+}

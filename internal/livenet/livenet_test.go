@@ -1,0 +1,234 @@
+package livenet
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"rog/internal/compress"
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/tensor"
+)
+
+// liveCluster spins up a server goroutine per worker connection and returns
+// the workers, all over in-process pipes.
+func liveCluster(t *testing.T, workers, threshold int, seed uint64) (*Server, []*Worker, []*nn.Sequential, func()) {
+	t.Helper()
+	proto := nn.NewClassifierMLP(6, []int{10}, 4, tensor.NewRNG(seed))
+	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
+	srv := NewServer(part, ServerConfig{Workers: workers, Threshold: threshold})
+
+	var models []*nn.Sequential
+	var ws []*Worker
+	var wg sync.WaitGroup
+	var conns []net.Conn
+	for i := 0; i < workers; i++ {
+		m := nn.NewClassifierMLP(6, []int{10}, 4, tensor.NewRNG(1))
+		m.CopyParamsFrom(proto)
+		models = append(models, m)
+		c, s := net.Pipe()
+		conns = append(conns, c, s)
+		wg.Add(1)
+		go func(id int, conn net.Conn) {
+			defer wg.Done()
+			if err := srv.HandleConn(id, conn); err != nil {
+				t.Errorf("server handler %d: %v", id, err)
+			}
+		}(i, s)
+		ws = append(ws, NewWorker(m, part, c, WorkerConfig{
+			ID: i, Threshold: threshold, LR: 0.1, Momentum: 0.9,
+		}))
+	}
+	cleanup := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		srv.Close()
+		wg.Wait()
+	}
+	return srv, ws, models, cleanup
+}
+
+// clusterData is a shared synthetic task for live tests.
+type clusterData struct {
+	centroids [][]float32
+}
+
+func newClusterData(seed uint64) *clusterData {
+	r := tensor.NewRNG(seed)
+	d := &clusterData{}
+	for c := 0; c < 4; c++ {
+		v := make([]float32, 6)
+		for i := range v {
+			v[i] = float32(r.Norm() * 2)
+		}
+		d.centroids = append(d.centroids, v)
+	}
+	return d
+}
+
+func (d *clusterData) batch(r *tensor.RNG, n int) (*tensor.Matrix, []int) {
+	x := tensor.New(n, 6)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := r.Intn(4)
+		y[i] = c
+		for j := 0; j < 6; j++ {
+			x.Set(i, j, d.centroids[c][j]+float32(r.Norm()))
+		}
+	}
+	return x, y
+}
+
+func TestLiveTrainingConvergesAndBoundsStaleness(t *testing.T) {
+	const workers, threshold, iters = 3, 4, 40
+	srv, ws, models, cleanup := liveCluster(t, workers, threshold, 5)
+
+	data := newClusterData(9)
+	evalX, evalY := data.batch(tensor.NewRNG(123), 200)
+	before := nn.Accuracy(models[0].Forward(evalX), evalY)
+
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(id int, w *Worker) {
+			defer wg.Done()
+			r := tensor.NewRNG(uint64(id)*31 + 7)
+			for k := 0; k < iters; k++ {
+				err := w.RunIteration(func() {
+					x, y := data.batch(r, 16)
+					_, g := nn.SoftmaxCrossEntropy(models[id].Forward(x), y)
+					models[id].Backward(g)
+				})
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v", id, k, err)
+					return
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	cleanup()
+
+	for i, w := range ws {
+		if w.Iterations() != iters {
+			t.Fatalf("worker %d completed %d iterations", i, w.Iterations())
+		}
+	}
+	if got := srv.MaxStalenessObserved(); got > threshold {
+		t.Fatalf("staleness %d exceeded threshold %d", got, threshold)
+	}
+	// The live run must actually learn.
+	best := before
+	for _, m := range models {
+		if acc := nn.Accuracy(m.Forward(evalX), evalY); acc > best {
+			best = acc
+		}
+	}
+	if best < before+0.15 {
+		t.Fatalf("live training did not learn: %.3f -> %.3f", before, best)
+	}
+}
+
+func TestLiveReplicasStayClose(t *testing.T) {
+	// RSP bounds divergence; after a joint run, replicas must be close
+	// (not identical — different rows sync at different times).
+	const workers, threshold, iters = 3, 4, 25
+	_, ws, models, cleanup := liveCluster(t, workers, threshold, 11)
+	data := newClusterData(3)
+
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(id int, w *Worker) {
+			defer wg.Done()
+			r := tensor.NewRNG(uint64(id) + 100)
+			for k := 0; k < iters; k++ {
+				if err := w.RunIteration(func() {
+					x, y := data.batch(r, 16)
+					_, g := nn.SoftmaxCrossEntropy(models[id].Forward(x), y)
+					models[id].Backward(g)
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	cleanup()
+
+	p0 := models[0].Params()
+	for wIdx := 1; wIdx < workers; wIdx++ {
+		pw := models[wIdx].Params()
+		var diff, norm float64
+		for i := range p0 {
+			for j := range p0[i].Data {
+				d := float64(p0[i].Data[j] - pw[i].Data[j])
+				diff += d * d
+				norm += float64(p0[i].Data[j]) * float64(p0[i].Data[j])
+			}
+		}
+		if diff > norm {
+			t.Fatalf("replica %d diverged: relative diff %.3f", wIdx, diff/norm)
+		}
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	proto := nn.NewClassifierMLP(4, []int{4}, 2, tensor.NewRNG(1))
+	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
+	for name, cfg := range map[string]ServerConfig{
+		"workers":   {Workers: 1, Threshold: 4},
+		"threshold": {Workers: 3, Threshold: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewServer(part, cfg)
+		}()
+	}
+}
+
+func TestProtocolRoundtrip(t *testing.T) {
+	p := compressPayload(t)
+	for _, tc := range []struct {
+		name  string
+		frame []byte
+		kind  byte
+	}{
+		{"row", rowMsg(7, p), kindRow},
+		{"pushDone", pushDoneMsg(7, 1.25), kindPushDone},
+		{"pull", pullMsg(p), kindPull},
+		{"pullDone", pullDoneMsg(0.5), kindPullDone},
+	} {
+		msg, err := parse(tc.frame)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if msg.kind != tc.kind {
+			t.Fatalf("%s: kind %q", tc.name, msg.kind)
+		}
+	}
+	if m, err := parse(pushDoneMsg(7, 1.25)); err != nil || m.iter != 7 || m.mta != 1.25 {
+		t.Fatalf("pushDone fields: %+v %v", m, err)
+	}
+	if m, _ := parse(pullDoneMsg(0.5)); m.budget != 0.5 {
+		t.Fatalf("pullDone budget: %v", m.budget)
+	}
+	for _, bad := range [][]byte{{}, {'Z', 1}, {kindRow, 1}, {kindPushDone, 1, 2}} {
+		if _, err := parse(bad); err == nil {
+			t.Fatalf("bad frame %v accepted", bad)
+		}
+	}
+}
+
+func compressPayload(t *testing.T) compress.Payload {
+	t.Helper()
+	c := compress.NewCodec([]int{8})
+	return c.Encode(0, []float32{1, -2, 3, -4, 5, -6, 7, -8})
+}

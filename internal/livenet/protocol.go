@@ -1,0 +1,120 @@
+// Package livenet runs ROG over real byte-stream connections — goroutine
+// workers, a parameter-server goroutine, wall-clock speculative timeouts —
+// the in-process analogue of the paper's PyTorch implementation (Sec. V).
+//
+// The discrete-event drivers in internal/core are what the experiments use
+// (virtual time, deterministic); livenet demonstrates that the same row
+// protocol — 1-bit compressed rows, marker-framed, sent with a deadline and
+// discarded mid-frame at expiry, RSP staleness control on the server —
+// works over actual sockets. It runs over net.Pipe in tests and over TCP
+// via the ordinary net.Conn interface.
+package livenet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rog/internal/compress"
+)
+
+// Message kinds on the wire. Every frame body starts with one kind byte.
+const (
+	kindRow      = 'R' // worker→server: one row of gradients for iteration n
+	kindPushDone = 'D' // worker→server: push finished; carries measured MTA time
+	kindPull     = 'P' // server→worker: one averaged row
+	kindPullDone = 'E' // server→worker: pull finished; carries new MTA budget
+)
+
+// rowMsg encodes a gradient row pushed for iteration iter.
+func rowMsg(iter int64, p compress.Payload) []byte {
+	body := p.Marshal()
+	out := make([]byte, 1+8+len(body))
+	out[0] = kindRow
+	binary.LittleEndian.PutUint64(out[1:], uint64(iter))
+	copy(out[9:], body)
+	return out
+}
+
+// pushDoneMsg signals the end of a push and reports the worker's measured
+// MTA time in seconds.
+func pushDoneMsg(iter int64, mtaSeconds float64) []byte {
+	out := make([]byte, 1+8+8)
+	out[0] = kindPushDone
+	binary.LittleEndian.PutUint64(out[1:], uint64(iter))
+	binary.LittleEndian.PutUint64(out[9:], math.Float64bits(mtaSeconds))
+	return out
+}
+
+// pullMsg encodes an averaged row sent back to a worker.
+func pullMsg(p compress.Payload) []byte {
+	body := p.Marshal()
+	out := make([]byte, 1+len(body))
+	out[0] = kindPull
+	copy(out[1:], body)
+	return out
+}
+
+// pullDoneMsg signals the end of a pull and distributes the server's
+// current MTA-time budget (the straggler's report, Algo. 4).
+func pullDoneMsg(budgetSeconds float64) []byte {
+	out := make([]byte, 1+8)
+	out[0] = kindPullDone
+	binary.LittleEndian.PutUint64(out[1:], math.Float64bits(budgetSeconds))
+	return out
+}
+
+// parsed is one decoded message.
+type parsed struct {
+	kind    byte
+	iter    int64
+	mta     float64 // kindPushDone
+	budget  float64 // kindPullDone
+	payload compress.Payload
+}
+
+func parse(frame []byte) (parsed, error) {
+	if len(frame) == 0 {
+		return parsed{}, fmt.Errorf("livenet: empty frame")
+	}
+	switch frame[0] {
+	case kindRow:
+		if len(frame) < 9 {
+			return parsed{}, fmt.Errorf("livenet: short row frame")
+		}
+		p, err := compress.Unmarshal(frame[9:])
+		if err != nil {
+			return parsed{}, err
+		}
+		return parsed{
+			kind:    kindRow,
+			iter:    int64(binary.LittleEndian.Uint64(frame[1:])),
+			payload: p,
+		}, nil
+	case kindPushDone:
+		if len(frame) != 17 {
+			return parsed{}, fmt.Errorf("livenet: bad push-done frame")
+		}
+		return parsed{
+			kind: kindPushDone,
+			iter: int64(binary.LittleEndian.Uint64(frame[1:])),
+			mta:  math.Float64frombits(binary.LittleEndian.Uint64(frame[9:])),
+		}, nil
+	case kindPull:
+		p, err := compress.Unmarshal(frame[1:])
+		if err != nil {
+			return parsed{}, err
+		}
+		return parsed{kind: kindPull, payload: p}, nil
+	case kindPullDone:
+		if len(frame) != 9 {
+			return parsed{}, fmt.Errorf("livenet: bad pull-done frame")
+		}
+		return parsed{
+			kind:   kindPullDone,
+			budget: math.Float64frombits(binary.LittleEndian.Uint64(frame[1:])),
+		}, nil
+	default:
+		return parsed{}, fmt.Errorf("livenet: unknown frame kind %q", frame[0])
+	}
+}

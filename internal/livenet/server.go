@@ -1,0 +1,218 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rog/internal/atp"
+	"rog/internal/compress"
+	"rog/internal/rowsync"
+	"rog/internal/transport"
+)
+
+// ServerConfig parameterizes the parameter server.
+type ServerConfig struct {
+	Workers   int
+	Threshold int
+	Coeff     atp.Coefficients
+	// MTAFloorSeconds lower-bounds the transmission budget so that a cold
+	// start or a microsecond in-process pipe never collapses it to zero.
+	MTAFloorSeconds float64
+}
+
+// Server is the live parameter server (Algo. 2 over real connections).
+// It holds no model — only per-worker averaged-gradient copies, row
+// versions, and the MTA-time tracker. One goroutine per worker calls
+// HandleConn.
+type Server struct {
+	cfg  ServerConfig
+	part *rowsync.Partition
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	acc        []*rowsync.GradStore // per-worker averaged copies ḡ^s
+	codecs     []*compress.Codec    // per-worker downlink error feedback
+	pending    [][]compress.Payload // rows encoded for an in-flight pull
+	versions   *rowsync.VersionStore
+	serverIter []int64
+	tracker    *atp.TimeTracker
+	closed     bool
+}
+
+// NewServer creates a server for a model decomposed by part.
+func NewServer(part *rowsync.Partition, cfg ServerConfig) *Server {
+	if cfg.Workers < 2 {
+		panic("livenet: need at least 2 workers")
+	}
+	if cfg.Threshold < 2 {
+		panic("livenet: threshold must be >= 2")
+	}
+	if cfg.Coeff == (atp.Coefficients{}) {
+		cfg.Coeff = atp.DefaultCoefficients()
+	}
+	if cfg.MTAFloorSeconds <= 0 {
+		cfg.MTAFloorSeconds = 2 * time.Millisecond.Seconds()
+	}
+	s := &Server{
+		cfg:        cfg,
+		part:       part,
+		versions:   rowsync.NewVersionStore(cfg.Workers, part.NumUnits()),
+		serverIter: make([]int64, part.NumUnits()),
+		tracker:    atp.NewTimeTracker(cfg.Workers, cfg.MTAFloorSeconds),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.acc = append(s.acc, rowsync.NewGradStore(part))
+		s.codecs = append(s.codecs, compress.NewCodec(part.Widths()))
+	}
+	s.pending = make([][]compress.Payload, cfg.Workers)
+	return s
+}
+
+// Close wakes any goroutine blocked on the staleness condition so handlers
+// can drain after their peers disconnect.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// MaxStalenessObserved reports the largest version lead seen (for tests:
+// it must never exceed the threshold).
+func (s *Server) MaxStalenessObserved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.versions.MaxAhead()
+}
+
+// HandleConn serves one worker's connection until it closes. It processes
+// pushes (Algo. 2 lines 1–6), enforces the RSP wait (lines 7–9), and
+// answers each iteration with a speculative pull (lines 10–13).
+func (s *Server) HandleConn(worker int, conn net.Conn) error {
+	defer s.cond.Broadcast()
+	rc := transport.NewReceiver(conn)
+	for {
+		frame, err := rc.Recv()
+		if err != nil {
+			return nil // connection closed: worker done
+		}
+		msg, err := parse(frame)
+		if err != nil {
+			return fmt.Errorf("livenet: worker %d: %w", worker, err)
+		}
+		switch msg.kind {
+		case kindRow:
+			s.applyPush(worker, msg)
+		case kindPushDone:
+			s.mu.Lock()
+			if msg.mta > 0 {
+				s.tracker.Observe(worker, msg.mta)
+			}
+			n := msg.iter
+			// RSP wait: serve the pull only when worker isn't too far
+			// ahead of the slowest row anywhere.
+			for !s.closed && n-s.versions.Min() >= int64(s.cfg.Threshold) {
+				s.cond.Wait()
+			}
+			plan, budget := s.planPullLocked(worker)
+			s.mu.Unlock()
+			if err := s.sendPull(worker, conn, plan, budget); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("livenet: worker %d sent server-bound frame %q", worker, msg.kind)
+		}
+	}
+}
+
+// applyPush folds one received row into every worker's averaged copy.
+func (s *Server) applyPush(worker int, msg parsed) {
+	u := msg.payload.Row
+	vals := make([]float32, msg.payload.N)
+	compress.Decode(msg.payload, vals)
+	inv := 1 / float32(s.cfg.Workers)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for w := range s.acc {
+		s.acc[w].AddUnit(u, vals, inv)
+	}
+	if msg.iter > s.versions.Get(worker, u) {
+		s.versions.Update(worker, u, msg.iter)
+	}
+	if msg.iter > s.serverIter[u] {
+		s.serverIter[u] = msg.iter
+	}
+	s.cond.Broadcast()
+}
+
+// planPullLocked ranks the worker's pending averaged rows (server mode:
+// fresher first) and encodes them. Must hold s.mu.
+func (s *Server) planPullLocked(worker int) ([][]byte, float64) {
+	var rows []atp.RowInfo
+	var meanSum float64
+	for u := 0; u < s.part.NumUnits(); u++ {
+		ma := s.acc[worker].MeanAbs(u)
+		if ma == 0 {
+			continue
+		}
+		rows = append(rows, atp.RowInfo{ID: u, MeanAbs: ma, Iter: s.serverIter[u]})
+		meanSum += ma
+	}
+	if meanSum > 0 {
+		norm := float64(len(rows)) / meanSum
+		for i := range rows {
+			rows[i].MeanAbs *= norm
+		}
+	}
+	plan := atp.Rank(rows, atp.Server, s.cfg.Coeff)
+	frames := make([][]byte, 0, len(plan))
+	payloads := make([]compress.Payload, 0, len(plan))
+	for _, u := range plan {
+		payload := s.codecs[worker].Encode(u, s.acc[worker].Unit(u))
+		s.acc[worker].ZeroUnit(u)
+		payloads = append(payloads, payload)
+		frames = append(frames, pullMsg(payload))
+	}
+	budget := s.tracker.Budget()
+	if budget < s.cfg.MTAFloorSeconds {
+		budget = s.cfg.MTAFloorSeconds
+	}
+	s.pending[worker] = payloads
+	return frames, budget
+}
+
+// restoreUnsent re-adds the decoded values of rows the deadline cut off
+// back into the worker's accumulator: encode moved (value − residual) into
+// the payload, so returning the decoded value conserves the gradient mass
+// exactly.
+func (s *Server) restoreUnsent(worker, sentFrames int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.pending[worker][sentFrames:] {
+		vals := make([]float32, p.N)
+		compress.Decode(p, vals)
+		s.acc[worker].AddUnit(p.Row, vals, 1)
+	}
+	s.pending[worker] = nil
+}
+
+// sendPull transmits the planned rows speculatively within the budget.
+// Rows cut off by the deadline are restored to the worker's accumulator
+// (mass conserved) and ride a later pull. The pull-done control frame
+// always follows, carrying the budget for the worker's next push.
+func (s *Server) sendPull(worker int, conn net.Conn, frames [][]byte, budget float64) error {
+	deadline := time.Now().Add(time.Duration(budget * float64(time.Second)))
+	sent, err := transport.SendFrames(conn, frames, deadline)
+	if err != nil && err != transport.ErrTimeout {
+		return err
+	}
+	s.restoreUnsent(worker, sent)
+	if _, err := transport.SendFrames(conn, [][]byte{pullDoneMsg(budget)}, time.Time{}); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package livenet
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/tensor"
+)
+
+// throttledConn rate-limits writes, simulating a robot behind an obstacle:
+// every chunk of bytes costs wall-clock time proportional to its size.
+type throttledConn struct {
+	net.Conn
+	bytesPerSec float64
+}
+
+func (c *throttledConn) Write(p []byte) (int, error) {
+	// Throttle in small chunks so deadlines can interrupt mid-frame.
+	const chunk = 512
+	written := 0
+	for written < len(p) {
+		end := written + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		n, err := c.Conn.Write(p[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		time.Sleep(time.Duration(float64(end-written+n) * float64(time.Second) / c.bytesPerSec))
+	}
+	return written, nil
+}
+
+// TestLiveStragglerStillCompletes runs one worker through a throttled link:
+// the team must finish, the staleness bound must hold, and the straggler's
+// speculative pushes must deliver fewer rows per iteration than its peers
+// (the MTA budget at work) — while its forced rows keep RSP satisfied.
+func TestLiveStragglerStillCompletes(t *testing.T) {
+	const workers, threshold, iters = 3, 4, 15
+	proto := nn.NewClassifierMLP(6, []int{10}, 4, tensor.NewRNG(5))
+	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
+	srv := NewServer(part, ServerConfig{Workers: workers, Threshold: threshold})
+
+	data := newClusterData(4)
+	var models []*nn.Sequential
+	var ws []*Worker
+	var serverWG sync.WaitGroup
+	var conns []net.Conn
+	for i := 0; i < workers; i++ {
+		m := nn.NewClassifierMLP(6, []int{10}, 4, tensor.NewRNG(1))
+		m.CopyParamsFrom(proto)
+		models = append(models, m)
+		c, s := net.Pipe()
+		conns = append(conns, c, s)
+		var workerSide net.Conn = c
+		if i == 0 {
+			// Worker 0 is the straggler: ~80 KB/s uplink.
+			workerSide = &throttledConn{Conn: c, bytesPerSec: 80e3}
+		}
+		serverWG.Add(1)
+		go func(id int, conn net.Conn) {
+			defer serverWG.Done()
+			if err := srv.HandleConn(id, conn); err != nil {
+				t.Errorf("handler %d: %v", id, err)
+			}
+		}(i, s)
+		ws = append(ws, NewWorker(m, part, workerSide, WorkerConfig{
+			ID: i, Threshold: threshold, LR: 0.05, Momentum: 0.9,
+		}))
+	}
+
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(id int, w *Worker) {
+			defer wg.Done()
+			r := tensor.NewRNG(uint64(id) + 55)
+			for k := 0; k < iters; k++ {
+				if err := w.RunIteration(func() {
+					x, y := data.batch(r, 12)
+					_, g := nn.SoftmaxCrossEntropy(models[id].Forward(x), y)
+					models[id].Backward(g)
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	for _, c := range conns {
+		c.Close()
+	}
+	srv.Close()
+	serverWG.Wait()
+
+	for i, w := range ws {
+		if w.Iterations() != iters {
+			t.Fatalf("worker %d finished %d iterations", i, w.Iterations())
+		}
+	}
+	if got := srv.MaxStalenessObserved(); got > threshold {
+		t.Fatalf("staleness %d exceeded threshold %d under throttling", got, threshold)
+	}
+}

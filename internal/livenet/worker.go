@@ -1,0 +1,213 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"rog/internal/atp"
+	"rog/internal/compress"
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/transport"
+)
+
+// WorkerConfig parameterizes one live worker.
+type WorkerConfig struct {
+	ID        int
+	Threshold int
+	Coeff     atp.Coefficients
+	LR        float64
+	Momentum  float64
+}
+
+// Worker is the live ROG client (Algo. 1 over a real connection): it
+// accumulates locally computed gradients per row, pushes the most important
+// rows speculatively under the server-distributed MTA budget, and applies
+// whatever averaged rows the pull delivers.
+type Worker struct {
+	cfg   WorkerConfig
+	part  *rowsync.Partition
+	model *nn.Sequential
+	opt   *nn.SGD
+
+	local    *rowsync.GradStore
+	pushIter []int64
+	codec    *compress.Codec
+	conn     net.Conn
+	rc       *transport.Receiver
+
+	iter     int64
+	budget   float64 // MTA-time budget from the server's last pull-done
+	mtaCount int
+}
+
+// NewWorker wires a worker to its model and server connection.
+func NewWorker(model *nn.Sequential, part *rowsync.Partition, conn net.Conn, cfg WorkerConfig) *Worker {
+	if cfg.Coeff == (atp.Coefficients{}) {
+		cfg.Coeff = atp.DefaultCoefficients()
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	mta := atp.MTA(cfg.Threshold)
+	return &Worker{
+		cfg:      cfg,
+		part:     part,
+		model:    model,
+		opt:      nn.NewSGD(cfg.LR, cfg.Momentum),
+		local:    rowsync.NewGradStore(part),
+		pushIter: make([]int64, part.NumUnits()),
+		codec:    compress.NewCodec(part.Widths()),
+		conn:     conn,
+		rc:       transport.NewReceiver(conn),
+		budget:   2 * time.Millisecond.Seconds(),
+		mtaCount: int(mta*float64(part.NumUnits()) + 0.999),
+	}
+}
+
+// Iterations returns the number of completed iterations.
+func (w *Worker) Iterations() int64 { return w.iter }
+
+// RunIteration performs one training iteration: computeGradients must run
+// the forward/backward pass on the worker's model (filling its gradient
+// matrices); the worker then pushes, waits for the averaged pull and
+// applies it.
+func (w *Worker) RunIteration(computeGradients func()) error {
+	w.iter++
+	n := w.iter
+	computeGradients()
+	w.local.Accumulate(w.model.Grads())
+	w.model.ZeroGrads()
+
+	if err := w.push(n); err != nil {
+		return err
+	}
+	return w.pull()
+}
+
+// push implements Algo. 1 PushGradients with Algo. 3/4: rank, force rows
+// nearing the within-worker staleness bound, send speculatively, complete
+// the MTA floor, report the measured MTA time.
+func (w *Worker) push(n int64) error {
+	numUnits := w.part.NumUnits()
+	rows := make([]atp.RowInfo, numUnits)
+	var meanSum float64
+	for u := 0; u < numUnits; u++ {
+		rows[u] = atp.RowInfo{ID: u, MeanAbs: w.local.MeanAbs(u), Iter: w.pushIter[u]}
+		meanSum += rows[u].MeanAbs
+	}
+	if meanSum > 0 {
+		norm := float64(numUnits) / meanSum
+		for i := range rows {
+			rows[i].MeanAbs *= norm
+		}
+	}
+	ranked := atp.Rank(rows, atp.Worker, w.cfg.Coeff)
+	var forced, rest []int
+	for _, u := range ranked {
+		if n-w.pushIter[u] >= int64(w.cfg.Threshold)-1 {
+			forced = append(forced, u)
+		} else {
+			rest = append(rest, u)
+		}
+	}
+	plan := append(forced, rest...)
+	must := w.mtaCount
+	if len(forced) > must {
+		must = len(forced)
+	}
+	if must > len(plan) {
+		must = len(plan)
+	}
+
+	frames := make([][]byte, len(plan))
+	payloads := make([]compress.Payload, len(plan))
+	for i, u := range plan {
+		payloads[i] = w.codec.Encode(u, w.local.Unit(u))
+		w.local.ZeroUnit(u)
+		frames[i] = rowMsg(n, payloads[i])
+	}
+
+	start := time.Now()
+	deadline := start.Add(time.Duration(w.budget * float64(time.Second)))
+	sent, err := transport.SendFrames(w.conn, frames, deadline)
+	if err != nil && err != transport.ErrTimeout {
+		return err
+	}
+	if sent < must {
+		// Forced continuation (Algo. 4 lines 4–7): finish the MTA floor
+		// and any rows at the staleness bound, without a deadline.
+		more, err := transport.SendFrames(w.conn, frames[sent:must], time.Time{})
+		if err != nil {
+			return err
+		}
+		sent += more
+	}
+	mtaTime := time.Since(start).Seconds()
+	if sent > must && sent > 0 {
+		// Everything (or more than the floor) fit in the budget: estimate
+		// the floor's share of the measured time.
+		mtaTime *= float64(must) / float64(sent)
+	}
+	// Bookkeeping: delivered rows are version-stamped; undelivered rows get
+	// their mass back (the partial frame at the cut was discarded by the
+	// receiver's resync).
+	for i, u := range plan {
+		if i < sent {
+			w.pushIter[u] = n
+			continue
+		}
+		vals := make([]float32, payloads[i].N)
+		compress.Decode(payloads[i], vals)
+		w.local.AddUnit(u, vals, 1)
+	}
+	_, err = transport.SendFrames(w.conn, [][]byte{pushDoneMsg(n, mtaTime)}, time.Time{})
+	return err
+}
+
+// pull consumes averaged rows until the pull-done control frame, applying
+// each to the model (Algo. 1 PullAveragedGradients).
+func (w *Worker) pull() error {
+	for {
+		frame, err := w.rc.Recv()
+		if err != nil {
+			return fmt.Errorf("livenet: worker %d pull: %w", w.cfg.ID, err)
+		}
+		msg, err := parse(frame)
+		if err != nil {
+			return err
+		}
+		switch msg.kind {
+		case kindPull:
+			vals := make([]float32, msg.payload.N)
+			compress.Decode(msg.payload, vals)
+			w.applyUnit(msg.payload.Row, vals)
+		case kindPullDone:
+			if msg.budget > 0 {
+				w.budget = msg.budget
+			}
+			return nil
+		default:
+			return fmt.Errorf("livenet: worker %d got frame %q during pull", w.cfg.ID, msg.kind)
+		}
+	}
+}
+
+// applyUnit applies one averaged gradient unit to the model via per-row
+// SGD momentum.
+func (w *Worker) applyUnit(u int, vals []float32) {
+	params := w.model.Params()
+	un := w.part.Unit(u)
+	p := params[un.Param]
+	row := un.Offset / p.Cols
+	if un.Offset%p.Cols == 0 && un.Len == p.Cols {
+		w.opt.ApplyRow(params, un.Param, row, vals)
+		return
+	}
+	lr := float32(w.opt.LR)
+	dst := p.Data[un.Offset : un.Offset+un.Len]
+	for i := range dst {
+		dst[i] -= lr * vals[i]
+	}
+}

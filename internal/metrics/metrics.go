@@ -1,0 +1,182 @@
+// Package metrics collects what the paper's figures plot: per-iteration
+// time composition (computation / communication / stall), and checkpoint
+// series of training quality against iterations, wall-clock time and
+// energy. It also renders the aligned text tables the benchmark harness
+// prints.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Composition is the time breakdown of training (Fig. 1a/6a/7a/9e/9f):
+// seconds spent computing, transmitting, and stalling.
+type Composition struct {
+	Compute float64
+	Comm    float64
+	Stall   float64
+}
+
+// Total returns the summed duration.
+func (c Composition) Total() float64 { return c.Compute + c.Comm + c.Stall }
+
+// Add accumulates another composition.
+func (c *Composition) Add(o Composition) {
+	c.Compute += o.Compute
+	c.Comm += o.Comm
+	c.Stall += o.Stall
+}
+
+// Scale returns the composition multiplied by f.
+func (c Composition) Scale(f float64) Composition {
+	return Composition{Compute: c.Compute * f, Comm: c.Comm * f, Stall: c.Stall * f}
+}
+
+// String renders the composition compactly.
+func (c Composition) String() string {
+	return fmt.Sprintf("compute %.2fs comm %.2fs stall %.2fs", c.Compute, c.Comm, c.Stall)
+}
+
+// CompositionRecorder averages compositions across iterations and workers.
+type CompositionRecorder struct {
+	sum Composition
+	n   int
+}
+
+// Record adds one worker-iteration's composition.
+func (r *CompositionRecorder) Record(c Composition) {
+	r.sum.Add(c)
+	r.n++
+}
+
+// Average returns the mean composition per recorded iteration (zero value
+// if nothing was recorded).
+func (r *CompositionRecorder) Average() Composition {
+	if r.n == 0 {
+		return Composition{}
+	}
+	return r.sum.Scale(1 / float64(r.n))
+}
+
+// Count returns the number of recorded worker-iterations.
+func (r *CompositionRecorder) Count() int { return r.n }
+
+// Point is one checkpoint: training quality at a moment of the run.
+type Point struct {
+	Iter   int     // training iteration (per-worker count)
+	Time   float64 // virtual wall-clock seconds
+	Energy float64 // cumulative joules across the team
+	Value  float64 // accuracy (higher better) or error (lower better)
+}
+
+// Series is a named sequence of checkpoints, ordered by time.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a checkpoint; Time must be non-decreasing.
+func (s *Series) Add(p Point) {
+	if n := len(s.Points); n > 0 && p.Time < s.Points[n-1].Time {
+		panic(fmt.Sprintf("metrics: series %q time went backwards (%v < %v)",
+			s.Name, p.Time, s.Points[n-1].Time))
+	}
+	s.Points = append(s.Points, p)
+}
+
+// Last returns the final checkpoint (zero Point if empty).
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// ValueAt returns the value of the last checkpoint at or before time t
+// (step interpolation), or NaN when t precedes the first checkpoint.
+func (s *Series) ValueAt(t float64) float64 {
+	v := math.NaN()
+	for _, p := range s.Points {
+		if p.Time > t {
+			break
+		}
+		v = p.Value
+	}
+	return v
+}
+
+// EnergyToReach returns the cumulative energy at the first checkpoint whose
+// value reaches target (≥ target when increasing, ≤ when not). ok is false
+// if the series never reaches it. This is Fig. 1d's "energy to reach the
+// same accuracy" metric.
+func (s *Series) EnergyToReach(target float64, increasing bool) (joules float64, ok bool) {
+	for _, p := range s.Points {
+		if (increasing && p.Value >= target) || (!increasing && p.Value <= target) {
+			return p.Energy, true
+		}
+	}
+	return 0, false
+}
+
+// TimeToReach is EnergyToReach for wall-clock time.
+func (s *Series) TimeToReach(target float64, increasing bool) (seconds float64, ok bool) {
+	for _, p := range s.Points {
+		if (increasing && p.Value >= target) || (!increasing && p.Value <= target) {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// ValueAtIter returns the value at the last checkpoint with Iter ≤ iter
+// (NaN if none) — the statistical-efficiency axis of Fig. 1b.
+func (s *Series) ValueAtIter(iter int) float64 {
+	v := math.NaN()
+	for _, p := range s.Points {
+		if p.Iter > iter {
+			break
+		}
+		v = p.Value
+	}
+	return v
+}
+
+// FormatTable renders an aligned text table with a header row.
+func FormatTable(headers []string, rows [][]string) string {
+	width := make([]int, len(headers))
+	for i, h := range headers {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", width[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCompositionArithmetic(t *testing.T) {
+	c := Composition{Compute: 1, Comm: 2, Stall: 3}
+	if c.Total() != 6 {
+		t.Fatalf("Total=%v", c.Total())
+	}
+	c.Add(Composition{Compute: 1, Comm: 1, Stall: 1})
+	if c.Compute != 2 || c.Comm != 3 || c.Stall != 4 {
+		t.Fatalf("Add=%+v", c)
+	}
+	s := c.Scale(0.5)
+	if s.Compute != 1 || s.Comm != 1.5 || s.Stall != 2 {
+		t.Fatalf("Scale=%+v", s)
+	}
+	if !strings.Contains(c.String(), "stall") {
+		t.Fatal("String missing stall")
+	}
+}
+
+func TestCompositionRecorder(t *testing.T) {
+	var r CompositionRecorder
+	if r.Average() != (Composition{}) {
+		t.Fatal("empty average should be zero")
+	}
+	r.Record(Composition{Compute: 2, Comm: 2, Stall: 2})
+	r.Record(Composition{Compute: 4, Comm: 0, Stall: 0})
+	avg := r.Average()
+	if avg.Compute != 3 || avg.Comm != 1 || avg.Stall != 1 {
+		t.Fatalf("avg=%+v", avg)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("count=%d", r.Count())
+	}
+}
+
+func makeSeries() *Series {
+	s := &Series{Name: "acc"}
+	s.Add(Point{Iter: 0, Time: 0, Energy: 0, Value: 0.5})
+	s.Add(Point{Iter: 100, Time: 60, Energy: 1000, Value: 0.6})
+	s.Add(Point{Iter: 200, Time: 120, Energy: 2000, Value: 0.65})
+	s.Add(Point{Iter: 300, Time: 180, Energy: 3000, Value: 0.64})
+	return s
+}
+
+func TestSeriesValueAt(t *testing.T) {
+	s := makeSeries()
+	if !math.IsNaN(s.ValueAt(-1)) {
+		t.Fatal("before first point should be NaN")
+	}
+	if s.ValueAt(0) != 0.5 || s.ValueAt(90) != 0.6 || s.ValueAt(1000) != 0.64 {
+		t.Fatalf("step interp broken: %v %v %v", s.ValueAt(0), s.ValueAt(90), s.ValueAt(1000))
+	}
+}
+
+func TestSeriesValueAtIter(t *testing.T) {
+	s := makeSeries()
+	if s.ValueAtIter(150) != 0.6 || s.ValueAtIter(300) != 0.64 {
+		t.Fatal("ValueAtIter broken")
+	}
+	if !math.IsNaN((&Series{}).ValueAtIter(10)) {
+		t.Fatal("empty series should give NaN")
+	}
+}
+
+func TestEnergyAndTimeToReach(t *testing.T) {
+	s := makeSeries()
+	j, ok := s.EnergyToReach(0.65, true)
+	if !ok || j != 2000 {
+		t.Fatalf("EnergyToReach=%v ok=%v", j, ok)
+	}
+	if _, ok := s.EnergyToReach(0.9, true); ok {
+		t.Fatal("unreachable target reported reached")
+	}
+	sec, ok := s.TimeToReach(0.6, true)
+	if !ok || sec != 60 {
+		t.Fatalf("TimeToReach=%v", sec)
+	}
+	// Decreasing metric (trajectory error).
+	e := &Series{Name: "err"}
+	e.Add(Point{Time: 0, Energy: 0, Value: 2.0})
+	e.Add(Point{Time: 10, Energy: 100, Value: 0.4})
+	j, ok = e.EnergyToReach(0.5, false)
+	if !ok || j != 100 {
+		t.Fatalf("decreasing EnergyToReach=%v ok=%v", j, ok)
+	}
+}
+
+func TestSeriesLastAndBackwardsTime(t *testing.T) {
+	s := makeSeries()
+	if s.Last().Iter != 300 {
+		t.Fatalf("Last=%+v", s.Last())
+	}
+	if (&Series{}).Last() != (Point{}) {
+		t.Fatal("empty Last should be zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time regression")
+		}
+	}()
+	s.Add(Point{Time: 10})
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"sys", "value"}, [][]string{
+		{"BSP", "1.0"},
+		{"ROG-4", "2.123"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines=%d\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "sys  ") || !strings.Contains(lines[3], "ROG-4") {
+		t.Fatalf("format:\n%s", out)
+	}
+	// Alignment: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1.0") || !strings.HasPrefix(lines[3][idx:], "2.123") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}

@@ -1,0 +1,211 @@
+// Package nn is the neural-network substrate: layer-based forward/backward
+// propagation, losses, SGD with momentum, and the two model families the
+// paper's application paradigms need (a classifier MLP standing in for
+// ConvMLP on CRUDA, and a Fourier-feature coordinate MLP standing in for
+// NICE-SLAM on CRIMP).
+//
+// The distributed-training layers above treat a model as an ordered list of
+// parameter matrices whose rows are the unit of synchronization, so every
+// layer exposes its parameters and gradients as tensor.Matrix values.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"rog/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward must be called
+// before Backward for the same batch; layers cache whatever activations the
+// backward pass needs.
+type Layer interface {
+	// Forward maps a batch×in activation matrix to batch×out.
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	// Backward consumes dLoss/dOut (batch×out), accumulates parameter
+	// gradients, and returns dLoss/dIn (batch×in).
+	Backward(dout *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's parameter matrices (may be empty).
+	Params() []*tensor.Matrix
+	// Grads returns gradient matrices matching Params element-for-element.
+	Grads() []*tensor.Matrix
+	// Name identifies the layer for diagnostics.
+	Name() string
+}
+
+// Linear is a fully connected layer: out = x·W + b.
+// W is in×out so that each of its rows corresponds to one input unit's
+// outgoing weights — the "row" granularity the paper schedules.
+type Linear struct {
+	W, B   *tensor.Matrix // B is 1×out
+	GW, GB *tensor.Matrix
+	x      *tensor.Matrix // cached input
+	name   string
+}
+
+// NewLinear creates an in×out fully connected layer with Xavier-initialized
+// weights and zero bias.
+func NewLinear(in, out int, r *tensor.RNG) *Linear {
+	l := &Linear{
+		W:    tensor.New(in, out),
+		B:    tensor.New(1, out),
+		GW:   tensor.New(in, out),
+		GB:   tensor.New(1, out),
+		name: fmt.Sprintf("linear(%dx%d)", in, out),
+	}
+	l.W.XavierInit(r, in, out)
+	return l
+}
+
+// Forward computes x·W + b for a batch.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.x = x
+	out := tensor.Mul(x, l.W)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j, b := range l.B.Data {
+			row[j] += b
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW += xᵀ·dout, dB += colsum(dout) and returns
+// dx = dout·Wᵀ.
+func (l *Linear) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	gw := tensor.New(l.W.Rows, l.W.Cols)
+	tensor.MulTransAInto(gw, l.x, dout)
+	l.GW.Add(gw)
+	for i := 0; i < dout.Rows; i++ {
+		row := dout.Row(i)
+		for j, v := range row {
+			l.GB.Data[j] += v
+		}
+	}
+	dx := tensor.New(dout.Rows, l.W.Rows)
+	tensor.MulTransBInto(dx, dout, l.W)
+	return dx
+}
+
+func (l *Linear) Params() []*tensor.Matrix { return []*tensor.Matrix{l.W, l.B} }
+func (l *Linear) Grads() []*tensor.Matrix  { return []*tensor.Matrix{l.GW, l.GB} }
+func (l *Linear) Name() string             { return l.name }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative activations.
+func (l *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := x.Clone()
+	if cap(l.mask) < len(x.Data) {
+		l.mask = make([]bool, len(x.Data))
+	}
+	l.mask = l.mask[:len(x.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			l.mask[i] = false
+		} else {
+			l.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates the upstream gradient by the forward mask.
+func (l *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !l.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+func (l *ReLU) Params() []*tensor.Matrix { return nil }
+func (l *ReLU) Grads() []*tensor.Matrix  { return nil }
+func (l *ReLU) Name() string             { return "relu" }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	out *tensor.Matrix
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (l *Tanh) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := x.Clone()
+	out.Apply(func(v float32) float32 { return float32(math.Tanh(float64(v))) })
+	l.out = out
+	return out
+}
+
+// Backward multiplies by 1−tanh².
+func (l *Tanh) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := dout.Clone()
+	for i, y := range l.out.Data {
+		dx.Data[i] *= 1 - y*y
+	}
+	return dx
+}
+
+func (l *Tanh) Params() []*tensor.Matrix { return nil }
+func (l *Tanh) Grads() []*tensor.Matrix  { return nil }
+func (l *Tanh) Name() string             { return "tanh" }
+
+// FourierEncode is a fixed (non-learned) positional encoding used by the
+// implicit-map model: each input coordinate c is expanded to
+// [sin(2^k π c), cos(2^k π c)] for k = 0..Levels-1, with the raw coordinate
+// prepended. This is the standard NeRF/NICE-SLAM encoding.
+type FourierEncode struct {
+	In     int
+	Levels int
+}
+
+// NewFourierEncode returns an encoding layer for `in` coordinates at
+// `levels` octaves.
+func NewFourierEncode(in, levels int) *FourierEncode {
+	return &FourierEncode{In: in, Levels: levels}
+}
+
+// OutDim reports the encoded width: in * (1 + 2*levels).
+func (l *FourierEncode) OutDim() int { return l.In * (1 + 2*l.Levels) }
+
+// Forward expands each coordinate into its Fourier features.
+func (l *FourierEncode) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, l.OutDim())
+	for i := 0; i < x.Rows; i++ {
+		src := x.Row(i)
+		dst := out.Row(i)
+		p := 0
+		for _, c := range src {
+			dst[p] = c
+			p++
+			for k := 0; k < l.Levels; k++ {
+				f := float64(int64(1)<<uint(k)) * math.Pi * float64(c)
+				dst[p] = float32(math.Sin(f))
+				dst[p+1] = float32(math.Cos(f))
+				p += 2
+			}
+		}
+	}
+	return out
+}
+
+// Backward stops the gradient: the encoding has no parameters and the
+// coordinates are inputs, so a zero matrix of the input shape is returned.
+func (l *FourierEncode) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	return tensor.New(dout.Rows, l.In)
+}
+
+func (l *FourierEncode) Params() []*tensor.Matrix { return nil }
+func (l *FourierEncode) Grads() []*tensor.Matrix  { return nil }
+func (l *FourierEncode) Name() string             { return fmt.Sprintf("fourier(%d,%d)", l.In, l.Levels) }

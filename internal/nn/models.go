@@ -1,0 +1,34 @@
+package nn
+
+import "rog/internal/tensor"
+
+// NewClassifierMLP builds the CRUDA stand-in model: a multi-layer perceptron
+// classifier. The paper uses ConvMLP-M (16.95M params, 33307 rows); we scale
+// the same architecture family down so the whole experiment suite runs at
+// laptop scale while the row-granulated machinery operates identically.
+func NewClassifierMLP(in int, hidden []int, classes int, r *tensor.RNG) *Sequential {
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewLinear(prev, h, r), NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewLinear(prev, classes, r))
+	return NewSequential(layers...)
+}
+
+// NewImplicitMapMLP builds the CRIMP stand-in model: a coordinate MLP with
+// Fourier positional encoding that regresses scene occupancy/appearance at
+// 2-D positions, the same training paradigm as NICE-SLAM's implicit map.
+func NewImplicitMapMLP(levels int, hidden []int, out int, r *tensor.RNG) *Sequential {
+	enc := NewFourierEncode(2, levels)
+	var layers []Layer
+	layers = append(layers, enc)
+	prev := enc.OutDim()
+	for _, h := range hidden {
+		layers = append(layers, NewLinear(prev, h, r), NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewLinear(prev, out, r), NewTanh())
+	return NewSequential(layers...)
+}

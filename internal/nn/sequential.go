@@ -1,0 +1,100 @@
+package nn
+
+import "rog/internal/tensor"
+
+// Sequential chains layers. It is the model type used throughout the repo:
+// the distributed layers address its parameters as a flat, ordered list of
+// matrices whose rows are the synchronization unit.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a model from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the batch through every layer.
+func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient back through every layer,
+// accumulating parameter gradients.
+func (s *Sequential) Backward(dout *tensor.Matrix) {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+}
+
+// Params returns all parameter matrices in layer order.
+func (s *Sequential) Params() []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient matrices, matching Params element-for-element.
+func (s *Sequential) Grads() []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for _, l := range s.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears every gradient matrix.
+func (s *Sequential) ZeroGrads() {
+	for _, g := range s.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// NumRows returns the total number of parameter rows across all matrices —
+// the count of schedulable units under row granularity.
+func (s *Sequential) NumRows() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Rows
+	}
+	return n
+}
+
+// CopyParamsFrom copies every parameter of src into s. The two models must
+// have identical architecture.
+func (s *Sequential) CopyParamsFrom(src *Sequential) {
+	sp, dp := src.Params(), s.Params()
+	if len(sp) != len(dp) {
+		panic("nn: CopyParamsFrom architecture mismatch")
+	}
+	for i, p := range dp {
+		p.CopyFrom(sp[i])
+	}
+}
+
+// SnapshotGrads deep-copies the current gradients and zeroes the originals,
+// returning the copies. This is what a training iteration hands to the
+// synchronization layer.
+func (s *Sequential) SnapshotGrads() []*tensor.Matrix {
+	grads := s.Grads()
+	out := make([]*tensor.Matrix, len(grads))
+	for i, g := range grads {
+		out[i] = g.Clone()
+		g.Zero()
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Model checkpoint format: magic, version, matrix count, then each
+// parameter matrix as rows/cols and row-major float32 data. Robots
+// checkpoint the shared model periodically (the paper validates from
+// checkpoints every 50 iterations), so the format is part of the library
+// surface.
+var checkpointMagic = [4]byte{'R', 'O', 'G', 'M'}
+
+const checkpointVersion = 1
+
+// SaveParams writes every parameter matrix of the model to w.
+func (s *Sequential) SaveParams(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	params := s.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(checkpointVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.Cols)); err != nil {
+			return err
+		}
+		for _, v := range p.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads a checkpoint written by SaveParams into the model. The
+// architecture must match exactly.
+func (s *Sequential) LoadParams(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: not a ROG model checkpoint")
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := s.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d matrices, model has %d", count, len(params))
+	}
+	for i, p := range params {
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return err
+		}
+		if int(rows) != p.Rows || int(cols) != p.Cols {
+			return fmt.Errorf("nn: matrix %d is %dx%d in checkpoint, %dx%d in model",
+				i, rows, cols, p.Rows, p.Cols)
+		}
+		buf := make([]byte, 4*rows*cols)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("nn: matrix %d data: %w", i, err)
+		}
+		for j := range p.Data {
+			p.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+	}
+	return nil
+}
+
+// SameArchitecture reports whether two models have identical parameter
+// shapes (and so can exchange checkpoints and gradient rows).
+func SameArchitecture(a, b *Sequential) bool {
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i].Rows != pb[i].Rows || pa[i].Cols != pb[i].Cols {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rog/internal/tensor"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	r := tensor.NewRNG(1)
+	m := NewConvMLP(1, 6, 6, []int{4}, []int{12}, 3, r)
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewConvMLP(1, 6, 6, []int{4}, []int{12}, 3, tensor.NewRNG(99))
+	if err := m2.LoadParams(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := m.Params(), m2.Params()
+	for i := range p1 {
+		if !p1[i].Equal(p2[i]) {
+			t.Fatalf("param %d differs after roundtrip", i)
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	r := tensor.NewRNG(2)
+	m := NewClassifierMLP(4, []int{8}, 3, r)
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewClassifierMLP(4, []int{9}, 3, r)
+	if err := other.LoadParams(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("mismatched architecture accepted")
+	}
+	fewer := NewClassifierMLP(4, nil, 3, r)
+	if err := fewer.LoadParams(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("wrong matrix count accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	r := tensor.NewRNG(3)
+	m := NewClassifierMLP(4, []int{8}, 3, r)
+	cases := map[string][]byte{
+		"empty":    {},
+		"badMagic": []byte("NOPE....extra"),
+		"truncated": func() []byte {
+			var buf bytes.Buffer
+			if err := m.SaveParams(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()[:buf.Len()/2]
+		}(),
+	}
+	for name, data := range cases {
+		if err := m.LoadParams(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	r := tensor.NewRNG(4)
+	m := NewClassifierMLP(3, nil, 2, r)
+	var buf bytes.Buffer
+	if err := m.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if err := m.LoadParams(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version accepted: %v", err)
+	}
+}
+
+func TestSameArchitecture(t *testing.T) {
+	r := tensor.NewRNG(5)
+	a := NewClassifierMLP(4, []int{8}, 3, r)
+	b := NewClassifierMLP(4, []int{8}, 3, tensor.NewRNG(9))
+	c := NewClassifierMLP(4, []int{7}, 3, r)
+	if !SameArchitecture(a, b) {
+		t.Fatal("identical architectures reported different")
+	}
+	if SameArchitecture(a, c) {
+		t.Fatal("different architectures reported same")
+	}
+}

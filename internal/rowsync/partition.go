@@ -1,0 +1,200 @@
+// Package rowsync provides the row-granulated bookkeeping underneath RSP
+// (Row Stale Parallel): partitioning a model's parameters into
+// synchronization units, per-unit accumulated gradients, and the per-row
+// version storage whose two-level staleness predicate gives ROG the same
+// convergence guarantee as SSP (paper Sec. IV-C).
+package rowsync
+
+import (
+	"fmt"
+
+	"rog/internal/compress"
+	"rog/internal/tensor"
+)
+
+// Granularity selects how a model's parameters are broken into
+// transmission/synchronization units (paper Sec. III-A). Rows is ROG's
+// choice; Layers and Elements exist for the granularity ablation.
+type Granularity int
+
+const (
+	// Rows makes each matrix row one unit — ROG's trade-off between index
+	// overhead and scheduling flexibility.
+	Rows Granularity = iota
+	// Layers makes each parameter matrix one unit (model-ish granularity:
+	// large units, tiny index).
+	Layers
+	// Elements makes every scalar one unit (maximal flexibility, index
+	// volume comparable to the model itself).
+	Elements
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case Layers:
+		return "layers"
+	case Elements:
+		return "elements"
+	default:
+		return "rows"
+	}
+}
+
+// Unit is one synchronization unit: a contiguous range of a parameter
+// matrix's flat data.
+type Unit struct {
+	Param  int // index into the model's parameter list
+	Offset int // start offset in the parameter's Data
+	Len    int // number of scalars
+}
+
+// Partition is the unit decomposition of one model architecture. It is
+// shared (read-only) by all workers and the server.
+type Partition struct {
+	Gran  Granularity
+	units []Unit
+}
+
+// NewPartition decomposes params at the given granularity.
+func NewPartition(params []*tensor.Matrix, g Granularity) *Partition {
+	p := &Partition{Gran: g}
+	for pi, m := range params {
+		switch g {
+		case Layers:
+			p.units = append(p.units, Unit{Param: pi, Offset: 0, Len: len(m.Data)})
+		case Elements:
+			for off := range m.Data {
+				p.units = append(p.units, Unit{Param: pi, Offset: off, Len: 1})
+			}
+		default: // Rows
+			for r := 0; r < m.Rows; r++ {
+				p.units = append(p.units, Unit{Param: pi, Offset: r * m.Cols, Len: m.Cols})
+			}
+		}
+	}
+	return p
+}
+
+// NumUnits returns the number of synchronization units.
+func (p *Partition) NumUnits() int { return len(p.units) }
+
+// Unit returns the descriptor of unit u.
+func (p *Partition) Unit(u int) Unit { return p.units[u] }
+
+// Slice returns a mutable view of unit u inside params (which must have the
+// architecture the partition was built from).
+func (p *Partition) Slice(params []*tensor.Matrix, u int) []float32 {
+	un := p.units[u]
+	return params[un.Param].Data[un.Offset : un.Offset+un.Len]
+}
+
+// Widths returns the length of every unit, in unit order (the shape the
+// compression codec is initialized with).
+func (p *Partition) Widths() []int {
+	w := make([]int, len(p.units))
+	for i, u := range p.units {
+		w[i] = u.Len
+	}
+	return w
+}
+
+// WireSize returns the compressed on-wire size of unit u in bytes,
+// including the per-unit index overhead the paper charges against finer
+// granularity.
+func (p *Partition) WireSize(u int) int {
+	return compress.RowWireSize(p.units[u].Len)
+}
+
+// TotalWireSize returns the compressed size of the whole model plus all
+// per-unit indexing overhead — what one full synchronization transmits.
+func (p *Partition) TotalWireSize() int {
+	total := 0
+	for u := range p.units {
+		total += p.WireSize(u)
+	}
+	return total
+}
+
+// IndexOverhead returns the bytes spent on per-unit headers for a full
+// model transmission; Sec. III-A's management-cost argument made concrete.
+func (p *Partition) IndexOverhead() int {
+	total := 0
+	for u := range p.units {
+		total += p.WireSize(u) - (p.units[u].Len+7)/8
+	}
+	return total
+}
+
+// GradStore holds per-unit accumulated gradients for one model replica.
+// Workers accumulate locally computed gradients in one (Algo. 1 line 3);
+// the server keeps one per worker for averaged, not-yet-pulled gradients
+// (the per-worker copies of Fig. 5).
+type GradStore struct {
+	part *Partition
+	data [][]float32
+}
+
+// NewGradStore allocates a zeroed store for the partition.
+func NewGradStore(p *Partition) *GradStore {
+	g := &GradStore{part: p, data: make([][]float32, p.NumUnits())}
+	for i := range g.data {
+		g.data[i] = make([]float32, p.Unit(i).Len)
+	}
+	return g
+}
+
+// Accumulate adds a gradient snapshot (matrices matching the partition's
+// architecture) into the store.
+func (g *GradStore) Accumulate(grads []*tensor.Matrix) {
+	for u := range g.data {
+		un := g.part.Unit(u)
+		src := grads[un.Param].Data[un.Offset : un.Offset+un.Len]
+		dst := g.data[u]
+		for i, v := range src {
+			dst[i] += v
+		}
+	}
+}
+
+// AddUnit adds vals into unit u, scaled by scale.
+func (g *GradStore) AddUnit(u int, vals []float32, scale float32) {
+	dst := g.data[u]
+	if len(vals) != len(dst) {
+		panic(fmt.Sprintf("rowsync: AddUnit %d width %d != %d", u, len(vals), len(dst)))
+	}
+	for i, v := range vals {
+		dst[i] += v * scale
+	}
+}
+
+// Unit returns the accumulated gradient of unit u (a live view).
+func (g *GradStore) Unit(u int) []float32 { return g.data[u] }
+
+// ZeroUnit clears unit u (after it has been transmitted, Algo. 1 line 10).
+func (g *GradStore) ZeroUnit(u int) {
+	for i := range g.data[u] {
+		g.data[u][i] = 0
+	}
+}
+
+// MeanAbs returns the mean absolute accumulated gradient of unit u — the
+// contribution term of the importance metric (Algo. 3).
+func (g *GradStore) MeanAbs(u int) float64 {
+	d := g.data[u]
+	if len(d) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range d {
+		if v < 0 {
+			s -= float64(v)
+		} else {
+			s += float64(v)
+		}
+	}
+	return s / float64(len(d))
+}
+
+// NumUnits returns the number of units in the store.
+func (g *GradStore) NumUnits() int { return len(g.data) }

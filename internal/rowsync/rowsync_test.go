@@ -1,0 +1,266 @@
+package rowsync
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rog/internal/nn"
+	"rog/internal/tensor"
+)
+
+func testModel() []*tensor.Matrix {
+	r := tensor.NewRNG(1)
+	m := nn.NewClassifierMLP(4, []int{6}, 3, r)
+	return m.Params()
+}
+
+func TestPartitionRows(t *testing.T) {
+	params := testModel() // W(4x6), B(1x6), W(6x3), B(1x3)
+	p := NewPartition(params, Rows)
+	if p.NumUnits() != 4+1+6+1 {
+		t.Fatalf("NumUnits=%d", p.NumUnits())
+	}
+	// First unit is row 0 of W0: width 6.
+	if u := p.Unit(0); u.Param != 0 || u.Offset != 0 || u.Len != 6 {
+		t.Fatalf("unit0=%+v", u)
+	}
+	// Unit 4 is bias of layer 0.
+	if u := p.Unit(4); u.Param != 1 || u.Len != 6 {
+		t.Fatalf("unit4=%+v", u)
+	}
+}
+
+func TestPartitionLayersAndElements(t *testing.T) {
+	params := testModel()
+	pl := NewPartition(params, Layers)
+	if pl.NumUnits() != 4 {
+		t.Fatalf("layer units=%d", pl.NumUnits())
+	}
+	if pl.Unit(0).Len != 24 {
+		t.Fatalf("layer unit len=%d", pl.Unit(0).Len)
+	}
+	pe := NewPartition(params, Elements)
+	want := 24 + 6 + 18 + 3
+	if pe.NumUnits() != want {
+		t.Fatalf("element units=%d want %d", pe.NumUnits(), want)
+	}
+	for u := 0; u < pe.NumUnits(); u++ {
+		if pe.Unit(u).Len != 1 {
+			t.Fatal("element unit wider than 1")
+		}
+	}
+}
+
+func TestPartitionCoversModelExactlyOnce(t *testing.T) {
+	params := testModel()
+	for _, g := range []Granularity{Rows, Layers, Elements} {
+		p := NewPartition(params, g)
+		covered := make(map[[2]int]int)
+		total := 0
+		for u := 0; u < p.NumUnits(); u++ {
+			un := p.Unit(u)
+			for i := 0; i < un.Len; i++ {
+				covered[[2]int{un.Param, un.Offset + i}]++
+				total++
+			}
+		}
+		wantTotal := 0
+		for _, m := range params {
+			wantTotal += len(m.Data)
+		}
+		if total != wantTotal {
+			t.Fatalf("%v: covered %d of %d scalars", g, total, wantTotal)
+		}
+		for k, c := range covered {
+			if c != 1 {
+				t.Fatalf("%v: scalar %v covered %d times", g, k, c)
+			}
+		}
+	}
+}
+
+func TestSliceIsView(t *testing.T) {
+	params := testModel()
+	p := NewPartition(params, Rows)
+	s := p.Slice(params, 0)
+	s[0] = 42
+	if params[0].Data[0] != 42 {
+		t.Fatal("Slice is not a view")
+	}
+}
+
+func TestWireSizeOrdering(t *testing.T) {
+	params := testModel()
+	rows := NewPartition(params, Rows)
+	layers := NewPartition(params, Layers)
+	elems := NewPartition(params, Elements)
+	// Finer granularity → more index overhead (Sec. III-A).
+	if !(elems.IndexOverhead() > rows.IndexOverhead() && rows.IndexOverhead() > layers.IndexOverhead()) {
+		t.Fatalf("index overhead ordering: e=%d r=%d l=%d",
+			elems.IndexOverhead(), rows.IndexOverhead(), layers.IndexOverhead())
+	}
+	if elems.TotalWireSize() <= rows.TotalWireSize() {
+		t.Fatal("element granularity should cost more on the wire")
+	}
+	// Element-granularity total volume should be several times the raw
+	// payload — the paper's "transmission volume doubled" argument.
+	rawBits := 0
+	for u := 0; u < elems.NumUnits(); u++ {
+		rawBits += (elems.Unit(u).Len + 7) / 8
+	}
+	if elems.TotalWireSize() < 2*rawBits {
+		t.Fatal("element overhead unexpectedly small")
+	}
+}
+
+func TestGradStoreAccumulateAndZero(t *testing.T) {
+	params := testModel()
+	p := NewPartition(params, Rows)
+	gs := NewGradStore(p)
+
+	grads := make([]*tensor.Matrix, len(params))
+	for i, m := range params {
+		g := tensor.New(m.Rows, m.Cols)
+		g.Fill(1)
+		grads[i] = g
+	}
+	gs.Accumulate(grads)
+	gs.Accumulate(grads)
+	if gs.MeanAbs(0) != 2 {
+		t.Fatalf("MeanAbs=%v want 2", gs.MeanAbs(0))
+	}
+	gs.ZeroUnit(0)
+	if gs.MeanAbs(0) != 0 {
+		t.Fatal("ZeroUnit failed")
+	}
+	if gs.MeanAbs(1) != 2 {
+		t.Fatal("ZeroUnit cleared wrong unit")
+	}
+}
+
+func TestGradStoreAddUnit(t *testing.T) {
+	params := testModel()
+	p := NewPartition(params, Rows)
+	gs := NewGradStore(p)
+	vals := make([]float32, p.Unit(0).Len)
+	for i := range vals {
+		vals[i] = 2
+	}
+	gs.AddUnit(0, vals, 0.5)
+	if gs.Unit(0)[0] != 1 {
+		t.Fatalf("AddUnit got %v", gs.Unit(0)[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch should panic")
+		}
+	}()
+	gs.AddUnit(0, []float32{1}, 1)
+}
+
+func TestVersionStoreMinTracking(t *testing.T) {
+	vs := NewVersionStore(2, 3)
+	if vs.Min() != 0 {
+		t.Fatal("initial min should be 0")
+	}
+	// Advance all of worker 0 and two units of worker 1.
+	for u := 0; u < 3; u++ {
+		vs.Update(0, u, 5)
+	}
+	vs.Update(1, 0, 4)
+	vs.Update(1, 1, 2)
+	if vs.Min() != 0 { // worker1 unit2 still at 0
+		t.Fatalf("min=%d", vs.Min())
+	}
+	vs.Update(1, 2, 1)
+	if vs.Min() != 1 {
+		t.Fatalf("min=%d want 1", vs.Min())
+	}
+	if vs.MaxAhead() != 4 {
+		t.Fatalf("MaxAhead=%d", vs.MaxAhead())
+	}
+}
+
+func TestVersionStoreStalePredicate(t *testing.T) {
+	vs := NewVersionStore(2, 2)
+	vs.Update(0, 0, 4)
+	// min is 0; threshold 4: worker0/unit0 is 4 ahead → must wait.
+	if !vs.Stale(0, 0, 4) {
+		t.Fatal("should be stale at threshold 4")
+	}
+	if vs.Stale(0, 0, 5) {
+		t.Fatal("should not be stale at threshold 5")
+	}
+	if vs.Stale(1, 0, 4) {
+		t.Fatal("lagging worker should never be stale")
+	}
+}
+
+func TestVersionStoreMonotonicPanics(t *testing.T) {
+	vs := NewVersionStore(1, 1)
+	vs.Update(0, 0, 3)
+	vs.Update(0, 0, 3) // same value is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on decreasing version")
+		}
+	}()
+	vs.Update(0, 0, 2)
+}
+
+// Property: cached Min always equals a brute-force scan, under random
+// monotone updates.
+func TestVersionStoreMinMatchesBruteForce(t *testing.T) {
+	f := func(ops []uint16) bool {
+		vs := NewVersionStore(3, 4)
+		for _, op := range ops {
+			w := int(op) % 3
+			u := int(op/3) % 4
+			inc := int64(op/12)%5 + 1
+			vs.Update(w, u, vs.Get(w, u)+inc)
+		}
+		var brute int64 = 1 << 62
+		for w := 0; w < 3; w++ {
+			for u := 0; u < 4; u++ {
+				if v := vs.Get(w, u); v < brute {
+					brute = v
+				}
+			}
+		}
+		return vs.Min() == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RSP invariant — a worker only advances to iteration n when
+// n − min(V) < threshold (the pull gate of Algo. 2), so the divergence
+// MaxAhead never exceeds the threshold. This is the bound the convergence
+// proof rests on.
+func TestRSPBoundInvariant(t *testing.T) {
+	const threshold = 4
+	f := func(ops []uint16) bool {
+		vs := NewVersionStore(3, 4)
+		next := [3]int64{1, 1, 1}
+		for _, op := range ops {
+			w := int(op) % 3
+			u := int(op/3) % 4
+			n := next[w]
+			if n-vs.Min() >= threshold {
+				continue // the RSP gate stalls this worker's iteration
+			}
+			if n > vs.Get(w, u) {
+				vs.Update(w, u, n)
+			}
+			next[w]++
+			if vs.MaxAhead() > threshold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package rowsync
+
+import "fmt"
+
+// VersionStore is the server's Version Storage (Fig. 5): for every worker r
+// and unit i it records v[r][i], the latest training iteration of worker r
+// whose gradients for unit i have reached the server. The two-level RSP
+// staleness predicate is evaluated against the global minimum.
+//
+// Iterations are 1-based at the first push; 0 means "never pushed".
+type VersionStore struct {
+	v      [][]int64
+	min    int64 // cached global minimum
+	counts map[int64]int
+}
+
+// NewVersionStore creates storage for workers × units, all at version 0.
+func NewVersionStore(workers, units int) *VersionStore {
+	vs := &VersionStore{v: make([][]int64, workers), counts: map[int64]int{0: workers * units}}
+	for r := range vs.v {
+		vs.v[r] = make([]int64, units)
+	}
+	return vs
+}
+
+// Get returns v[worker][unit].
+func (vs *VersionStore) Get(worker, unit int) int64 { return vs.v[worker][unit] }
+
+// Update sets v[worker][unit] = iter. Versions must not decrease.
+func (vs *VersionStore) Update(worker, unit int, iter int64) {
+	old := vs.v[worker][unit]
+	if iter < old {
+		panic(fmt.Sprintf("rowsync: version of worker %d unit %d decreased %d -> %d", worker, unit, old, iter))
+	}
+	if iter == old {
+		return
+	}
+	vs.v[worker][unit] = iter
+	// Register the new version before retiring the old one, so the
+	// min-advance scan below always has a populated version to stop at
+	// (with a single tracked entry the map would otherwise be empty and
+	// the scan would never terminate).
+	vs.counts[iter]++
+	vs.counts[old]--
+	if vs.counts[old] == 0 {
+		delete(vs.counts, old)
+		if old == vs.min {
+			// Advance the cached minimum to the next populated version.
+			for vs.counts[vs.min] == 0 {
+				vs.min++
+			}
+		}
+	}
+}
+
+// Min returns min(V): the oldest version of any unit on any worker.
+func (vs *VersionStore) Min() int64 { return vs.min }
+
+// Stale reports whether worker r's unit i is too far *ahead* of the
+// global minimum for threshold t — the condition in Algo. 2 lines 8–9
+// (v_i^r − min(V) ≥ t) under which non-stragglers must wait.
+func (vs *VersionStore) Stale(worker, unit int, t int64) bool {
+	return vs.v[worker][unit]-vs.min >= t
+}
+
+// MaxAhead returns the largest lead of any entry over the global minimum —
+// the divergence RSP bounds by the threshold.
+func (vs *VersionStore) MaxAhead() int64 {
+	var max int64
+	for r := range vs.v {
+		for _, v := range vs.v[r] {
+			if v-vs.min > max {
+				max = v - vs.min
+			}
+		}
+	}
+	return max
+}
+
+// Workers returns the number of workers tracked.
+func (vs *VersionStore) Workers() int { return len(vs.v) }
+
+// Units returns the number of units tracked.
+func (vs *VersionStore) Units() int {
+	if len(vs.v) == 0 {
+		return 0
+	}
+	return len(vs.v[0])
+}

@@ -1,0 +1,227 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"rog/internal/trace"
+)
+
+// Channel is a fluid-flow model of the robots' shared wireless medium.
+//
+// Each device d has a link-quality trace giving the capacity its radio
+// could achieve alone (Mbps). Because all devices share one 802.11 channel
+// (the paper's hotspot setup), airtime is divided equally among active
+// flows: with k concurrent flows, a flow on device d progresses at
+// linkCapacity(d, t)/k. This reproduces both per-link fading and the
+// contention that grows with worker count (Sec. VI-C).
+//
+// Flows are drained continuously; the channel recomputes rates at every
+// flow arrival/finish/cancel and at every trace sample boundary, so byte
+// integrals are exact for piecewise-constant traces.
+type Channel struct {
+	k     *Kernel
+	links []*trace.Trace
+	// Scale multiplies all link capacities; experiments use it to keep the
+	// comm:compute ratio of the paper while using a smaller model.
+	Scale float64
+
+	flows      map[*Flow]struct{}
+	lastUpdate float64
+	recheck    *Timer
+}
+
+// Flow is one in-flight transmission.
+type Flow struct {
+	// Device is the index of the wireless link the flow rides on (the
+	// non-AP endpoint: pushes and pulls for worker w both traverse w's
+	// radio link).
+	Device     int
+	remaining  float64 // bytes
+	sent       float64 // bytes
+	onComplete func()
+	done       bool
+	cancelled  bool
+}
+
+// Sent returns the bytes fully delivered so far (advanced lazily; callers
+// inside channel callbacks see up-to-date values).
+func (f *Flow) Sent() float64 { return f.sent }
+
+// Done reports whether the flow completed (not cancelled).
+func (f *Flow) Done() bool { return f.done }
+
+// NewChannel creates a shared channel over the given per-device link
+// traces. scale multiplies all capacities (1 = use traces as-is).
+func NewChannel(k *Kernel, links []*trace.Trace, scale float64) *Channel {
+	if scale <= 0 {
+		panic("simnet: non-positive channel scale")
+	}
+	return &Channel{
+		k:          k,
+		links:      links,
+		Scale:      scale,
+		flows:      make(map[*Flow]struct{}),
+		lastUpdate: k.Now(),
+	}
+}
+
+// bytesPerSec returns the current drain rate of flow f given n active flows.
+func (c *Channel) bytesPerSec(f *Flow, at float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	mbps := c.links[f.Device].At(at) * c.Scale / float64(n)
+	return mbps * 1e6 / 8
+}
+
+// advance drains all active flows from lastUpdate to now using the rates
+// that held over that interval (callers guarantee no trace boundary or
+// flow event lies strictly inside it).
+func (c *Channel) advance(now float64) {
+	dt := now - c.lastUpdate
+	if dt <= 0 {
+		c.lastUpdate = now
+		return
+	}
+	n := len(c.flows)
+	for f := range c.flows {
+		rate := c.bytesPerSec(f, c.lastUpdate, n)
+		drained := rate * dt
+		if drained > f.remaining {
+			drained = f.remaining
+		}
+		f.remaining -= drained
+		f.sent += drained
+	}
+	c.lastUpdate = now
+}
+
+// StartFlow begins transmitting `bytes` on device's link; onComplete fires
+// (in virtual time) when the last byte is delivered.
+func (c *Channel) StartFlow(device int, bytes float64, onComplete func()) *Flow {
+	if device < 0 || device >= len(c.links) {
+		panic(fmt.Sprintf("simnet: device %d out of range", device))
+	}
+	if bytes < 0 {
+		panic("simnet: negative flow size")
+	}
+	c.advance(c.k.Now())
+	f := &Flow{Device: device, remaining: bytes, onComplete: onComplete}
+	c.flows[f] = struct{}{}
+	if bytes == 0 {
+		// Complete immediately but asynchronously, preserving event order.
+		c.k.After(0, func() { c.finish(f) })
+		return f
+	}
+	c.schedule()
+	return f
+}
+
+// Cancel aborts the flow and returns the bytes delivered before the abort
+// (the paper's speculative transmission discards the in-flight row; the
+// caller decides what the delivered bytes amount to).
+func (c *Channel) Cancel(f *Flow) float64 {
+	c.advance(c.k.Now())
+	if _, ok := c.flows[f]; ok {
+		delete(c.flows, f)
+		f.cancelled = true
+		c.schedule()
+	}
+	return f.sent
+}
+
+func (c *Channel) finish(f *Flow) {
+	if _, ok := c.flows[f]; !ok {
+		return
+	}
+	delete(c.flows, f)
+	f.done = true
+	f.remaining = 0
+	if f.onComplete != nil {
+		f.onComplete()
+	}
+}
+
+// schedule (re)arms the recheck timer for the earliest of: next trace
+// boundary, earliest projected flow completion.
+func (c *Channel) schedule() {
+	if c.recheck != nil {
+		c.recheck.Stop()
+		c.recheck = nil
+	}
+	if len(c.flows) == 0 {
+		return
+	}
+	now := c.k.Now()
+	next := math.Inf(1)
+	// Trace boundaries of links with active flows.
+	for f := range c.flows {
+		if b := c.links[f.Device].NextBoundary(now); b < next {
+			next = b
+		}
+	}
+	// Projected completions under current rates.
+	n := len(c.flows)
+	for f := range c.flows {
+		rate := c.bytesPerSec(f, now, n)
+		if rate <= 0 {
+			continue
+		}
+		eta := now + f.remaining/rate
+		if eta < next {
+			next = eta
+		}
+	}
+	if math.IsInf(next, 1) {
+		// All links at zero capacity with no future boundary (constant
+		// zero trace) — nothing will ever progress; leave unscheduled.
+		return
+	}
+	c.recheck = c.k.At(next, c.onRecheck)
+}
+
+func (c *Channel) onRecheck() {
+	c.recheck = nil
+	c.advance(c.k.Now())
+	// Complete everything that drained, tolerating float residue: a flow
+	// whose remainder would clear within a nanosecond at its current rate
+	// is done. (Without the rate-relative epsilon, an eta that rounds to
+	// the current timestamp would reschedule at the same instant forever.)
+	n := len(c.flows)
+	var finished []*Flow
+	for f := range c.flows {
+		eps := 1e-6 + c.bytesPerSec(f, c.k.Now(), n)*1e-9
+		if f.remaining <= eps {
+			finished = append(finished, f)
+		}
+	}
+	// Deterministic completion order: by device index then pointer-free
+	// insertion order is unavailable, so sort by device; ties are broken
+	// by remaining (all ~0) and are semantically concurrent anyway.
+	for i := 0; i < len(finished); i++ {
+		for j := i + 1; j < len(finished); j++ {
+			if finished[j].Device < finished[i].Device {
+				finished[i], finished[j] = finished[j], finished[i]
+			}
+		}
+	}
+	for _, f := range finished {
+		f.sent += f.remaining
+		f.remaining = 0
+		c.finish(f)
+	}
+	c.schedule()
+}
+
+// ActiveFlows returns the number of currently active flows.
+func (c *Channel) ActiveFlows() int { return len(c.flows) }
+
+// LinkMbps reports the instantaneous solo capacity of a device's link
+// (before airtime sharing), already scaled.
+func (c *Channel) LinkMbps(device int) float64 {
+	return c.links[device].At(c.k.Now()) * c.Scale
+}
+
+// NumDevices returns the number of links the channel manages.
+func (c *Channel) NumDevices() int { return len(c.links) }

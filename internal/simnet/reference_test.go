@@ -1,0 +1,102 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"rog/internal/tensor"
+	"rog/internal/trace"
+)
+
+// referenceCompletionTimes integrates the fluid-flow model by brute force
+// (tiny fixed steps) and returns each flow's completion time. It is the
+// specification the event-driven Channel must match.
+func referenceCompletionTimes(links []*trace.Trace, starts []float64, devices []int, sizes []float64, dt float64) []float64 {
+	n := len(sizes)
+	remaining := append([]float64(nil), sizes...)
+	done := make([]float64, n)
+	for i := range done {
+		done[i] = -1
+	}
+	for now := 0.0; now < 10000; now += dt {
+		active := 0
+		for i := 0; i < n; i++ {
+			if done[i] < 0 && starts[i] <= now {
+				active++
+			}
+		}
+		if active == 0 {
+			allDone := true
+			for i := 0; i < n; i++ {
+				if done[i] < 0 {
+					allDone = false
+				}
+			}
+			if allDone {
+				return done
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if done[i] >= 0 || starts[i] > now {
+				continue
+			}
+			rate := links[devices[i]].At(now) * 1e6 / 8 / float64(active)
+			remaining[i] -= rate * dt
+			if remaining[i] <= 0 {
+				done[i] = now + dt
+			}
+		}
+	}
+	return done
+}
+
+// TestChannelMatchesBruteForceIntegration cross-validates the event-driven
+// channel against brute-force integration over random flow schedules on
+// fluctuating traces.
+func TestChannelMatchesBruteForceIntegration(t *testing.T) {
+	r := tensor.NewRNG(2024)
+	for trial := 0; trial < 8; trial++ {
+		nDev := 2 + r.Intn(3)
+		links := make([]*trace.Trace, nDev)
+		for d := range links {
+			links[d] = trace.GenerateEnv(trace.Outdoor, 60, r.Uint64()%10000)
+		}
+		nFlows := 2 + r.Intn(4)
+		starts := make([]float64, nFlows)
+		devices := make([]int, nFlows)
+		sizes := make([]float64, nFlows)
+		for i := range sizes {
+			starts[i] = r.Float64() * 5
+			devices[i] = r.Intn(nDev)
+			sizes[i] = (0.5 + 4*r.Float64()) * 1e6
+		}
+
+		// Event-driven run.
+		k := NewKernel()
+		ch := NewChannel(k, links, 1)
+		got := make([]float64, nFlows)
+		for i := range got {
+			got[i] = -1
+		}
+		for i := 0; i < nFlows; i++ {
+			i := i
+			k.At(starts[i], func() {
+				ch.StartFlow(devices[i], sizes[i], func() { got[i] = k.Now() })
+			})
+		}
+		k.RunUntilIdle(50_000_000)
+
+		want := referenceCompletionTimes(links, starts, devices, sizes, 0.001)
+		for i := 0; i < nFlows; i++ {
+			if got[i] < 0 || want[i] < 0 {
+				t.Fatalf("trial %d flow %d incomplete: got %v want %v", trial, i, got[i], want[i])
+			}
+			// The reference discretization error dominates the tolerance.
+			if math.Abs(got[i]-want[i]) > 0.05+want[i]*0.01 {
+				t.Fatalf("trial %d flow %d: event-driven %.4f vs brute force %.4f",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64 core) used for weight initialization and data synthesis.
+// It is reproducible across platforms, unlike math/rand's global source,
+// and each component owns its own stream so experiments are seed-stable
+// regardless of evaluation order.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal variate from the Box-Muller pair.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64-bit value (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0,1).
+func (r *RNG) Float32() float32 { return float32(r.Float64()) }
+
+// Intn returns a uniform value in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate (Box-Muller).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+// Perm returns a pseudo-random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent child generator; useful to give each worker
+// or dataset shard its own stream from one experiment seed.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// FillNormal fills m with N(0, std²) values.
+func (m *Matrix) FillNormal(r *RNG, std float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(r.Norm() * std)
+	}
+}
+
+// FillUniform fills m with uniform values in [lo,hi).
+func (m *Matrix) FillUniform(r *RNG, lo, hi float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(lo + (hi-lo)*r.Float64())
+	}
+}
+
+// XavierInit fills m with the Glorot/Xavier uniform initialization for a
+// layer with fanIn inputs and fanOut outputs.
+func (m *Matrix) XavierInit(r *RNG, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	m.FillUniform(r, -limit, limit)
+}

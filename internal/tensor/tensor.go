@@ -1,0 +1,291 @@
+// Package tensor provides the dense float32 matrix and vector types used by
+// the neural-network substrate. It is deliberately small: row-major dense
+// storage, the handful of BLAS-like kernels training needs, and row views so
+// that the row-granulated synchronization layers can address parameter rows
+// without copying.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix. The zero value is an empty
+// matrix; use New or NewFrom to create a sized one.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewFrom wraps data as a rows×cols matrix without copying.
+// len(data) must equal rows*cols.
+func NewFrom(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i (no copy).
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.mustSameShape(src, "CopyFrom")
+	copy(m.Data, src.Data)
+}
+
+func (m *Matrix) mustSameShape(o *Matrix, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add accumulates o into m element-wise.
+func (m *Matrix) Add(o *Matrix) {
+	m.mustSameShape(o, "Add")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub subtracts o from m element-wise.
+func (m *Matrix) Sub(o *Matrix) {
+	m.mustSameShape(o, "Sub")
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element of m by s.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AXPY computes m += a*x element-wise.
+func (m *Matrix) AXPY(a float32, x *Matrix) {
+	m.mustSameShape(x, "AXPY")
+	for i, v := range x.Data {
+		m.Data[i] += a * v
+	}
+}
+
+// MulInto computes dst = m × o. dst must be m.Rows×o.Cols and distinct from
+// both operands.
+func MulInto(dst, m, o *Matrix) {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: MulInto inner dim %d vs %d", m.Cols, o.Rows))
+	}
+	if dst.Rows != m.Rows || dst.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: MulInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, m.Rows, o.Cols))
+	}
+	dst.Zero()
+	// ikj loop order: streams over o rows, cache friendly for row-major.
+	for i := 0; i < m.Rows; i++ {
+		di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for k, mv := range mi {
+			if mv == 0 {
+				continue
+			}
+			ok := o.Data[k*o.Cols : (k+1)*o.Cols]
+			for j, ov := range ok {
+				di[j] += mv * ov
+			}
+		}
+	}
+}
+
+// Mul returns m × o as a fresh matrix.
+func Mul(m, o *Matrix) *Matrix {
+	dst := New(m.Rows, o.Cols)
+	MulInto(dst, m, o)
+	return dst
+}
+
+// MulTransAInto computes dst = mᵀ × o (m is used transposed).
+func MulTransAInto(dst, m, o *Matrix) {
+	if m.Rows != o.Rows {
+		panic(fmt.Sprintf("tensor: MulTransAInto inner dim %d vs %d", m.Rows, o.Rows))
+	}
+	if dst.Rows != m.Cols || dst.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: MulTransAInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, m.Cols, o.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < m.Rows; k++ {
+		mk := m.Data[k*m.Cols : (k+1)*m.Cols]
+		ok := o.Data[k*o.Cols : (k+1)*o.Cols]
+		for i, mv := range mk {
+			if mv == 0 {
+				continue
+			}
+			di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, ov := range ok {
+				di[j] += mv * ov
+			}
+		}
+	}
+}
+
+// MulTransBInto computes dst = m × oᵀ (o is used transposed).
+func MulTransBInto(dst, m, o *Matrix) {
+	if m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: MulTransBInto inner dim %d vs %d", m.Cols, o.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: MulTransBInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, m.Rows, o.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < o.Rows; j++ {
+			oj := o.Data[j*o.Cols : (j+1)*o.Cols]
+			var s float32
+			for k, mv := range mi {
+				s += mv * oj[k]
+			}
+			di[j] = s
+		}
+	}
+}
+
+// Transpose returns a fresh transposed copy of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Apply replaces every element x with f(x).
+func (m *Matrix) Apply(f func(float32) float32) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// SumAbs returns the sum of absolute values of all elements.
+func (m *Matrix) SumAbs() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// MeanAbs returns the mean absolute value of all elements (0 for empty).
+func (m *Matrix) MeanAbs() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.SumAbs() / float64(len(m.Data))
+}
+
+// RowMeanAbs returns the mean absolute value of row i.
+func (m *Matrix) RowMeanAbs(i int) float64 {
+	row := m.Row(i)
+	if len(row) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range row {
+		s += math.Abs(float64(v))
+	}
+	return s / float64(len(row))
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty).
+func (m *Matrix) MaxAbs() float32 {
+	var mx float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Equal reports whether m and o have identical shape and elements.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if o.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports whether m and o agree element-wise within tol.
+func (m *Matrix) AlmostEqual(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(float64(v)-float64(o.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact shape-and-norm summary (not the full contents).
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d, |.|=%.4g)", m.Rows, m.Cols, m.Norm2())
+}

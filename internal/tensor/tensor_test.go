@@ -1,0 +1,308 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndZero(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New not zeroed")
+		}
+	}
+}
+
+func TestNewFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFrom(2, 3, []float32{1, 2})
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At=%v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	row[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row is not a view")
+	}
+	if len(row) != 3 {
+		t.Fatalf("row len=%d", len(row))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewFrom(2, 2, []float32{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+	if !m.Equal(NewFrom(2, 2, []float32{1, 2, 3, 4})) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestAddSubScaleAXPY(t *testing.T) {
+	a := NewFrom(2, 2, []float32{1, 2, 3, 4})
+	b := NewFrom(2, 2, []float32{10, 20, 30, 40})
+	a.Add(b)
+	if !a.Equal(NewFrom(2, 2, []float32{11, 22, 33, 44})) {
+		t.Fatalf("Add: %v", a.Data)
+	}
+	a.Sub(b)
+	if !a.Equal(NewFrom(2, 2, []float32{1, 2, 3, 4})) {
+		t.Fatalf("Sub: %v", a.Data)
+	}
+	a.Scale(2)
+	if !a.Equal(NewFrom(2, 2, []float32{2, 4, 6, 8})) {
+		t.Fatalf("Scale: %v", a.Data)
+	}
+	a.AXPY(0.5, b)
+	if !a.Equal(NewFrom(2, 2, []float32{7, 14, 21, 28})) {
+		t.Fatalf("AXPY: %v", a.Data)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := New(2, 2), New(2, 3)
+	for name, f := range map[string]func(){
+		"Add":      func() { a.Add(b) },
+		"Sub":      func() { a.Sub(b) },
+		"AXPY":     func() { a.AXPY(1, b) },
+		"CopyFrom": func() { a.CopyFrom(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewFrom(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := NewFrom(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := NewFrom(2, 2, []float32{58, 64, 139, 154})
+	if !got.Equal(want) {
+		t.Fatalf("Mul=%v", got.Data)
+	}
+}
+
+func TestMulTransA(t *testing.T) {
+	a := NewFrom(3, 2, []float32{1, 4, 2, 5, 3, 6}) // aᵀ = [[1,2,3],[4,5,6]]
+	b := NewFrom(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	dst := New(2, 2)
+	MulTransAInto(dst, a, b)
+	want := Mul(a.Transpose(), b)
+	if !dst.Equal(want) {
+		t.Fatalf("MulTransA=%v want %v", dst.Data, want.Data)
+	}
+}
+
+func TestMulTransB(t *testing.T) {
+	a := NewFrom(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := NewFrom(2, 3, []float32{7, 9, 11, 8, 10, 12}) // bᵀ = 3x2
+	dst := New(2, 2)
+	MulTransBInto(dst, a, b)
+	want := Mul(a, b.Transpose())
+	if !dst.Equal(want) {
+		t.Fatalf("MulTransB=%v want %v", dst.Data, want.Data)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := NewRNG(1)
+	m := New(5, 7)
+	m.FillNormal(r, 1)
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Fatal("transpose twice != identity")
+	}
+}
+
+func TestNormsAndMeans(t *testing.T) {
+	m := NewFrom(1, 4, []float32{-1, 2, -3, 4})
+	if m.SumAbs() != 10 {
+		t.Fatalf("SumAbs=%v", m.SumAbs())
+	}
+	if m.MeanAbs() != 2.5 {
+		t.Fatalf("MeanAbs=%v", m.MeanAbs())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs=%v", m.MaxAbs())
+	}
+	if math.Abs(m.Norm2()-math.Sqrt(30)) > 1e-6 {
+		t.Fatalf("Norm2=%v", m.Norm2())
+	}
+	if m.RowMeanAbs(0) != 2.5 {
+		t.Fatalf("RowMeanAbs=%v", m.RowMeanAbs(0))
+	}
+	empty := New(0, 0)
+	if empty.MeanAbs() != 0 || empty.MaxAbs() != 0 {
+		t.Fatal("empty matrix stats should be 0")
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := NewFrom(1, 3, []float32{1, -2, 3})
+	m.Apply(func(v float32) float32 { return v * v })
+	if !m.Equal(NewFrom(1, 3, []float32{1, 4, 9})) {
+		t.Fatalf("Apply=%v", m.Data)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	a := NewFrom(1, 2, []float32{1, 2})
+	b := NewFrom(1, 2, []float32{1.0000001, 2})
+	if !a.AlmostEqual(b, 1e-5) {
+		t.Fatal("should be almost equal")
+	}
+	if a.AlmostEqual(NewFrom(1, 2, []float32{1.1, 2}), 1e-5) {
+		t.Fatal("should differ")
+	}
+	if a.AlmostEqual(New(2, 1), 1) {
+		t.Fatal("shape mismatch should not be equal")
+	}
+}
+
+// Property: matrix multiplication distributes over addition:
+// A*(B+C) == A*B + A*C (within float tolerance).
+func TestMulDistributesOverAdd(t *testing.T) {
+	r := NewRNG(42)
+	f := func(seed uint16) bool {
+		rr := NewRNG(uint64(seed) + r.Uint64()%1000)
+		a, b, c := New(3, 4), New(4, 2), New(4, 2)
+		a.FillNormal(rr, 1)
+		b.FillNormal(rr, 1)
+		c.FillNormal(rr, 1)
+		bc := b.Clone()
+		bc.Add(c)
+		left := Mul(a, bc)
+		right := Mul(a, b)
+		right.Add(Mul(a, c))
+		return left.AlmostEqual(right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMulTransposeIdentity(t *testing.T) {
+	f := func(seed uint16) bool {
+		rr := NewRNG(uint64(seed)*2654435761 + 1)
+		a, b := New(3, 5), New(5, 2)
+		a.FillNormal(rr, 1)
+		b.FillNormal(rr, 1)
+		left := Mul(a, b).Transpose()
+		right := Mul(b.Transpose(), a.Transpose())
+		return left.AlmostEqual(right, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Fatal("different seeds collided on first draw")
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(123)
+	n := 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean=%v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("variance=%v", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(20)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad perm %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(9)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children identical")
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	r := NewRNG(11)
+	m := New(50, 60)
+	m.XavierInit(r, 50, 60)
+	limit := float32(math.Sqrt(6.0 / 110.0))
+	for _, v := range m.Data {
+		if v < -limit || v >= limit {
+			t.Fatalf("value %v outside ±%v", v, limit)
+		}
+	}
+	if m.MeanAbs() == 0 {
+		t.Fatal("init produced all zeros")
+	}
+}
+
+func BenchmarkMul128(b *testing.B) {
+	r := NewRNG(1)
+	x, y := New(128, 128), New(128, 128)
+	x.FillNormal(r, 1)
+	y.FillNormal(r, 1)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}

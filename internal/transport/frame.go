@@ -1,0 +1,193 @@
+// Package transport implements the wire protocol of the paper's Speculative
+// Transmission (Sec. V): each row payload is wrapped with unique begin/end
+// marker bytes, senders enforce a time limit with a write deadline and
+// simply abandon the in-flight frame when it expires, and receivers resync
+// on the next begin marker, skipping any fragments the abandoned frame left
+// in their buffer.
+//
+// The discrete-event experiments model transmission in virtual time via
+// simnet; this package is the real-socket counterpart, so the repo's
+// protocol can also run over actual TCP/Wi-Fi links. Tests drive it over
+// in-memory full-duplex pipes.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Frame markers. The sequences are long enough (8 bytes) that a collision
+// with payload data is vanishingly unlikely, mirroring the paper's "several
+// unique bytes at both the beginning and the ending".
+var (
+	startMarker = []byte{0xF0, 0x9F, 0xA6, 0xBE, 0x52, 0x4F, 0x47, 0x21}
+	endMarker   = []byte{0x21, 0x47, 0x4F, 0x52, 0xBE, 0xA6, 0x9F, 0xF0}
+)
+
+// MaxFrameSize bounds a frame body; larger length prefixes are treated as
+// corruption and resynced past.
+const MaxFrameSize = 16 << 20
+
+// ErrTimeout is returned by SendFrames when the deadline interrupted the
+// final, partially written frame.
+var ErrTimeout = errors.New("transport: send deadline reached")
+
+// FrameOverhead is the per-frame wire overhead in bytes: both markers plus
+// the 4-byte length prefix.
+const FrameOverhead = 8 + 4 + 8
+
+// WriteFrame writes one framed payload to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("transport: payload %d exceeds max frame size", len(payload))
+	}
+	var hdr [12]byte
+	copy(hdr[:8], startMarker)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := w.Write(endMarker)
+	return err
+}
+
+// Receiver reads framed payloads from a stream, resynchronizing past any
+// garbage or abandoned partial frames. It parses out of an internal buffer
+// so that a truncated frame whose claimed length swallowed the next frame's
+// bytes can still be recovered: when the end marker check fails, the scan
+// restarts one byte past the false start marker and finds the next real
+// frame inside the already-buffered bytes.
+type Receiver struct {
+	r   io.Reader
+	buf []byte
+	eof bool
+	// Skipped counts bytes discarded during resynchronization; useful for
+	// tests and diagnostics.
+	Skipped int
+}
+
+// NewReceiver wraps r.
+func NewReceiver(r io.Reader) *Receiver { return &Receiver{r: r} }
+
+// Recv returns the next complete frame payload. Garbage, partial and
+// corrupt frames are skipped (their bytes counted in Skipped). Recv returns
+// io.EOF when the stream ends before another complete frame.
+func (rc *Receiver) Recv() ([]byte, error) {
+	headerLen := len(startMarker) + 4
+	for {
+		i := bytes.Index(rc.buf, startMarker)
+		if i < 0 {
+			// Keep a potential marker prefix at the tail, drop the rest.
+			keep := len(startMarker) - 1
+			if drop := len(rc.buf) - keep; drop > 0 {
+				rc.Skipped += drop
+				rc.buf = append(rc.buf[:0:0], rc.buf[drop:]...)
+			}
+			if rc.eof {
+				return nil, io.EOF
+			}
+			if err := rc.fill(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		rc.Skipped += i
+		rc.buf = rc.buf[i:]
+
+		if len(rc.buf) < headerLen {
+			if rc.eof {
+				return nil, io.EOF
+			}
+			if err := rc.fill(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		n := int(binary.LittleEndian.Uint32(rc.buf[len(startMarker):headerLen]))
+		if n > MaxFrameSize {
+			// Corrupt length: this "marker" was a coincidence or the frame
+			// is garbage — rescan one byte further.
+			rc.buf = rc.buf[1:]
+			rc.Skipped++
+			continue
+		}
+		total := headerLen + n + len(endMarker)
+		if len(rc.buf) < total {
+			if rc.eof {
+				// Stream ended mid-frame: the frame is unrecoverable, but a
+				// later complete frame may hide inside the bytes we already
+				// hold — rescan past this marker.
+				rc.buf = rc.buf[1:]
+				rc.Skipped++
+				continue
+			}
+			if err := rc.fill(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !bytes.Equal(rc.buf[headerLen+n:total], endMarker) {
+			// Abandoned speculative transmission: the frame was cut short
+			// and newer bytes follow where its tail should be.
+			rc.buf = rc.buf[1:]
+			rc.Skipped++
+			continue
+		}
+		payload := make([]byte, n)
+		copy(payload, rc.buf[headerLen:headerLen+n])
+		rc.buf = append(rc.buf[:0:0], rc.buf[total:]...)
+		return payload, nil
+	}
+}
+
+// fill reads more bytes from the underlying stream into the buffer. At
+// stream end it records EOF and returns nil so the parser can drain what
+// remains.
+func (rc *Receiver) fill() error {
+	chunk := make([]byte, 32<<10)
+	n, err := rc.r.Read(chunk)
+	if n > 0 {
+		rc.buf = append(rc.buf, chunk[:n]...)
+	}
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+			rc.eof = true
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// SendFrames writes the payloads in order until all are sent or the
+// deadline passes, mirroring Algo. 4's SendWithTimeout: the in-flight frame
+// at expiry is abandoned mid-wire (the receiver will skip its fragment) and
+// the number of *fully delivered* frames is returned with ErrTimeout.
+//
+// A zero deadline means no time limit.
+func SendFrames(conn net.Conn, payloads [][]byte, deadline time.Time) (sent int, err error) {
+	if !deadline.IsZero() {
+		if err := conn.SetWriteDeadline(deadline); err != nil {
+			return 0, err
+		}
+		defer conn.SetWriteDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	for i, p := range payloads {
+		if err := WriteFrame(conn, p); err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return i, ErrTimeout
+			}
+			return i, err
+		}
+	}
+	return len(payloads), nil
+}

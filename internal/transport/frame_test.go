@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteRecvRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, []byte("world"), {1, 2, 3}}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc := NewReceiver(&buf)
+	for i, want := range payloads {
+		got, err := rc.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: %q != %q", i, got, want)
+		}
+	}
+	if _, err := rc.Recv(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if rc.Skipped != 0 {
+		t.Fatalf("clean stream skipped %d bytes", rc.Skipped)
+	}
+}
+
+func TestRecvSkipsLeadingGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("noise noise noise"))
+	if err := WriteFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(&buf)
+	got, err := rc.Recv()
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+	if rc.Skipped == 0 {
+		t.Fatal("garbage not counted as skipped")
+	}
+}
+
+func TestRecvSkipsAbandonedPartialFrame(t *testing.T) {
+	// Simulate the paper's discarded speculative transmission: a frame is
+	// cut off mid-payload, then a fresh complete frame follows.
+	var full bytes.Buffer
+	if err := WriteFrame(&full, bytes.Repeat([]byte{0xAB}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	cut := full.Bytes()[:300] // start marker + length + partial payload
+
+	var stream bytes.Buffer
+	stream.Write(cut)
+	if err := WriteFrame(&stream, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(&stream)
+	got, err := rc.Recv()
+	if err != nil || string(got) != "fresh" {
+		t.Fatalf("got %q err %v (skipped=%d)", got, err, rc.Skipped)
+	}
+}
+
+func TestRecvResyncsOnCorruptLength(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(startMarker)
+	stream.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length
+	if err := WriteFrame(&stream, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(&stream)
+	got, err := rc.Recv()
+	if err != nil || string(got) != "ok" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestMarkerBytesInsidePayload(t *testing.T) {
+	// A payload containing the start marker itself must survive.
+	payload := append(append([]byte("pre"), startMarker...), []byte("post")...)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReceiver(&buf)
+	got, err := rc.Recv()
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("marker-in-payload broken: %v", err)
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		var buf bytes.Buffer
+		for _, p := range [][]byte{a, b, c} {
+			if err := WriteFrame(&buf, p); err != nil {
+				return false
+			}
+		}
+		rc := NewReceiver(&buf)
+		for _, want := range [][]byte{a, b, c} {
+			got, err := rc.Recv()
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendFramesAllDelivered(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	payloads := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	errCh := make(chan error, 1)
+	sentCh := make(chan int, 1)
+	go func() {
+		n, err := SendFrames(client, payloads, time.Time{})
+		sentCh <- n
+		errCh <- err
+	}()
+	rc := NewReceiver(server)
+	for _, want := range payloads {
+		got, err := rc.Recv()
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("recv %q err %v", got, err)
+		}
+	}
+	if n := <-sentCh; n != 3 {
+		t.Fatalf("sent=%d", n)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendFramesTimeoutThenResync(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	big := bytes.Repeat([]byte{7}, 1<<16)
+	many := make([][]byte, 50)
+	for i := range many {
+		many[i] = big
+	}
+
+	// Reader consumes slowly at first so the sender's deadline fires
+	// mid-stream (net.Pipe is unbuffered: writes block until read).
+	readerStarted := make(chan struct{})
+	var received [][]byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rc := NewReceiver(server)
+		close(readerStarted)
+		for i := 0; ; i++ {
+			if i < 3 {
+				// Throttle the first frames so the sender's deadline fires
+				// mid-stream (net.Pipe writes block until read).
+				time.Sleep(25 * time.Millisecond)
+			}
+			p, err := rc.Recv()
+			if err != nil {
+				return
+			}
+			received = append(received, p)
+		}
+	}()
+	<-readerStarted
+
+	sent, err := SendFrames(client, many, time.Now().Add(30*time.Millisecond))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v (sent=%d)", err, sent)
+	}
+	if sent >= len(many) {
+		t.Fatal("timeout but everything sent")
+	}
+
+	// After the abandoned frame, a fresh send must still be readable: the
+	// receiver resyncs past the fragment.
+	if _, err := SendFrames(client, [][]byte{[]byte("after-timeout")}, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	<-done
+	if len(received) == 0 {
+		t.Fatal("nothing received")
+	}
+	last := received[len(received)-1]
+	if !bytes.Equal(last, []byte("after-timeout")) {
+		t.Fatalf("resync failed; last frame = %d bytes", len(last))
+	}
+}
+
+func TestFrameOverheadConstant(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 100+FrameOverhead {
+		t.Fatalf("overhead=%d want %d", buf.Len()-100, FrameOverhead)
+	}
+}

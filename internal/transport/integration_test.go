@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"rog/internal/compress"
+	"rog/internal/tensor"
+)
+
+// TestCompressedRowsOverWire is the cross-module integration the paper's
+// implementation section describes: gradient rows are 1-bit compressed with
+// error feedback, framed with marker bytes, sent speculatively with a
+// deadline over a real connection, and decoded on the far side — with the
+// abandoned in-flight frame discarded by the receiver's resync.
+func TestCompressedRowsOverWire(t *testing.T) {
+	const rows, width = 64, 32
+	widths := make([]int, rows)
+	for i := range widths {
+		widths[i] = width
+	}
+	codec := compress.NewCodec(widths)
+	r := tensor.NewRNG(77)
+
+	// Build the compressed payloads for one iteration's push.
+	payloads := make([][]byte, rows)
+	originals := make([][]float32, rows)
+	for i := 0; i < rows; i++ {
+		g := make([]float32, width)
+		for j := range g {
+			g[j] = float32(r.Norm())
+		}
+		originals[i] = g
+		payloads[i] = codec.Encode(i, g).Marshal()
+	}
+
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	type rx struct {
+		rowSet map[int]bool
+		err    error
+	}
+	done := make(chan rx, 1)
+	go func() {
+		got := rx{rowSet: make(map[int]bool)}
+		rc := NewReceiver(server)
+		for {
+			buf, err := rc.Recv()
+			if err != nil {
+				done <- got
+				return
+			}
+			p, err := compress.Unmarshal(buf)
+			if err != nil {
+				got.err = err
+				done <- got
+				return
+			}
+			out := make([]float32, p.N)
+			compress.Decode(p, out)
+			// Signs must match the originals (1-bit semantic).
+			for j, v := range out {
+				if (v >= 0) != (originals[p.Row][j] >= 0) {
+					got.err = errSign{p.Row, j}
+					done <- got
+					return
+				}
+			}
+			got.rowSet[p.Row] = true
+		}
+	}()
+
+	// Speculative send with a deadline long enough for all rows on an
+	// in-memory pipe.
+	sent, err := SendFrames(client, payloads, time.Now().Add(2*time.Second))
+	if err != nil {
+		t.Fatalf("send: %v (sent=%d)", err, sent)
+	}
+	client.Close()
+	got := <-done
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if len(got.rowSet) != rows {
+		t.Fatalf("received %d of %d rows", len(got.rowSet), rows)
+	}
+
+	// Error feedback bounds the residual.
+	for i := 0; i < rows; i++ {
+		if codec.ResidualNorm(i) > float64(width) {
+			t.Fatalf("row %d residual unbounded: %v", i, codec.ResidualNorm(i))
+		}
+		if math.IsNaN(codec.ResidualNorm(i)) {
+			t.Fatalf("row %d residual NaN", i)
+		}
+	}
+}
+
+type errSign [2]int
+
+func (e errSign) Error() string { return "sign mismatch in decoded row" }

@@ -1,0 +1,99 @@
+// Package rog is a Go reproduction of "ROG: A High Performance and Robust
+// Distributed Training System for Robotic IoT" (MICRO 2022).
+//
+// ROG performs data-parallel training across a team of robots connected by
+// an unstable wireless network. Instead of synchronizing whole models, it
+// breaks every layer's parameters into rows and schedules the transmission
+// of individual rows against the fluctuating bandwidth:
+//
+//   - RSP (Row Stale Parallel) bounds each row's staleness across workers
+//     and across rows within a worker, preserving SSP's convergence
+//     guarantee at row granularity.
+//   - ATP (Adaptive Transmission Protocol) ranks rows by gradient magnitude
+//     and staleness, and speculatively transmits them under a shared
+//     MTA-time budget so that all devices spend roughly equal time
+//     transmitting, whatever their instantaneous bandwidth.
+//
+// This package is the public face of the repository: strategy drivers
+// (ROG plus the BSP/SSP/FLOWN baselines), the two workloads the paper
+// evaluates (CRUDA domain adaptation and CRIMP implicit mapping), the
+// synthetic wireless substrate, and the full experiment registry that
+// regenerates every table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+// Implement Workload on your model and data (tens of lines — see
+// examples/quickstart), then run a strategy over a simulated robot team:
+//
+//	cfg := rog.Config{
+//		Strategy:          rog.ROG,
+//		Workers:           4,
+//		Threshold:         4,
+//		Env:               rog.Outdoor,
+//		MaxVirtualSeconds: 600,
+//	}
+//	res, err := rog.Run(cfg, workload)
+//
+// Training math is real (from-scratch tensors, backprop and SGD live in
+// internal packages); compute and transmission consume virtual time on a
+// deterministic discrete-event kernel, so a "60-minute" experiment
+// finishes in seconds and is reproducible bit-for-bit.
+package rog
+
+import (
+	"rog/internal/core"
+	"rog/internal/trace"
+)
+
+// Strategy selects the synchronization algorithm.
+type Strategy = core.Strategy
+
+// Synchronization strategies.
+const (
+	// BSP is bulk synchronous parallel: a full barrier every iteration.
+	BSP = core.BSP
+	// SSP is stale synchronous parallel with a fixed staleness threshold.
+	SSP = core.SSP
+	// FLOWN is the dynamic-threshold scheduling baseline.
+	FLOWN = core.FLOWN
+	// ROG is the paper's row-granulated system (RSP + ATP).
+	ROG = core.ROG
+)
+
+// Env selects the wireless environment profile.
+type Env = trace.Env
+
+// Environment profiles calibrated to the paper's Fig. 3 measurements.
+const (
+	// Indoor is the laboratory profile (moderate instability).
+	Indoor = trace.Indoor
+	// Outdoor is the campus-garden profile (severe instability).
+	Outdoor = trace.Outdoor
+)
+
+// Config parameterizes one training run. See core.Config for field
+// documentation.
+type Config = core.Config
+
+// Result reports a finished run: quality checkpoints, per-iteration time
+// composition, energy, and optional micro-event samples.
+type Result = core.Result
+
+// Workload abstracts a training task: per-worker model replicas, local
+// gradient computation, and a quality metric.
+type Workload = core.Workload
+
+// MicroSample is one Fig. 8 micro-event data point.
+type MicroSample = core.MicroSample
+
+// Run executes one experiment to completion.
+func Run(cfg Config, wl Workload) (*Result, error) { return core.Run(cfg, wl) }
+
+// BandwidthTrace is a piecewise-constant bandwidth series in Mbps.
+type BandwidthTrace = trace.Trace
+
+// GenerateTrace synthesizes a bandwidth trace with the calibrated profile
+// of env, for the given duration in seconds.
+func GenerateTrace(env Env, duration float64, seed uint64) *BandwidthTrace {
+	return trace.GenerateEnv(env, duration, seed)
+}

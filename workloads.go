@@ -1,0 +1,32 @@
+package rog
+
+import "rog/internal/harness"
+
+// CRUDAOptions configures the coordinated robotic unsupervised domain
+// adaptation workload (the paper's first application paradigm).
+type CRUDAOptions = harness.CRUDAOptions
+
+// CRUDAWorkload is a Workload: a classifier pretrained on a clean domain
+// adapting online to corrupted data spread across non-IID robot shards.
+type CRUDAWorkload = harness.CRUDAWorkload
+
+// DefaultCRUDAOptions mirrors the paper's default setup at reduced scale.
+func DefaultCRUDAOptions() CRUDAOptions { return harness.DefaultCRUDAOptions() }
+
+// NewCRUDAWorkload synthesizes the dataset, pretrains the shared model,
+// applies the domain shift and shards the data across workers.
+func NewCRUDAWorkload(opts CRUDAOptions) *CRUDAWorkload { return harness.NewCRUDA(opts) }
+
+// CRIMPOptions configures the coordinated robotic implicit mapping and
+// positioning workload (the paper's second application paradigm).
+type CRIMPOptions = harness.CRIMPOptions
+
+// CRIMPWorkload is a Workload: a team of robots jointly trains an implicit
+// map of a synthetic scene, scored by pose-localization error.
+type CRIMPWorkload = harness.CRIMPWorkload
+
+// DefaultCRIMPOptions mirrors the paper's CRIMP setup at reduced scale.
+func DefaultCRIMPOptions() CRIMPOptions { return harness.DefaultCRIMPOptions() }
+
+// NewCRIMPWorkload synthesizes the scene and per-robot trajectories.
+func NewCRIMPWorkload(opts CRIMPOptions) *CRIMPWorkload { return harness.NewCRIMP(opts) }
