@@ -6,6 +6,7 @@
 //
 //	rogtrain -strategy rog -threshold 4 -env outdoor -minutes 10
 //	rogtrain -paradigm crimp -strategy ssp -threshold 20
+//	rogtrain -strategy rog -faults "crash:1@120+60,blackout:0@300+30"
 package main
 
 import (
@@ -28,8 +29,16 @@ func main() {
 		minutes   = flag.Float64("minutes", 10, "virtual training minutes")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		csvPath   = flag.String("csv", "", "write the checkpoint series to this CSV file")
+		faultSpec = flag.String("faults", "", `fault script, e.g. "crash:1@120+60,blackout:0@300+30,flap:2@60+90/5"`)
 	)
+	flag.StringVar(faultSpec, "fault", "", "alias for -faults")
 	flag.Parse()
+
+	faults, err := rog.ParseFaultSchedule(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
+		os.Exit(2)
+	}
 
 	var strat rog.Strategy
 	switch strings.ToLower(*strategy) {
@@ -84,6 +93,7 @@ func main() {
 		LRDecayIters:      600,
 		MaxVirtualSeconds: *minutes * 60,
 		CheckpointEvery:   10,
+		Faults:            faults,
 	}
 	res, err := rog.Run(cfg, wl)
 	if err != nil {
@@ -101,6 +111,9 @@ func main() {
 	fmt.Printf("\navg iteration: compute %.2fs, comm %.2fs, stall %.2fs (stall share %.1f%%)\n",
 		c.Compute, c.Comm, c.Stall, 100*res.StallFrac)
 	fmt.Printf("completed %d iterations, %.0fJ total\n", res.Iterations, res.TotalJoules)
+	if len(faults) > 0 {
+		fmt.Printf("churn: %s\n", res.Churn.String())
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

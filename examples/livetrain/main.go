@@ -61,7 +61,10 @@ func main() {
 		panic(err)
 	}
 	defer ln.Close()
-	srv := livenet.NewServer(part, livenet.ServerConfig{Workers: workers, Threshold: threshold})
+	srv, err := livenet.NewServer(part, livenet.ServerConfig{Workers: workers, Threshold: threshold})
+	if err != nil {
+		panic(err)
+	}
 	var serverWG sync.WaitGroup
 	serverWG.Add(workers)
 	go func() {

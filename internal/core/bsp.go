@@ -21,53 +21,85 @@ func (c *cluster) runBSP() {
 		}
 		n++
 		rs := &roundState{
-			start:    c.k.Now(),
-			commSec:  make([]float64, c.cfg.Workers),
-			pushLeft: c.cfg.Workers,
-			pullLeft: c.cfg.Workers,
+			start:   c.k.Now(),
+			commSec: make([]float64, c.cfg.Workers),
 		}
-		for w := 0; w < c.cfg.Workers; w++ {
-			c.wl.ComputeGradients(w)
-			c.snapshotInto(w)
+		// The barrier counts only the workers attached at round start; a
+		// crashed robot neither computes nor holds up its teammates, and a
+		// rejoined one is included again from the next round.
+		barrier := func() {
+			// Barrier reached: server has every living worker's gradients;
+			// send averaged models back to the workers still attached.
+			var targets []int
+			for s := 0; s < c.cfg.Workers; s++ {
+				if !c.crashed[s] {
+					targets = append(targets, s)
+				}
+			}
+			rs.pullLeft = len(targets)
+			if rs.pullLeft == 0 {
+				return // the whole team is down; the round dies with it
+			}
+			for _, s := range targets {
+				s := s
+				pullStart := c.k.Now()
+				c.ch.StartFlow(s, float64(c.part.TotalWireSize()), func() {
+					rs.commSec[s] += c.k.Now() - pullStart
+					for u := 0; u < c.part.NumUnits(); u++ {
+						c.deliverPull(s, u)
+					}
+					rs.pullLeft--
+					if rs.pullLeft == 0 {
+						// Iteration ends for every participant at the same
+						// instant (the barrier).
+						for _, x := range targets {
+							if !c.crashed[x] {
+								c.finishIteration(x, rs.start, rs.commSec[x])
+							}
+						}
+						startRound()
+					}
+				})
+			}
 		}
-		// Each worker pushes when its own compute finishes (devices may be
-		// heterogeneous); the barrier still waits for every push and pull.
+		arrive := func() {
+			rs.pushLeft--
+			if rs.pushLeft == 0 {
+				barrier()
+			}
+		}
+		rs.pushLeft = c.cfg.Workers
 		for w := 0; w < c.cfg.Workers; w++ {
 			w := w
+			if c.crashed[w] {
+				arrive() // a downed worker contributes nothing this round
+				continue
+			}
+			c.wl.ComputeGradients(w)
+			c.snapshotInto(w)
+			// Each worker pushes when its own compute finishes (devices may
+			// be heterogeneous); the barrier still waits for every push and
+			// pull of the attached team.
 			c.k.After(c.computeSecondsFor(w), func() {
+				if c.crashed[w] {
+					arrive() // crashed during compute: its round is lost
+					return
+				}
 				pushStart := c.k.Now()
 				c.ch.StartFlow(w, float64(c.part.TotalWireSize()), func() {
 					rs.commSec[w] += c.k.Now() - pushStart
 					for u := 0; u < c.part.NumUnits(); u++ {
 						c.deliverPush(w, u, n)
 					}
-					rs.pushLeft--
-					if rs.pushLeft == 0 {
-						// Barrier reached: server has every gradient;
-						// send averaged models back.
-						for s := 0; s < c.cfg.Workers; s++ {
-							s := s
-							pullStart := c.k.Now()
-							c.ch.StartFlow(s, float64(c.part.TotalWireSize()), func() {
-								rs.commSec[s] += c.k.Now() - pullStart
-								for u := 0; u < c.part.NumUnits(); u++ {
-									c.deliverPull(s, u)
-								}
-								rs.pullLeft--
-								if rs.pullLeft == 0 {
-									// Iteration ends for everyone at the
-									// same instant (the barrier).
-									for x := 0; x < c.cfg.Workers; x++ {
-										c.finishIteration(x, rs.start, rs.commSec[x])
-									}
-									startRound()
-								}
-							})
-						}
-					}
+					arrive()
 				})
 			})
 		}
 	}
+	// BSP is round-driven: a rejoined worker needs no explicit resume — the
+	// next barrier includes every attached worker automatically. (If the
+	// entire team goes down the round engine dies with it; BSP has no
+	// membership protocol to revive a fully dead run.)
+	c.resumeFn = func(int) {}
 	startRound()
 }

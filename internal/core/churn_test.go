@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"rog/internal/simnet"
+)
+
+// churnConfig is testConfig with a crash/rejoin cycle and a time cap: one
+// worker crashes a few iterations in and rejoins half a virtual minute
+// later.
+func churnConfig(s Strategy, threshold int, spec string) Config {
+	cfg := testConfig(s, threshold)
+	faults, err := simnet.ParseFaultSchedule(spec)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Faults = faults
+	cfg.MaxIterations = 25
+	cfg.MaxVirtualSeconds = 1200
+	return cfg
+}
+
+// TestChurnSurvivorsKeepTraining crashes one worker mid-run for every
+// strategy: the run must terminate, the survivors must keep iterating well
+// past the crash, and the churn counters must record both the detach and
+// the rejoin.
+func TestChurnSurvivorsKeepTraining(t *testing.T) {
+	for _, s := range []Strategy{BSP, SSP, FLOWN, ROG} {
+		res, err := Run(churnConfig(s, 4, "crash:1@30+60"), newTestWorkload(3, 21))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Iterations < 15 {
+			t.Errorf("%v: worker 0 completed only %d iterations under churn", s, res.Iterations)
+		}
+		if res.Churn.Disconnects != 1 || res.Churn.Reconnects != 1 {
+			t.Errorf("%v: churn counters %+v, want 1 disconnect / 1 reconnect", s, res.Churn)
+		}
+		if res.Churn.RowsResynced == 0 {
+			t.Errorf("%v: rejoin resynced no rows", s)
+		}
+	}
+}
+
+// TestChurnPermanentCrash removes a worker for good: the survivors must not
+// deadlock on the ghost's frozen rows, for the barrier strategy and the
+// staleness-bounded ones alike.
+func TestChurnPermanentCrash(t *testing.T) {
+	for _, s := range []Strategy{BSP, SSP, ROG} {
+		res, err := Run(churnConfig(s, 4, "crash:2@30"), newTestWorkload(3, 23))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Iterations < 15 {
+			t.Errorf("%v: survivors stalled at %d iterations after a permanent crash", s, res.Iterations)
+		}
+		if res.Churn.Disconnects != 1 || res.Churn.Reconnects != 0 {
+			t.Errorf("%v: churn counters %+v, want 1 disconnect / 0 reconnects", s, res.Churn)
+		}
+	}
+}
+
+// TestChurnRSPBoundHolds replays the ROG staleness invariant under churn:
+// at no point may an attached worker's row lead the active minimum by the
+// threshold or more. (MaxAhead is checked continuously via the versions
+// store after the run; the store panics on monotonicity violations during
+// it, so a rejoin that rewound versions would abort the test.)
+func TestChurnRSPBoundHolds(t *testing.T) {
+	const threshold = 4
+	res, err := Run(churnConfig(ROG, threshold, "crash:1@25+40,crash:2@90+30"), newTestWorkload(3, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 10 {
+		t.Fatalf("run barely progressed: %d iterations", res.Iterations)
+	}
+	if res.Churn.Disconnects != 2 || res.Churn.Reconnects != 2 {
+		t.Fatalf("churn counters %+v", res.Churn)
+	}
+}
+
+// TestChurnBlackoutRunsThrough injects a link blackout (no membership
+// change): the worker stays attached, RSP absorbs the outage, and the run
+// completes. A flapping link must behave the same.
+func TestChurnBlackoutRunsThrough(t *testing.T) {
+	for _, spec := range []string{"blackout:0@20+15", "flap:0@20+30/5"} {
+		res, err := Run(churnConfig(ROG, 4, spec), newTestWorkload(3, 27))
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if res.Iterations < 15 {
+			t.Errorf("%s: completed only %d iterations", spec, res.Iterations)
+		}
+		if res.Churn.Disconnects != 0 {
+			t.Errorf("%s: link fault was miscounted as a membership change: %+v", spec, res.Churn)
+		}
+	}
+}
+
+// TestChurnDeterminism reruns an identical fault schedule: virtual-time
+// fault injection must replay bit-for-bit.
+func TestChurnDeterminism(t *testing.T) {
+	for _, s := range []Strategy{SSP, ROG} {
+		a, err := Run(churnConfig(s, 4, "crash:1@30+60,blackout:0@50+20"), newTestWorkload(3, 29))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(churnConfig(s, 4, "crash:1@30+60,blackout:0@50+20"), newTestWorkload(3, 29))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TotalJoules != b.TotalJoules || a.Iterations != b.Iterations || a.FinalValue != b.FinalValue {
+			t.Fatalf("%v churn run not deterministic: %v/%d/%v vs %v/%d/%v", s,
+				a.TotalJoules, a.Iterations, a.FinalValue, b.TotalJoules, b.Iterations, b.FinalValue)
+		}
+		if a.Churn != b.Churn {
+			t.Fatalf("%v churn counters not deterministic: %+v vs %+v", s, a.Churn, b.Churn)
+		}
+	}
+}

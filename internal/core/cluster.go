@@ -138,6 +138,12 @@ type Config struct {
 	// seconds of dead air. 0 = speculative transmission (the default).
 	PerUnitCheckSeconds float64
 
+	// Faults is the injected fault schedule: worker crashes (with optional
+	// rejoin), link blackouts and flapping links, all in virtual time —
+	// parsed from the CLI/config grammar by simnet.ParseFaultSchedule. Empty
+	// means a fault-free run.
+	Faults simnet.FaultSchedule
+
 	MaxIterations     int     // stop after worker 0 completes this many
 	MaxVirtualSeconds float64 // and/or after this much virtual time
 	CheckpointEvery   int     // evaluate every N worker-0 iterations
@@ -177,6 +183,9 @@ func (c *Config) Validate() error {
 	if c.Traces != nil && len(c.Traces) != c.Workers {
 		return fmt.Errorf("core: Traces has %d entries for %d workers", len(c.Traces), c.Workers)
 	}
+	if err := c.Faults.Validate(c.Workers); err != nil {
+		return err
+	}
 	if c.MaxIterations <= 0 && c.MaxVirtualSeconds <= 0 {
 		return fmt.Errorf("core: no termination condition configured")
 	}
@@ -209,6 +218,7 @@ type Result struct {
 	StallFrac   float64             // stall share of the average iteration
 	Micro       []MicroSample
 	FinalValue  float64
+	Churn       metrics.ChurnStats // membership-churn counters (fault runs)
 }
 
 // Label renders "BSP", "SSP-4", "ROG-20", …
@@ -251,6 +261,15 @@ type cluster struct {
 	halted  []bool
 	tracker *atp.TimeTracker
 
+	// Fault-tolerance state: crashed workers, the waiter list RSP parks
+	// blocked workers on (shared with the fault layer so a detach can wake
+	// and attribute the released stall), the driver's per-worker resume hook
+	// for rejoins, and the churn counters.
+	crashed  []bool
+	waiters  *waitList
+	resumeFn func(w int)
+	churn    metrics.ChurnStats
+
 	micro []MicroSample
 
 	// decode scratch
@@ -284,6 +303,8 @@ func newCluster(cfg Config, wl Workload) *cluster {
 		part:    part,
 		tracker: atp.NewTimeTracker(cfg.Workers, 1.0),
 		scratch: make([]float32, maxUnitLen(part)),
+		crashed: make([]bool, cfg.Workers),
+		waiters: newWaitList(),
 	}
 	c.series.Name = fmt.Sprintf("%s-%d", cfg.Strategy, cfg.Threshold)
 	for w := 0; w < cfg.Workers; w++ {
@@ -482,6 +503,7 @@ func (c *cluster) result() *Result {
 		StallFrac:   stallFrac,
 		Micro:       c.micro,
 		FinalValue:  c.series.Last().Value,
+		Churn:       c.churn,
 	}
 	return r
 }
@@ -508,6 +530,11 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+	if len(cfg.Faults) > 0 {
+		if err := c.installFaults(); err != nil {
+			return nil, err
+		}
 	}
 	c.k.RunUntilIdle(200_000_000)
 	c.checkpoint() // final point

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"rog/internal/energy"
+	"rog/internal/simnet"
+)
+
+// This file is the membership layer of the simulated cluster: it binds the
+// simnet fault injector's crash/rejoin events to the VersionStore's
+// Detach/Attach protocol, so every driver survives worker dropout the same
+// way the live parameter server does.
+//
+// Semantics:
+//   - A crash takes effect immediately for membership (the worker's rows
+//     stop pinning the RSP minimum and parked survivors are re-evaluated)
+//     but in-flight events of the crashed worker complete — its abandoned
+//     iteration simply never finishes, so the crash lands at an iteration
+//     boundary from the driver's point of view.
+//   - Gradient averaging keeps folding survivor pushes into the crashed
+//     worker's server-side copy, which therefore accumulates exactly the
+//     state a rejoin must replay.
+//   - A rejoin re-attaches the worker (rows re-baselined at the surviving
+//     minimum), transmits the accumulated rows over the worker's link as a
+//     single resync flow, fast-forwards the worker's iteration counters to
+//     the baseline, and restarts its driver loop.
+//
+// Link faults (blackout, flap) bypass this file entirely: the injector
+// drives Channel.SetLinkDown and the fluid-flow model stalls/resumes the
+// affected flows. The worker stays attached — RSP's own staleness control
+// is what bounds the damage, which is exactly the behaviour the churn
+// experiment measures.
+
+// installFaults schedules cfg.Faults against this cluster's kernel.
+func (c *cluster) installFaults() error {
+	inj := simnet.NewInjector(c.k, c.ch)
+	inj.OnCrash = c.crashWorker
+	inj.OnRejoin = c.rejoinWorker
+	return inj.Install(c.cfg.Faults)
+}
+
+// crashWorker detaches worker w at the current virtual instant.
+func (c *cluster) crashWorker(w int) {
+	if c.crashed[w] {
+		return
+	}
+	c.crashed[w] = true
+	c.churn.Disconnects++
+	c.versions.Detach(w)
+	// The ghost itself must not resume; survivors it was blocking re-check
+	// their staleness predicate now, and any wait the detach releases is
+	// churn-attributable stall.
+	c.waiters.drop(w)
+	c.waiters.wakeAttributing(c.k.Now(), &c.churn.DetachStall)
+}
+
+// rejoinWorker re-admits worker w: membership first (so the staleness
+// bound holds from this instant), then the resync transmission, then the
+// driver restart.
+func (c *cluster) rejoinWorker(w int) {
+	if !c.crashed[w] {
+		return
+	}
+	base := c.versions.Attach(w)
+	c.churn.Reconnects++
+	// Fast-forward the worker's counters to the baseline: its next
+	// iteration must version-stamp rows above every re-baselined entry.
+	if c.iter[w] < base {
+		c.iter[w] = base
+	}
+	for u := range c.pushIter[w] {
+		if c.pushIter[w][u] < base {
+			c.pushIter[w][u] = base
+		}
+	}
+	// The rejoin resync: every averaged row that accumulated while the
+	// worker was away rides one flow over its (possibly still weak) link.
+	var units []int
+	var bytes float64
+	for u := 0; u < c.part.NumUnits(); u++ {
+		if c.serverAcc[w].MeanAbs(u) != 0 {
+			units = append(units, u)
+			bytes += float64(c.part.WireSize(u))
+		}
+	}
+	c.churn.RowsResynced += len(units)
+	c.crashed[w] = false
+	start := c.k.Now()
+	c.ch.StartFlow(w, bytes, func() {
+		for _, u := range units {
+			c.deliverPull(w, u)
+		}
+		c.meters[w].Add(energy.Communicate, c.k.Now()-start)
+		if c.resumeFn != nil {
+			c.resumeFn(w)
+		}
+	})
+}

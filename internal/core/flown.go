@@ -11,7 +11,7 @@ import "math"
 // shifts *during* a transmission the schedule is already stale — the
 // mismatch the paper blames for FLOWN's residual stall (Sec. I, Fig. 1).
 func (c *cluster) runFLOWN() {
-	waiters := newWaitList()
+	waiters := c.waiters
 	// Estimated bandwidth per worker (bytes/s on the shared channel),
 	// seeded optimistically from the first links.
 	estBw := make([]float64, c.cfg.Workers)
@@ -45,6 +45,9 @@ func (c *cluster) runFLOWN() {
 
 	var startIter func(w int)
 	startIter = func(w int) {
+		if c.crashed[w] {
+			return // rejoin restarts the loop via resumeFn
+		}
 		if c.shouldHalt(w) {
 			c.halted[w] = true
 			return
@@ -57,6 +60,9 @@ func (c *cluster) runFLOWN() {
 		c.snapshotInto(w)
 
 		c.k.After(c.computeSecondsFor(w), func() {
+			if c.crashed[w] {
+				return // crashed during compute: the iteration is lost
+			}
 			// Scheduling decision: skip synchronization this iteration if
 			// the worker is inside its assigned period and skipping cannot
 			// trip the global threshold.
@@ -82,6 +88,9 @@ func (c *cluster) runFLOWN() {
 				waiters.wake()
 
 				pull := func() bool {
+					if c.crashed[w] {
+						return true // abandon: the crash ends the iteration
+					}
 					if n-c.versions.Min() >= int64(c.cfg.Threshold) {
 						return false
 					}
@@ -97,11 +106,12 @@ func (c *cluster) runFLOWN() {
 					return true
 				}
 				if !pull() {
-					waiters.park(w, pull)
+					waiters.park(w, c.k.Now(), pull)
 				}
 			})
 		})
 	}
+	c.resumeFn = startIter
 	for w := 0; w < c.cfg.Workers; w++ {
 		startIter(w)
 	}

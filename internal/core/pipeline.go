@@ -22,7 +22,7 @@ import (
 // zero and total metered time may exceed wall time (both chips draw power
 // simultaneously, so the energy integral remains correct).
 func (c *cluster) runROGPipelined() {
-	waiters := newWaitList()
+	waiters := c.waiters
 	numUnits := c.part.NumUnits()
 	mtaCount := int(math.Ceil(atp.MTA(c.cfg.Threshold) * float64(numUnits)))
 
@@ -62,6 +62,9 @@ func (c *cluster) runROGPipelined() {
 
 	beginComm = func(w int, n int64) {
 		st := states[w]
+		if c.crashed[w] {
+			return
+		}
 		st.commBusy = true
 		st.readyIter = 0
 		commSec := 0.0
@@ -102,6 +105,9 @@ func (c *cluster) runROGPipelined() {
 			}
 			waiters.wake()
 			pull := func() bool {
+				if c.crashed[w] {
+					return true // abandon: the crash ends the iteration
+				}
 				if n-c.versions.Min() >= int64(c.cfg.Threshold) {
 					return false
 				}
@@ -116,7 +122,7 @@ func (c *cluster) runROGPipelined() {
 				return true
 			}
 			if !pull() {
-				waiters.park(w, pull)
+				waiters.park(w, c.k.Now(), pull)
 			}
 		})
 		// The radio is now busy with iteration n; the CPU may start on n+1.
@@ -125,6 +131,9 @@ func (c *cluster) runROGPipelined() {
 
 	tryCompute = func(w int) {
 		st := states[w]
+		if c.crashed[w] {
+			return // rejoin restarts the pipeline via resumeFn
+		}
 		if st.cpuBusy || st.readyIter != 0 {
 			return // CPU occupied, or a snapshot still waits for the radio
 		}
@@ -137,6 +146,9 @@ func (c *cluster) runROGPipelined() {
 		n := st.computeIter
 		c.wl.ComputeGradients(w)
 		c.k.After(c.computeSecondsFor(w), func() {
+			if c.crashed[w] {
+				return // crashed during compute: the iteration is lost
+			}
 			c.snapshotInto(w)
 			st.cpuBusy = false
 			st.readyIter = n
@@ -146,6 +158,17 @@ func (c *cluster) runROGPipelined() {
 		})
 	}
 
+	// A rejoined worker restarts with an idle CPU and radio; its pipeline
+	// counter fast-forwards to the membership baseline so the first push
+	// after the resync stays monotone.
+	c.resumeFn = func(w int) {
+		st := states[w]
+		st.cpuBusy, st.commBusy, st.readyIter = false, false, 0
+		if st.computeIter < c.iter[w] {
+			st.computeIter = c.iter[w]
+		}
+		tryCompute(w)
+	}
 	for w := 0; w < c.cfg.Workers; w++ {
 		tryCompute(w)
 	}

@@ -138,12 +138,15 @@ func (c *cluster) sendPlanSequential(w int, pc planContext, mustCount int, budge
 // and pulls ordered by the ATP importance metric, bounded by the MTA-time
 // budget, under RSP's two-level staleness control.
 func (c *cluster) runROG() {
-	waiters := newWaitList()
+	waiters := c.waiters
 	numUnits := c.part.NumUnits()
 	mtaCount := int(math.Ceil(atp.MTA(c.cfg.Threshold) * float64(numUnits)))
 
 	var startIter func(w int)
 	startIter = func(w int) {
+		if c.crashed[w] {
+			return // rejoin restarts the loop via resumeFn
+		}
 		if c.shouldHalt(w) {
 			c.halted[w] = true
 			return
@@ -156,6 +159,9 @@ func (c *cluster) runROG() {
 		c.snapshotInto(w)
 
 		c.k.After(c.computeSecondsFor(w), func() {
+			if c.crashed[w] {
+				return // crashed during compute: the iteration is lost
+			}
 			// --- Push phase (Algo. 1 PushGradients + Algo. 3 worker mode).
 			// Gradient magnitudes are normalized by their mean so the f1
 			// term lives on the same O(1) scale as the staleness term,
@@ -222,6 +228,9 @@ func (c *cluster) runROG() {
 				// pull is served only when it is not ≥ threshold ahead of
 				// the slowest row anywhere.
 				pull := func() bool {
+					if c.crashed[w] {
+						return true // abandon: the crash ends the iteration
+					}
 					if n-c.versions.Min() >= int64(c.cfg.Threshold) {
 						return false
 					}
@@ -232,11 +241,12 @@ func (c *cluster) runROG() {
 					return true
 				}
 				if !pull() {
-					waiters.park(w, pull)
+					waiters.park(w, c.k.Now(), pull)
 				}
 			})
 		})
 	}
+	c.resumeFn = startIter
 	for w := 0; w < c.cfg.Workers; w++ {
 		startIter(w)
 	}

@@ -1,21 +1,52 @@
 package core
 
+import "sort"
+
 // waitList holds workers blocked on the staleness predicate, with the
-// check to re-evaluate whenever server versions advance.
+// check to re-evaluate whenever server versions advance. Park times are
+// recorded so a wake triggered by a membership detach can attribute the
+// released stall to churn.
 type waitList struct {
-	pending map[int]func() bool // worker → "try to resume; true if resumed"
+	pending  map[int]func() bool // worker → "try to resume; true if resumed"
+	parkedAt map[int]float64     // worker → virtual time it parked
 }
 
-func newWaitList() *waitList { return &waitList{pending: make(map[int]func() bool)} }
+func newWaitList() *waitList {
+	return &waitList{pending: make(map[int]func() bool), parkedAt: make(map[int]float64)}
+}
 
-// park registers worker w's retry closure.
-func (wl *waitList) park(w int, retry func() bool) { wl.pending[w] = retry }
+// park registers worker w's retry closure, stamped with the current time.
+func (wl *waitList) park(w int, now float64, retry func() bool) {
+	wl.pending[w] = retry
+	wl.parkedAt[w] = now
+}
 
-// wake retries every parked worker; resumed ones are removed.
-func (wl *waitList) wake() {
-	for w, retry := range wl.pending {
-		if retry() {
-			delete(wl.pending, w)
+// drop discards worker w's parked retry without running it (the worker
+// crashed while blocked; a ghost must not resume).
+func (wl *waitList) drop(w int) {
+	delete(wl.pending, w)
+	delete(wl.parkedAt, w)
+}
+
+// wake retries every parked worker; resumed ones are removed. Workers are
+// retried in index order so the resulting event sequence is deterministic.
+func (wl *waitList) wake() { wl.wakeAttributing(0, nil) }
+
+// wakeAttributing is wake with churn accounting: when stall is non-nil,
+// each resumed worker adds its time-parked to *stall (the caller passes the
+// churn counter when the wake was caused by a detach).
+func (wl *waitList) wakeAttributing(now float64, stall *float64) {
+	workers := make([]int, 0, len(wl.pending))
+	for w := range wl.pending {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		if wl.pending[w]() {
+			if stall != nil {
+				*stall += now - wl.parkedAt[w]
+			}
+			wl.drop(w)
 		}
 	}
 }
@@ -26,10 +57,13 @@ func (wl *waitList) wake() {
 // keep statistical efficiency but stall under bandwidth fades; large ones
 // trade accuracy-per-iteration for speed (paper Fig. 1).
 func (c *cluster) runSSP() {
-	waiters := newWaitList()
+	waiters := c.waiters
 	var startIter func(w int)
 
 	startIter = func(w int) {
+		if c.crashed[w] {
+			return // rejoin restarts the loop via resumeFn
+		}
 		if c.shouldHalt(w) {
 			c.halted[w] = true
 			return
@@ -42,6 +76,9 @@ func (c *cluster) runSSP() {
 		c.snapshotInto(w)
 
 		c.k.After(c.computeSecondsFor(w), func() {
+			if c.crashed[w] {
+				return // crashed during compute: the iteration is lost
+			}
 			pushStart := c.k.Now()
 			c.ch.StartFlow(w, float64(c.part.TotalWireSize()), func() {
 				commSec += c.k.Now() - pushStart
@@ -51,6 +88,9 @@ func (c *cluster) runSSP() {
 				waiters.wake()
 
 				pull := func() bool {
+					if c.crashed[w] {
+						return true // abandon: the crash ends the iteration
+					}
 					// SSP condition: too far ahead of the slowest clock?
 					if n-c.versions.Min() >= int64(c.cfg.Threshold) {
 						return false
@@ -67,11 +107,12 @@ func (c *cluster) runSSP() {
 					return true
 				}
 				if !pull() {
-					waiters.park(w, pull)
+					waiters.park(w, c.k.Now(), pull)
 				}
 			})
 		})
 	}
+	c.resumeFn = startIter
 	for w := 0; w < c.cfg.Workers; w++ {
 		startIter(w)
 	}

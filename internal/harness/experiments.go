@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rog/internal/core"
+	"rog/internal/simnet"
 	"rog/internal/trace"
 )
 
@@ -90,6 +91,9 @@ type EndToEndOptions struct {
 	// model variants for the ext-convmlp / ext-gridmap experiments.
 	ConvMLP bool
 	GridMap bool
+	// Faults injects the same virtual-time fault schedule (worker crashes,
+	// link blackouts, flaps) into every compared system's run.
+	Faults simnet.FaultSchedule
 }
 
 // paradigmConfig returns the per-paradigm timing constants: compute time
@@ -157,6 +161,7 @@ func RunEndToEnd(o EndToEndOptions) ([]*core.Result, error) {
 			MaxVirtualSeconds: o.Scale.VirtualSeconds,
 			CheckpointEvery:   o.Scale.CheckpointEvery,
 			RecordMicro:       o.RecordMicro,
+			Faults:            o.Faults,
 		}
 		res, err := core.Run(cfg, wl)
 		if err != nil {

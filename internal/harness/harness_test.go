@@ -153,6 +153,7 @@ func TestRegistryCompleteness(t *testing.T) {
 		"fig1", "fig3", "fig6", "fig7", "fig8", "fig9batch", "fig9workers",
 		"fig10", "table1", "table2", "table3",
 		"ablation-granularity", "ablation-importance", "ablation-speculative",
+		"churn",
 	}
 	if len(reg) != len(want)+3 { // +3: ext-pipeline, ext-convmlp, ext-gridmap
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -177,6 +178,25 @@ func TestFastExperimentsRun(t *testing.T) {
 		if len(out) < 50 {
 			t.Fatalf("%s: suspiciously short output:\n%s", id, out)
 		}
+	}
+}
+
+func TestChurnExperiment(t *testing.T) {
+	e, ok := Find("churn")
+	if !ok {
+		t.Fatal("churn experiment not registered")
+	}
+	out, err := e.Run(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"disconnects", "reconnects", "rows resynced", "detach-stall"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("churn report missing %q:\n%s", col, out)
+		}
+	}
+	if !strings.Contains(out, "ROG-4") || !strings.Contains(out, "BSP") {
+		t.Fatalf("churn report missing systems:\n%s", out)
 	}
 }
 

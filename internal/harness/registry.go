@@ -10,6 +10,7 @@ import (
 	"rog/internal/energy"
 	"rog/internal/metrics"
 	"rog/internal/rowsync"
+	"rog/internal/simnet"
 	"rog/internal/trace"
 )
 
@@ -38,6 +39,7 @@ func Registry() []Experiment {
 		{"ablation-granularity", "Granularity ablation: rows vs layers vs elements (Sec. III-A)", runAblationGranularity},
 		{"ablation-importance", "Importance-metric ablation: magnitude vs staleness terms (Algo. 3)", runAblationImportance},
 		{"ablation-speculative", "Speculative transmission vs per-row timeout checks (Sec. III-A)", runAblationSpeculative},
+		{"churn", "Robustness: accuracy vs time under worker crash, rejoin, and blackout (membership churn)", runChurn},
 		{"ext-pipeline", "Future-work extension: pipelined computation and communication (Sec. VI-D)", runExtPipeline},
 		{"ext-convmlp", "Architecture-faithful CRUDA: ConvMLP stem + MLP head on synthetic images", runExtConvMLP},
 		{"ext-gridmap", "Architecture-faithful CRIMP: NICE-SLAM-style feature-grid map", runExtGridMap},
@@ -407,6 +409,41 @@ func runExtPipeline(s Scale) (string, error) {
 		rows,
 	))
 	b.WriteString("\noverlapping hides communication behind the next iteration's compute\n")
+	return b.String(), nil
+}
+
+// runChurn is the robustness experiment: the same crash/rejoin/blackout
+// schedule is injected into BSP, SSP and ROG runs, and the report shows who
+// keeps learning through it. Worker 1 crashes a quarter of the way in and
+// rejoins at the half-way mark; worker 2's link then blacks out for an
+// eighth of the run without any membership change.
+func runChurn(s Scale) (string, error) {
+	t := s.VirtualSeconds
+	spec := fmt.Sprintf("crash:1@%.0f+%.0f,blackout:2@%.0f+%.0f", t/4, t/4, 5*t/8, t/8)
+	faults, err := simnet.ParseFaultSchedule(spec)
+	if err != nil {
+		return "", err
+	}
+	results, err := RunEndToEnd(EndToEndOptions{
+		Paradigm: "cruda", Env: trace.Outdoor, Scale: s,
+		Systems: SensitivitySystems(),
+		Faults:  faults,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Robustness: membership churn (CRUDA outdoors, faults %s) ==\n\n", spec)
+	b.WriteString("-- accuracy vs wall-clock time --\n")
+	b.WriteString(SeriesByTime(results, s.VirtualSeconds/8))
+	b.WriteString("\n-- average time composition of a training iteration --\n")
+	b.WriteString(CompositionTable(results))
+	b.WriteString("\n-- membership churn --\n")
+	b.WriteString(ChurnTable(results))
+	if sum := Summary(results, true); sum != "" {
+		b.WriteString("\n" + sum + "\n")
+	}
+	b.WriteString("\ncrashed rows stop pinning the staleness minimum; the rejoin replays the accumulated averaged rows\n")
 	return b.String(), nil
 }
 

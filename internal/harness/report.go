@@ -172,6 +172,28 @@ func MicroTable(samples []core.MicroSample, maxRows int) string {
 	return metrics.FormatTable([]string{"time(s)", "bandwidth(Mbps)", "tx rate", "staleness"}, rows)
 }
 
+// ChurnTable renders the membership-churn counters of a fault-injected
+// comparison: how each system experienced the same crash/rejoin schedule.
+func ChurnTable(results []*core.Result) string {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		c := r.Churn
+		rows = append(rows, []string{
+			r.Label(),
+			fmt.Sprintf("%d", c.Disconnects),
+			fmt.Sprintf("%d", c.Reconnects),
+			fmt.Sprintf("%d", c.RowsResynced),
+			fmt.Sprintf("%.1f", c.DetachStall),
+			fmt.Sprintf("%d", r.Iterations),
+			fmt.Sprintf("%.4f", r.FinalValue),
+		})
+	}
+	return metrics.FormatTable(
+		[]string{"system", "disconnects", "reconnects", "rows resynced", "detach-stall(s)", "iterations", "final"},
+		rows,
+	)
+}
+
 // Summary is the one-line comparative verdict printed under each figure.
 func Summary(results []*core.Result, increasing bool) string {
 	var rog, best *core.Result

@@ -1,0 +1,51 @@
+package livenet
+
+import (
+	"time"
+
+	"rog/internal/tensor"
+)
+
+// Backoff computes capped exponential reconnect delays with jitter. The
+// jitter is drawn from a seeded deterministic generator, so tests replay
+// the same delay sequence while a fleet of real robots (different seeds)
+// still desynchronizes its reconnect storms.
+type Backoff struct {
+	// Base is the first delay; each retry doubles it up to Max.
+	Base time.Duration
+	// Max caps the un-jittered delay.
+	Max time.Duration
+	// Jitter in [0,1] is the fraction of the delay randomized: the returned
+	// delay is uniform in [d·(1−Jitter), d].
+	Jitter float64
+
+	rng     *tensor.RNG
+	attempt int
+}
+
+// NewBackoff returns a backoff policy with the given base/cap and ±20%
+// jitter seeded deterministically.
+func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
+	return &Backoff{Base: base, Max: max, Jitter: 0.2, rng: tensor.NewRNG(seed)}
+}
+
+// Next returns the delay before the next reconnect attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	d := b.Base << b.attempt
+	if d > b.Max || d <= 0 { // <= 0 guards shift overflow
+		d = b.Max
+	}
+	if b.attempt < 62 {
+		b.attempt++
+	}
+	if b.Jitter > 0 && b.rng != nil {
+		f := 1 - b.Jitter*b.rng.Float64()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// Reset returns the schedule to the base delay, for use after a healthy
+// stretch of iterations.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"rog/internal/compress"
 	"rog/internal/nn"
@@ -17,7 +18,10 @@ func liveCluster(t *testing.T, workers, threshold int, seed uint64) (*Server, []
 	t.Helper()
 	proto := nn.NewClassifierMLP(6, []int{10}, 4, tensor.NewRNG(seed))
 	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
-	srv := NewServer(part, ServerConfig{Workers: workers, Threshold: threshold})
+	srv, err := NewServer(part, ServerConfig{Workers: workers, Threshold: threshold})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
 
 	var models []*nn.Sequential
 	var ws []*Worker
@@ -180,17 +184,16 @@ func TestServerConfigValidation(t *testing.T) {
 	proto := nn.NewClassifierMLP(4, []int{4}, 2, tensor.NewRNG(1))
 	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
 	for name, cfg := range map[string]ServerConfig{
-		"workers":   {Workers: 1, Threshold: 4},
-		"threshold": {Workers: 3, Threshold: 1},
+		"workers":     {Workers: 1, Threshold: 4},
+		"threshold":   {Workers: 3, Threshold: 1},
+		"idleTimeout": {Workers: 3, Threshold: 4, IdleTimeout: -time.Second},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			NewServer(part, cfg)
-		}()
+		if _, err := NewServer(part, cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := NewServer(part, ServerConfig{Workers: 2, Threshold: 2}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
 	}
 }
 
@@ -205,6 +208,7 @@ func TestProtocolRoundtrip(t *testing.T) {
 		{"pushDone", pushDoneMsg(7, 1.25), kindPushDone},
 		{"pull", pullMsg(p), kindPull},
 		{"pullDone", pullDoneMsg(0.5), kindPullDone},
+		{"resyncDone", resyncDoneMsg(9, 0.25), kindResyncDone},
 	} {
 		msg, err := parse(tc.frame)
 		if err != nil {
@@ -220,7 +224,10 @@ func TestProtocolRoundtrip(t *testing.T) {
 	if m, _ := parse(pullDoneMsg(0.5)); m.budget != 0.5 {
 		t.Fatalf("pullDone budget: %v", m.budget)
 	}
-	for _, bad := range [][]byte{{}, {'Z', 1}, {kindRow, 1}, {kindPushDone, 1, 2}} {
+	if m, _ := parse(resyncDoneMsg(9, 0.25)); m.iter != 9 || m.budget != 0.25 {
+		t.Fatalf("resyncDone fields: %+v", m)
+	}
+	for _, bad := range [][]byte{{}, {'Z', 1}, {kindRow, 1}, {kindPushDone, 1, 2}, {kindResyncDone, 1}} {
 		if _, err := parse(bad); err == nil {
 			t.Fatalf("bad frame %v accepted", bad)
 		}

@@ -20,10 +20,11 @@ import (
 
 // Message kinds on the wire. Every frame body starts with one kind byte.
 const (
-	kindRow      = 'R' // worker→server: one row of gradients for iteration n
-	kindPushDone = 'D' // worker→server: push finished; carries measured MTA time
-	kindPull     = 'P' // server→worker: one averaged row
-	kindPullDone = 'E' // server→worker: pull finished; carries new MTA budget
+	kindRow        = 'R' // worker→server: one row of gradients for iteration n
+	kindPushDone   = 'D' // worker→server: push finished; carries measured MTA time
+	kindPull       = 'P' // server→worker: one averaged row
+	kindPullDone   = 'E' // server→worker: pull finished; carries new MTA budget
+	kindResyncDone = 'Y' // server→worker: rejoin resync finished; carries the baseline iteration and MTA budget
 )
 
 // rowMsg encodes a gradient row pushed for iteration iter.
@@ -61,6 +62,19 @@ func pullDoneMsg(budgetSeconds float64) []byte {
 	out := make([]byte, 1+8)
 	out[0] = kindPullDone
 	binary.LittleEndian.PutUint64(out[1:], math.Float64bits(budgetSeconds))
+	return out
+}
+
+// resyncDoneMsg ends a rejoin resync: the preceding kindPull frames carried
+// every averaged row the worker missed while detached, baseline is the
+// iteration the server re-baselined the worker's rows at (the worker
+// fast-forwards its own counter so its next push stays monotone), and
+// budget seeds the MTA budget for the next push.
+func resyncDoneMsg(baseline int64, budgetSeconds float64) []byte {
+	out := make([]byte, 1+8+8)
+	out[0] = kindResyncDone
+	binary.LittleEndian.PutUint64(out[1:], uint64(baseline))
+	binary.LittleEndian.PutUint64(out[9:], math.Float64bits(budgetSeconds))
 	return out
 }
 
@@ -113,6 +127,15 @@ func parse(frame []byte) (parsed, error) {
 		return parsed{
 			kind:   kindPullDone,
 			budget: math.Float64frombits(binary.LittleEndian.Uint64(frame[1:])),
+		}, nil
+	case kindResyncDone:
+		if len(frame) != 17 {
+			return parsed{}, fmt.Errorf("livenet: bad resync-done frame")
+		}
+		return parsed{
+			kind:   kindResyncDone,
+			iter:   int64(binary.LittleEndian.Uint64(frame[1:])),
+			budget: math.Float64frombits(binary.LittleEndian.Uint64(frame[9:])),
 		}, nil
 	default:
 		return parsed{}, fmt.Errorf("livenet: unknown frame kind %q", frame[0])

@@ -1,13 +1,16 @@
 package livenet
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"rog/internal/atp"
 	"rog/internal/compress"
+	"rog/internal/metrics"
 	"rog/internal/rowsync"
 	"rog/internal/transport"
 )
@@ -20,34 +23,83 @@ type ServerConfig struct {
 	// MTAFloorSeconds lower-bounds the transmission budget so that a cold
 	// start or a microsecond in-process pipe never collapses it to zero.
 	MTAFloorSeconds float64
+	// IdleTimeout detaches a worker whose connection has produced no frame
+	// for this long — the silent-stall case where the radio association
+	// lingers but the robot is gone. 0 disables stall detection; a vanished
+	// worker is then detached only when its connection errors out.
+	IdleTimeout time.Duration
+}
+
+// DisconnectReason classifies why a worker's connection ended.
+type DisconnectReason int
+
+const (
+	// DisconnectClean is an orderly shutdown: the peer closed the
+	// connection and the stream ended at a frame boundary.
+	DisconnectClean DisconnectReason = iota
+	// DisconnectError is an abrupt failure: reset, protocol violation, or
+	// a mid-frame break.
+	DisconnectError
+	// DisconnectStall is a silent stall: the link stayed up but no frame
+	// arrived within IdleTimeout.
+	DisconnectStall
+)
+
+// String names the reason.
+func (r DisconnectReason) String() string {
+	switch r {
+	case DisconnectClean:
+		return "clean close"
+	case DisconnectError:
+		return "connection error"
+	case DisconnectStall:
+		return "silent stall"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
 }
 
 // Server is the live parameter server (Algo. 2 over real connections).
 // It holds no model — only per-worker averaged-gradient copies, row
 // versions, and the MTA-time tracker. One goroutine per worker calls
 // HandleConn.
+//
+// Membership: a worker whose connection ends — cleanly, abruptly, or by
+// silent stall — is detached: its rows stop holding back the RSP minimum,
+// so the survivors keep training with gradient averaging re-normalized to
+// the remaining team. A later HandleConn for the same worker re-attaches
+// it: the server first replays every averaged row that accumulated while
+// the worker was away (the rejoin resync), so the returning robot catches
+// up without violating the staleness bound.
 type Server struct {
 	cfg  ServerConfig
 	part *rowsync.Partition
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	acc        []*rowsync.GradStore // per-worker averaged copies ḡ^s
-	codecs     []*compress.Codec    // per-worker downlink error feedback
-	pending    [][]compress.Payload // rows encoded for an in-flight pull
-	versions   *rowsync.VersionStore
-	serverIter []int64
-	tracker    *atp.TimeTracker
-	closed     bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	acc         []*rowsync.GradStore // per-worker averaged copies ḡ^s
+	codecs      []*compress.Codec    // per-worker downlink error feedback
+	pending     [][]compress.Payload // rows encoded for an in-flight pull
+	versions    *rowsync.VersionStore
+	serverIter  []int64
+	tracker     *atp.TimeTracker
+	closed      bool
+	churn       metrics.ChurnStats
+	detachEpoch int64 // bumped on every detach; attributes wait time to churn
 }
 
-// NewServer creates a server for a model decomposed by part.
-func NewServer(part *rowsync.Partition, cfg ServerConfig) *Server {
+// NewServer creates a server for a model decomposed by part. It returns an
+// error for configurations that cannot train (fewer than 2 workers, a
+// staleness threshold below 2).
+func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 	if cfg.Workers < 2 {
-		panic("livenet: need at least 2 workers")
+		return nil, fmt.Errorf("livenet: need at least 2 workers, got %d", cfg.Workers)
 	}
 	if cfg.Threshold < 2 {
-		panic("livenet: threshold must be >= 2")
+		return nil, fmt.Errorf("livenet: threshold must be >= 2, got %d", cfg.Threshold)
+	}
+	if cfg.IdleTimeout < 0 {
+		return nil, fmt.Errorf("livenet: negative idle timeout %v", cfg.IdleTimeout)
 	}
 	if cfg.Coeff == (atp.Coefficients{}) {
 		cfg.Coeff = atp.DefaultCoefficients()
@@ -68,7 +120,7 @@ func NewServer(part *rowsync.Partition, cfg ServerConfig) *Server {
 		s.codecs = append(s.codecs, compress.NewCodec(part.Widths()))
 	}
 	s.pending = make([][]compress.Payload, cfg.Workers)
-	return s
+	return s, nil
 }
 
 // Close wakes any goroutine blocked on the staleness condition so handlers
@@ -88,20 +140,72 @@ func (s *Server) MaxStalenessObserved() int64 {
 	return s.versions.MaxAhead()
 }
 
-// HandleConn serves one worker's connection until it closes. It processes
+// ActiveWorkers reports how many workers are currently attached.
+func (s *Server) ActiveWorkers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.versions.ActiveWorkers()
+}
+
+// Churn returns a snapshot of the membership-churn counters.
+func (s *Server) Churn() metrics.ChurnStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.churn
+}
+
+// HandleConn serves one worker's connection until it ends. It processes
 // pushes (Algo. 2 lines 1–6), enforces the RSP wait (lines 7–9), and
-// answers each iteration with a speculative pull (lines 10–13).
+// answers each iteration with a speculative pull (lines 10–13). If the
+// worker was previously detached, it is re-attached first: the server
+// replays all averaged rows accumulated during the absence, then resumes
+// the normal protocol. Whatever way the connection ends — clean close,
+// abrupt error, or silent stall past IdleTimeout — the worker is detached
+// on exit, so RSP never waits on a ghost. Callers must not run two
+// handlers for the same worker concurrently.
 func (s *Server) HandleConn(worker int, conn net.Conn) error {
-	defer s.cond.Broadcast()
+	if worker < 0 || worker >= s.cfg.Workers {
+		return fmt.Errorf("livenet: worker %d out of range [0,%d)", worker, s.cfg.Workers)
+	}
+	if err := s.attach(worker, conn); err != nil {
+		s.detach(worker)
+		return err
+	}
+	reason, err := s.serve(worker, conn)
+	s.detach(worker)
+	if reason == DisconnectStall {
+		// Kill the stalled connection so a zombie peer cannot hold the
+		// socket (and so a late write on its end fails fast).
+		conn.Close()
+	}
+	return err
+}
+
+// serve is the receive loop; it reports how the connection ended.
+func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 	rc := transport.NewReceiver(conn)
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return DisconnectError, fmt.Errorf("livenet: worker %d: %w", worker, err)
+			}
+		}
 		frame, err := rc.Recv()
 		if err != nil {
-			return nil // connection closed: worker done
+			if errors.Is(err, io.EOF) {
+				// The peer closed the stream at a frame boundary.
+				return DisconnectClean, nil
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return DisconnectStall, fmt.Errorf(
+					"livenet: worker %d stalled: no frame within %v", worker, s.cfg.IdleTimeout)
+			}
+			return DisconnectError, fmt.Errorf("livenet: worker %d receive: %w", worker, err)
 		}
 		msg, err := parse(frame)
 		if err != nil {
-			return fmt.Errorf("livenet: worker %d: %w", worker, err)
+			return DisconnectError, fmt.Errorf("livenet: worker %d: %w", worker, err)
 		}
 		switch msg.kind {
 		case kindRow:
@@ -113,30 +217,120 @@ func (s *Server) HandleConn(worker int, conn net.Conn) error {
 			}
 			n := msg.iter
 			// RSP wait: serve the pull only when worker isn't too far
-			// ahead of the slowest row anywhere.
-			for !s.closed && n-s.versions.Min() >= int64(s.cfg.Threshold) {
-				s.cond.Wait()
+			// ahead of the slowest row anywhere. Min() spans attached
+			// workers only, so a departed teammate cannot park this loop
+			// forever; the wait time a detach releases is accounted as
+			// churn-attributable stall.
+			if !s.closed && n-s.versions.Min() >= int64(s.cfg.Threshold) {
+				epoch := s.detachEpoch
+				waitStart := time.Now()
+				for !s.closed && n-s.versions.Min() >= int64(s.cfg.Threshold) {
+					s.cond.Wait()
+				}
+				if s.detachEpoch != epoch {
+					s.churn.DetachStall += time.Since(waitStart).Seconds()
+				}
 			}
 			plan, budget := s.planPullLocked(worker)
 			s.mu.Unlock()
 			if err := s.sendPull(worker, conn, plan, budget); err != nil {
-				return err
+				return DisconnectError, fmt.Errorf("livenet: worker %d pull send: %w", worker, err)
 			}
 		default:
-			return fmt.Errorf("livenet: worker %d sent server-bound frame %q", worker, msg.kind)
+			return DisconnectError, fmt.Errorf("livenet: worker %d sent server-bound frame %q", worker, msg.kind)
 		}
 	}
 }
 
-// applyPush folds one received row into every worker's averaged copy.
+// detach removes the worker from membership: its rows stop pinning the RSP
+// minimum and every parked handler re-evaluates its wait. Idempotent.
+func (s *Server) detach(worker int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.versions.IsActive(worker) {
+		return
+	}
+	s.versions.Detach(worker)
+	s.churn.Disconnects++
+	s.detachEpoch++
+	// Pull rows cut off mid-flight stay in pending; fold their mass back
+	// into the accumulator so nothing is lost across the disconnect.
+	for _, p := range s.pending[worker] {
+		vals := make([]float32, p.N)
+		compress.Decode(p, vals)
+		s.acc[worker].AddUnit(p.Row, vals, 1)
+	}
+	s.pending[worker] = nil
+	s.cond.Broadcast()
+}
+
+// attach re-admits a previously detached worker: it replays every averaged
+// row accumulated during the absence over conn (no deadline — the rejoin
+// resync must complete), then re-baselines the worker's versions so its
+// next push cannot violate monotonicity or the staleness bound. For a
+// worker that was never detached this is a no-op.
+func (s *Server) attach(worker int, conn net.Conn) error {
+	s.mu.Lock()
+	if s.versions.IsActive(worker) {
+		s.mu.Unlock()
+		return nil
+	}
+	// Encode the backlog under the lock; send outside it.
+	var frames [][]byte
+	var payloads []compress.Payload
+	for u := 0; u < s.part.NumUnits(); u++ {
+		if s.acc[worker].MeanAbs(u) == 0 {
+			continue
+		}
+		payload := s.codecs[worker].Encode(u, s.acc[worker].Unit(u))
+		s.acc[worker].ZeroUnit(u)
+		payloads = append(payloads, payload)
+		frames = append(frames, pullMsg(payload))
+	}
+	baseline := s.versions.Attach(worker)
+	s.churn.Reconnects++
+	s.churn.RowsResynced += len(frames)
+	budget := s.tracker.Budget()
+	if budget < s.cfg.MTAFloorSeconds {
+		budget = s.cfg.MTAFloorSeconds
+	}
+	s.cond.Broadcast() // the rejoined rows may re-gate or release waiters
+	s.mu.Unlock()
+
+	sent, err := transport.SendFrames(conn, frames, time.Time{})
+	if err == nil {
+		_, err = transport.SendFrames(conn, [][]byte{resyncDoneMsg(baseline, budget)}, time.Time{})
+	}
+	if err != nil {
+		// Conserve the undelivered mass; the next attach replays it.
+		s.mu.Lock()
+		for _, p := range payloads[sent:] {
+			vals := make([]float32, p.N)
+			compress.Decode(p, vals)
+			s.acc[worker].AddUnit(p.Row, vals, 1)
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("livenet: worker %d resync: %w", worker, err)
+	}
+	return nil
+}
+
+// applyPush folds one received row into every worker's averaged copy —
+// including detached workers' copies, which accumulate the backlog their
+// rejoin resync will replay. Averaging is normalized by the attached team
+// size (graceful degradation: N−1 workers average over N−1, not N).
 func (s *Server) applyPush(worker int, msg parsed) {
 	u := msg.payload.Row
 	vals := make([]float32, msg.payload.N)
 	compress.Decode(msg.payload, vals)
-	inv := 1 / float32(s.cfg.Workers)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	active := s.versions.ActiveWorkers()
+	if active == 0 {
+		active = s.cfg.Workers
+	}
+	inv := 1 / float32(active)
 	for w := range s.acc {
 		s.acc[w].AddUnit(u, vals, inv)
 	}
@@ -201,16 +395,17 @@ func (s *Server) restoreUnsent(worker, sentFrames int) {
 }
 
 // sendPull transmits the planned rows speculatively within the budget.
-// Rows cut off by the deadline are restored to the worker's accumulator
-// (mass conserved) and ride a later pull. The pull-done control frame
-// always follows, carrying the budget for the worker's next push.
+// Rows cut off by the deadline — or stranded by a connection failure — are
+// restored to the worker's accumulator (mass conserved) and ride a later
+// pull or the rejoin resync. The pull-done control frame follows on
+// success, carrying the budget for the worker's next push.
 func (s *Server) sendPull(worker int, conn net.Conn, frames [][]byte, budget float64) error {
 	deadline := time.Now().Add(time.Duration(budget * float64(time.Second)))
 	sent, err := transport.SendFrames(conn, frames, deadline)
+	s.restoreUnsent(worker, sent)
 	if err != nil && err != transport.ErrTimeout {
 		return err
 	}
-	s.restoreUnsent(worker, sent)
 	if _, err := transport.SendFrames(conn, [][]byte{pullDoneMsg(budget)}, time.Time{}); err != nil {
 		return err
 	}

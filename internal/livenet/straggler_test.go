@@ -45,7 +45,10 @@ func TestLiveStragglerStillCompletes(t *testing.T) {
 	const workers, threshold, iters = 3, 4, 15
 	proto := nn.NewClassifierMLP(6, []int{10}, 4, tensor.NewRNG(5))
 	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
-	srv := NewServer(part, ServerConfig{Workers: workers, Threshold: threshold})
+	srv, err := NewServer(part, ServerConfig{Workers: workers, Threshold: threshold})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
 
 	data := newClusterData(4)
 	var models []*nn.Sequential

@@ -132,17 +132,18 @@ func (w *Worker) push(n int64) error {
 	start := time.Now()
 	deadline := start.Add(time.Duration(w.budget * float64(time.Second)))
 	sent, err := transport.SendFrames(w.conn, frames, deadline)
+	var sendErr error
 	if err != nil && err != transport.ErrTimeout {
-		return err
+		sendErr = err
 	}
-	if sent < must {
+	if sendErr == nil && sent < must {
 		// Forced continuation (Algo. 4 lines 4–7): finish the MTA floor
 		// and any rows at the staleness bound, without a deadline.
 		more, err := transport.SendFrames(w.conn, frames[sent:must], time.Time{})
-		if err != nil {
-			return err
-		}
 		sent += more
+		if err != nil {
+			sendErr = err
+		}
 	}
 	mtaTime := time.Since(start).Seconds()
 	if sent > must && sent > 0 {
@@ -152,7 +153,9 @@ func (w *Worker) push(n int64) error {
 	}
 	// Bookkeeping: delivered rows are version-stamped; undelivered rows get
 	// their mass back (the partial frame at the cut was discarded by the
-	// receiver's resync).
+	// receiver's resync). This runs even when the connection broke, so a
+	// push interrupted by a crash conserves the gradient mass for the push
+	// after the worker reconnects.
 	for i, u := range plan {
 		if i < sent {
 			w.pushIter[u] = n
@@ -161,6 +164,9 @@ func (w *Worker) push(n int64) error {
 		vals := make([]float32, payloads[i].N)
 		compress.Decode(payloads[i], vals)
 		w.local.AddUnit(u, vals, 1)
+	}
+	if sendErr != nil {
+		return fmt.Errorf("livenet: worker %d push: %w", w.cfg.ID, sendErr)
 	}
 	_, err = transport.SendFrames(w.conn, [][]byte{pushDoneMsg(n, mtaTime)}, time.Time{})
 	return err
@@ -192,6 +198,84 @@ func (w *Worker) pull() error {
 			return fmt.Errorf("livenet: worker %d got frame %q during pull", w.cfg.ID, msg.kind)
 		}
 	}
+}
+
+// Rejoin resumes the worker over a fresh connection after a disconnect.
+// The server answers a rejoining worker with the resync stream: every
+// averaged row accumulated while the worker was away, terminated by a
+// resync-done frame carrying the baseline iteration its versions were
+// re-baselined at. The worker applies the backlog and fast-forwards its
+// iteration counter to the baseline so its next push stays monotone and
+// inside the staleness bound.
+func (w *Worker) Rejoin(conn net.Conn) error {
+	w.conn = conn
+	w.rc = transport.NewReceiver(conn)
+	for {
+		frame, err := w.rc.Recv()
+		if err != nil {
+			return fmt.Errorf("livenet: worker %d resync: %w", w.cfg.ID, err)
+		}
+		msg, err := parse(frame)
+		if err != nil {
+			return err
+		}
+		switch msg.kind {
+		case kindPull:
+			vals := make([]float32, msg.payload.N)
+			compress.Decode(msg.payload, vals)
+			w.applyUnit(msg.payload.Row, vals)
+		case kindResyncDone:
+			if msg.iter > w.iter {
+				w.iter = msg.iter
+			}
+			for u := range w.pushIter {
+				if w.pushIter[u] < w.iter {
+					w.pushIter[u] = w.iter
+				}
+			}
+			if msg.budget > 0 {
+				w.budget = msg.budget
+			}
+			return nil
+		default:
+			return fmt.Errorf("livenet: worker %d got frame %q during resync", w.cfg.ID, msg.kind)
+		}
+	}
+}
+
+// RunResilient runs iterations until the worker has completed iters of
+// them, reconnecting through dial with backoff b whenever the connection
+// fails. A dropped iteration's compute is lost but its gradient mass is
+// conserved locally and rides the first push after the rejoin. It gives up
+// after maxRetries consecutive failed reconnect attempts.
+func (w *Worker) RunResilient(iters int, computeGradients func(), dial func() (net.Conn, error), b *Backoff, maxRetries int) error {
+	for w.iter < int64(iters) {
+		err := w.RunIteration(computeGradients)
+		if err == nil {
+			b.Reset()
+			continue
+		}
+		w.conn.Close()
+		rejoined := false
+		for attempt := 0; attempt < maxRetries; attempt++ {
+			time.Sleep(b.Next())
+			conn, derr := dial()
+			if derr != nil {
+				continue
+			}
+			if rerr := w.Rejoin(conn); rerr != nil {
+				conn.Close()
+				continue
+			}
+			rejoined = true
+			break
+		}
+		if !rejoined {
+			return fmt.Errorf("livenet: worker %d gave up after %d reconnect attempts: %w",
+				w.cfg.ID, maxRetries, err)
+		}
+	}
+	return nil
 }
 
 // applyUnit applies one averaged gradient unit to the model via per-row

@@ -63,6 +63,32 @@ func (r *CompositionRecorder) Average() Composition {
 // Count returns the number of recorded worker-iterations.
 func (r *CompositionRecorder) Count() int { return r.n }
 
+// ChurnStats counts membership-churn events and their cost: how often
+// workers dropped and returned, how much state a rejoin had to resync, and
+// how long survivors stalled waiting on rows only a departed worker could
+// have advanced (the deadlock the membership layer converts into bounded
+// stall).
+type ChurnStats struct {
+	Disconnects  int     // workers detached (crash, connection loss, stall)
+	Reconnects   int     // workers re-attached after a detach
+	RowsResynced int     // rows replayed to rejoining workers
+	DetachStall  float64 // seconds survivors spent blocked until a detach freed them
+}
+
+// Add accumulates another stats snapshot.
+func (c *ChurnStats) Add(o ChurnStats) {
+	c.Disconnects += o.Disconnects
+	c.Reconnects += o.Reconnects
+	c.RowsResynced += o.RowsResynced
+	c.DetachStall += o.DetachStall
+}
+
+// String renders the counters compactly.
+func (c ChurnStats) String() string {
+	return fmt.Sprintf("disconnects %d reconnects %d rows resynced %d detach-stall %.2fs",
+		c.Disconnects, c.Reconnects, c.RowsResynced, c.DetachStall)
+}
+
 // Point is one checkpoint: training quality at a moment of the run.
 type Point struct {
 	Iter   int     // training iteration (per-worker count)

@@ -234,6 +234,175 @@ func TestVersionStoreMinMatchesBruteForce(t *testing.T) {
 	}
 }
 
+func TestVersionStoreDetachAdvancesMin(t *testing.T) {
+	vs := NewVersionStore(3, 2)
+	for u := 0; u < 2; u++ {
+		vs.Update(0, u, 6)
+		vs.Update(1, u, 4)
+	}
+	// Worker 2 never pushed: it pins the minimum at 0.
+	if vs.Min() != 0 {
+		t.Fatalf("min=%d", vs.Min())
+	}
+	vs.Detach(2)
+	if vs.Min() != 4 {
+		t.Fatalf("min after detach=%d want 4", vs.Min())
+	}
+	if vs.ActiveWorkers() != 2 || vs.IsActive(2) {
+		t.Fatal("membership bookkeeping wrong")
+	}
+	// MaxAhead now only measures the survivors' spread.
+	if vs.MaxAhead() != 2 {
+		t.Fatalf("MaxAhead=%d want 2", vs.MaxAhead())
+	}
+	// Detach is idempotent.
+	vs.Detach(2)
+	if vs.Min() != 4 || vs.ActiveWorkers() != 2 {
+		t.Fatal("double detach changed state")
+	}
+}
+
+func TestVersionStoreDetachedUpdateIgnoredByMin(t *testing.T) {
+	vs := NewVersionStore(2, 1)
+	vs.Update(0, 0, 3)
+	vs.Detach(1)
+	if vs.Min() != 3 {
+		t.Fatalf("min=%d", vs.Min())
+	}
+	// A late in-flight push from the detached worker lands but cannot move
+	// the active minimum.
+	vs.Update(1, 0, 1)
+	if vs.Min() != 3 || vs.Get(1, 0) != 1 {
+		t.Fatalf("detached update leaked: min=%d v=%d", vs.Min(), vs.Get(1, 0))
+	}
+}
+
+func TestVersionStoreAttachRebaselines(t *testing.T) {
+	vs := NewVersionStore(3, 2)
+	for u := 0; u < 2; u++ {
+		vs.Update(0, u, 8)
+		vs.Update(1, u, 8)
+		vs.Update(2, u, 7)
+	}
+	vs.Detach(2)
+	vs.Update(0, 0, 10)
+	if vs.Min() != 8 {
+		t.Fatalf("min=%d", vs.Min())
+	}
+	base := vs.Attach(2)
+	if base != 8 {
+		t.Fatalf("baseline=%d want 8", base)
+	}
+	// Rejoined rows were lifted to the baseline: Min is unchanged and the
+	// rejoin did not inflate the divergence.
+	if vs.Min() != 8 {
+		t.Fatalf("min after attach=%d", vs.Min())
+	}
+	if vs.Get(2, 0) != 8 || vs.Get(2, 1) != 8 {
+		t.Fatalf("rows not rebaselined: %d %d", vs.Get(2, 0), vs.Get(2, 1))
+	}
+	if vs.MaxAhead() != 2 {
+		t.Fatalf("MaxAhead=%d want 2", vs.MaxAhead())
+	}
+}
+
+// Property: Min never decreases across any interleaving of monotone
+// updates, detaches and attaches, and always equals a brute-force scan of
+// the active workers — churn cannot corrupt the cache RSP waits on.
+func TestVersionStoreChurnMinMatchesBruteForce(t *testing.T) {
+	const workers, units = 3, 4
+	f := func(ops []uint16) bool {
+		vs := NewVersionStore(workers, units)
+		prevMin := vs.Min()
+		for _, op := range ops {
+			w := int(op) % workers
+			switch (op / 7) % 5 {
+			case 0:
+				vs.Detach(w)
+			case 1:
+				vs.Attach(w)
+			default:
+				u := int(op/3) % units
+				inc := int64(op/12)%5 + 1
+				vs.Update(w, u, vs.Get(w, u)+inc)
+			}
+			if vs.ActiveWorkers() == 0 {
+				continue // frozen minimum; brute force has nothing to scan
+			}
+			var brute int64 = 1 << 62
+			for r := 0; r < workers; r++ {
+				if !vs.IsActive(r) {
+					continue
+				}
+				for u := 0; u < units; u++ {
+					if v := vs.Get(r, u); v < brute {
+						brute = v
+					}
+				}
+			}
+			if vs.Min() != brute {
+				return false
+			}
+			if vs.Min() < prevMin {
+				return false
+			}
+			prevMin = vs.Min()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under the RSP gate, a crash/rejoin cycle never lifts MaxAhead
+// past the threshold — Attach's re-baselining preserves the bound Thm. 1
+// rests on.
+func TestRSPBoundHoldsUnderChurn(t *testing.T) {
+	const threshold = 4
+	const workers, units = 3, 2
+	f := func(ops []uint16) bool {
+		vs := NewVersionStore(workers, units)
+		next := [workers]int64{1, 1, 1}
+		for _, op := range ops {
+			w := int(op) % workers
+			switch (op / 5) % 6 {
+			case 0:
+				vs.Detach(w)
+				continue
+			case 1:
+				if !vs.IsActive(w) {
+					base := vs.Attach(w)
+					// The rejoined worker resumes at the team's pace.
+					if next[w] <= base {
+						next[w] = base + 1
+					}
+				}
+				continue
+			}
+			if !vs.IsActive(w) {
+				continue // crashed workers do not iterate
+			}
+			u := int(op/3) % units
+			n := next[w]
+			if n-vs.Min() >= threshold {
+				continue // the RSP gate stalls this worker's iteration
+			}
+			if n > vs.Get(w, u) {
+				vs.Update(w, u, n)
+			}
+			next[w]++
+			if vs.MaxAhead() > threshold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: RSP invariant — a worker only advances to iteration n when
 // n − min(V) < threshold (the pull gate of Algo. 2), so the divergence
 // MaxAhead never exceeds the threshold. This is the bound the convergence

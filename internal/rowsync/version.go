@@ -8,17 +8,32 @@ import "fmt"
 // staleness predicate is evaluated against the global minimum.
 //
 // Iterations are 1-based at the first push; 0 means "never pushed".
+//
+// Membership: a worker that drops out of the team is Detached — its rows
+// stop participating in Min()/MaxAhead(), so RSP's wait predicate cannot
+// deadlock on a ghost. A returning worker is Attached with its rows
+// re-baselined at the surviving minimum, so a rejoin never drags Min()
+// backwards nor inflates MaxAhead() past the staleness threshold.
 type VersionStore struct {
 	v      [][]int64
-	min    int64 // cached global minimum
+	min    int64 // cached minimum over active workers' entries
 	counts map[int64]int
+	active []bool
+	actN   int
 }
 
-// NewVersionStore creates storage for workers × units, all at version 0.
+// NewVersionStore creates storage for workers × units, all at version 0 and
+// all workers attached.
 func NewVersionStore(workers, units int) *VersionStore {
-	vs := &VersionStore{v: make([][]int64, workers), counts: map[int64]int{0: workers * units}}
+	vs := &VersionStore{
+		v:      make([][]int64, workers),
+		counts: map[int64]int{0: workers * units},
+		active: make([]bool, workers),
+		actN:   workers,
+	}
 	for r := range vs.v {
 		vs.v[r] = make([]int64, units)
+		vs.active[r] = true
 	}
 	return vs
 }
@@ -26,7 +41,9 @@ func NewVersionStore(workers, units int) *VersionStore {
 // Get returns v[worker][unit].
 func (vs *VersionStore) Get(worker, unit int) int64 { return vs.v[worker][unit] }
 
-// Update sets v[worker][unit] = iter. Versions must not decrease.
+// Update sets v[worker][unit] = iter. Versions must not decrease. Updates
+// for detached workers are recorded (a late in-flight push still lands) but
+// do not touch the active minimum.
 func (vs *VersionStore) Update(worker, unit int, iter int64) {
 	old := vs.v[worker][unit]
 	if iter < old {
@@ -36,15 +53,24 @@ func (vs *VersionStore) Update(worker, unit int, iter int64) {
 		return
 	}
 	vs.v[worker][unit] = iter
+	if !vs.active[worker] {
+		return
+	}
 	// Register the new version before retiring the old one, so the
 	// min-advance scan below always has a populated version to stop at
 	// (with a single tracked entry the map would otherwise be empty and
 	// the scan would never terminate).
 	vs.counts[iter]++
+	vs.retire(old)
+}
+
+// retire decrements the tracked count of version old and advances the
+// cached minimum when old was the last entry pinning it.
+func (vs *VersionStore) retire(old int64) {
 	vs.counts[old]--
 	if vs.counts[old] == 0 {
 		delete(vs.counts, old)
-		if old == vs.min {
+		if old == vs.min && len(vs.counts) > 0 {
 			// Advance the cached minimum to the next populated version.
 			for vs.counts[vs.min] == 0 {
 				vs.min++
@@ -53,7 +79,56 @@ func (vs *VersionStore) Update(worker, unit int, iter int64) {
 	}
 }
 
-// Min returns min(V): the oldest version of any unit on any worker.
+// Detach removes a departed worker from membership: its rows no longer hold
+// back Min(), so RSP's wait predicate unblocks the survivors. Detaching an
+// already-detached worker is a no-op.
+func (vs *VersionStore) Detach(worker int) {
+	if !vs.active[worker] {
+		return
+	}
+	vs.active[worker] = false
+	vs.actN--
+	for _, v := range vs.v[worker] {
+		vs.retire(v)
+	}
+}
+
+// Attach re-admits a worker, re-baselining every row below the surviving
+// minimum at that minimum (the rejoin resync: the returning robot receives
+// the rows it missed, so its versions start level with the slowest
+// survivor). Rows that already lead the minimum — pushed before the drop or
+// landed while detached — keep their higher version. It returns the
+// baseline used. Attaching an attached worker is a no-op.
+func (vs *VersionStore) Attach(worker int) int64 {
+	if vs.active[worker] {
+		return vs.min
+	}
+	base := vs.min
+	vs.active[worker] = true
+	vs.actN++
+	for u, v := range vs.v[worker] {
+		if v < base {
+			v = base
+			vs.v[worker][u] = base
+		}
+		vs.counts[v]++
+	}
+	// With zero active workers the cached minimum was frozen; the attached
+	// rows are all ≥ base, so the cache only ever needs to advance.
+	for vs.counts[vs.min] == 0 {
+		vs.min++
+	}
+	return base
+}
+
+// IsActive reports whether the worker is currently attached.
+func (vs *VersionStore) IsActive(worker int) bool { return vs.active[worker] }
+
+// ActiveWorkers returns the number of currently attached workers.
+func (vs *VersionStore) ActiveWorkers() int { return vs.actN }
+
+// Min returns min(V): the oldest version of any unit on any *attached*
+// worker. With every worker detached it returns the last computed minimum.
 func (vs *VersionStore) Min() int64 { return vs.min }
 
 // Stale reports whether worker r's unit i is too far *ahead* of the
@@ -63,11 +138,14 @@ func (vs *VersionStore) Stale(worker, unit int, t int64) bool {
 	return vs.v[worker][unit]-vs.min >= t
 }
 
-// MaxAhead returns the largest lead of any entry over the global minimum —
-// the divergence RSP bounds by the threshold.
+// MaxAhead returns the largest lead of any attached worker's entry over the
+// global minimum — the divergence RSP bounds by the threshold.
 func (vs *VersionStore) MaxAhead() int64 {
 	var max int64
 	for r := range vs.v {
+		if !vs.active[r] {
+			continue
+		}
 		for _, v := range vs.v[r] {
 			if v-vs.min > max {
 				max = v - vs.min
@@ -77,7 +155,7 @@ func (vs *VersionStore) MaxAhead() int64 {
 	return max
 }
 
-// Workers returns the number of workers tracked.
+// Workers returns the number of workers tracked (attached or not).
 func (vs *VersionStore) Workers() int { return len(vs.v) }
 
 // Units returns the number of units tracked.

@@ -29,6 +29,11 @@ type Channel struct {
 	flows      map[*Flow]struct{}
 	lastUpdate float64
 	recheck    *Timer
+	// down marks links in blackout (capacity forced to 0 Mbps), the
+	// fault-injection model of a robot driving behind a thick wall or out
+	// of range. Flows on a downed link stall in place and resume when the
+	// link comes back.
+	down []bool
 }
 
 // Flow is one in-flight transmission.
@@ -63,16 +68,29 @@ func NewChannel(k *Kernel, links []*trace.Trace, scale float64) *Channel {
 		Scale:      scale,
 		flows:      make(map[*Flow]struct{}),
 		lastUpdate: k.Now(),
+		down:       make([]bool, len(links)),
 	}
 }
 
 // bytesPerSec returns the current drain rate of flow f given n active flows.
 func (c *Channel) bytesPerSec(f *Flow, at float64, n int) float64 {
-	if n == 0 {
+	if n == 0 || c.down[f.Device] {
 		return 0
 	}
 	mbps := c.links[f.Device].At(at) * c.Scale / float64(n)
 	return mbps * 1e6 / 8
+}
+
+// contending returns the number of flows competing for airtime: flows on a
+// blacked-out link transmit nothing and do not contend.
+func (c *Channel) contending() int {
+	n := 0
+	for f := range c.flows {
+		if !c.down[f.Device] {
+			n++
+		}
+	}
+	return n
 }
 
 // advance drains all active flows from lastUpdate to now using the rates
@@ -84,7 +102,7 @@ func (c *Channel) advance(now float64) {
 		c.lastUpdate = now
 		return
 	}
-	n := len(c.flows)
+	n := c.contending()
 	for f := range c.flows {
 		rate := c.bytesPerSec(f, c.lastUpdate, n)
 		drained := rate * dt
@@ -155,15 +173,26 @@ func (c *Channel) schedule() {
 	}
 	now := c.k.Now()
 	next := math.Inf(1)
-	// Trace boundaries of links with active flows.
+	// Trace boundaries of links with active flows (a downed link has no
+	// boundary worth waking for — its rate is pinned at zero until the
+	// blackout lifts, and SetLinkDown reschedules then).
 	for f := range c.flows {
+		if c.down[f.Device] {
+			continue
+		}
 		if b := c.links[f.Device].NextBoundary(now); b < next {
 			next = b
 		}
 	}
 	// Projected completions under current rates.
-	n := len(c.flows)
+	n := c.contending()
 	for f := range c.flows {
+		if f.remaining <= 1e-6 {
+			// Already drained (a rate change landed exactly on the
+			// completion instant): complete it on the next recheck now.
+			next = now
+			continue
+		}
 		rate := c.bytesPerSec(f, now, n)
 		if rate <= 0 {
 			continue
@@ -188,7 +217,7 @@ func (c *Channel) onRecheck() {
 	// whose remainder would clear within a nanosecond at its current rate
 	// is done. (Without the rate-relative epsilon, an eta that rounds to
 	// the current timestamp would reschedule at the same instant forever.)
-	n := len(c.flows)
+	n := c.contending()
 	var finished []*Flow
 	for f := range c.flows {
 		eps := 1e-6 + c.bytesPerSec(f, c.k.Now(), n)*1e-9
@@ -214,12 +243,34 @@ func (c *Channel) onRecheck() {
 	c.schedule()
 }
 
+// SetLinkDown forces a device's link capacity to zero (down=true) or
+// restores the trace-driven capacity (down=false). In-flight flows on the
+// link stall and resume; byte integrals stay exact because the rate change
+// lands on an event boundary.
+func (c *Channel) SetLinkDown(device int, down bool) {
+	if device < 0 || device >= len(c.links) {
+		panic(fmt.Sprintf("simnet: device %d out of range", device))
+	}
+	if c.down[device] == down {
+		return
+	}
+	c.advance(c.k.Now())
+	c.down[device] = down
+	c.schedule()
+}
+
+// LinkDown reports whether the device's link is currently blacked out.
+func (c *Channel) LinkDown(device int) bool { return c.down[device] }
+
 // ActiveFlows returns the number of currently active flows.
 func (c *Channel) ActiveFlows() int { return len(c.flows) }
 
 // LinkMbps reports the instantaneous solo capacity of a device's link
-// (before airtime sharing), already scaled.
+// (before airtime sharing), already scaled. A blacked-out link reports 0.
 func (c *Channel) LinkMbps(device int) float64 {
+	if c.down[device] {
+		return 0
+	}
 	return c.links[device].At(c.k.Now()) * c.Scale
 }
 

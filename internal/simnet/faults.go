@@ -1,0 +1,245 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FaultKind classifies one injected fault.
+type FaultKind int
+
+const (
+	// FaultCrash stops a worker: it is detached from membership and ceases
+	// to compute or transmit; with a Duration it rejoins that many seconds
+	// later and resyncs.
+	FaultCrash FaultKind = iota
+	// FaultBlackout forces a link's capacity to 0 Mbps for Duration seconds
+	// (the paper's deep fades, made total): the worker keeps computing, but
+	// nothing it sends drains until the blackout lifts.
+	FaultBlackout
+	// FaultFlap alternates a link between down and up, Period seconds per
+	// half-cycle, for Duration seconds — the oscillating connectivity of a
+	// robot circling at the edge of range.
+	FaultFlap
+)
+
+// String names the fault kind as it appears in schedule specs.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultBlackout:
+		return "blackout"
+	case FaultFlap:
+		return "flap"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// FaultEvent is one scheduled fault against one worker/device.
+type FaultEvent struct {
+	Kind   FaultKind
+	Worker int     // worker index == device index on the shared channel
+	At     float64 // virtual seconds when the fault begins
+	// Duration is how long the fault lasts in virtual seconds. 0 means the
+	// fault never heals: a crash with no rejoin, a permanent blackout.
+	Duration float64
+	// Period is the flap half-cycle in seconds (down Period, up Period, …).
+	// Only meaningful for FaultFlap.
+	Period float64
+}
+
+// String renders the event in the schedule-spec grammar.
+func (e FaultEvent) String() string {
+	s := fmt.Sprintf("%s:%d@%g", e.Kind, e.Worker, e.At)
+	if e.Duration > 0 {
+		s += fmt.Sprintf("+%g", e.Duration)
+	}
+	if e.Kind == FaultFlap {
+		s += fmt.Sprintf("/%g", e.Period)
+	}
+	return s
+}
+
+// FaultSchedule is a set of fault events, executable in virtual time.
+type FaultSchedule []FaultEvent
+
+// String renders the schedule as a comma-separated spec, sorted by time.
+func (fs FaultSchedule) String() string {
+	sorted := append(FaultSchedule(nil), fs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	parts := make([]string, len(sorted))
+	for i, e := range sorted {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Validate rejects events that cannot be scheduled against a team of
+// `workers` devices.
+func (fs FaultSchedule) Validate(workers int) error {
+	for _, e := range fs {
+		if e.Worker < 0 || e.Worker >= workers {
+			return fmt.Errorf("simnet: fault %q targets worker %d of %d", e, e.Worker, workers)
+		}
+		if e.At < 0 {
+			return fmt.Errorf("simnet: fault %q starts before t=0", e)
+		}
+		if e.Duration < 0 {
+			return fmt.Errorf("simnet: fault %q has negative duration", e)
+		}
+		if e.Kind == FaultFlap {
+			if e.Period <= 0 {
+				return fmt.Errorf("simnet: flap %q needs a positive period", e)
+			}
+			if e.Duration <= 0 {
+				return fmt.Errorf("simnet: flap %q needs a duration", e)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseFaultSchedule parses the compact CLI/config grammar:
+//
+//	event[,event...]
+//	event = kind ":" worker "@" start [ "+" duration ] [ "/" period ]
+//
+// Examples:
+//
+//	crash:1@120+60        worker 1 crashes at t=120 s, rejoins at t=180 s
+//	crash:2@300           worker 2 crashes at t=300 s and never returns
+//	blackout:0@60+30      worker 0's link fades to 0 Mbps for 30 s
+//	flap:3@100+120/10     worker 3's link flaps down/up every 10 s for 120 s
+func ParseFaultSchedule(spec string) (FaultSchedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var fs FaultSchedule
+	for _, part := range strings.Split(spec, ",") {
+		e, err := parseFaultEvent(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, e)
+	}
+	return fs, nil
+}
+
+func parseFaultEvent(s string) (FaultEvent, error) {
+	malformed := func() (FaultEvent, error) {
+		return FaultEvent{}, fmt.Errorf("simnet: malformed fault %q (want kind:worker@start[+dur][/period])", s)
+	}
+	kindStr, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return malformed()
+	}
+	var e FaultEvent
+	switch kindStr {
+	case "crash":
+		e.Kind = FaultCrash
+	case "blackout":
+		e.Kind = FaultBlackout
+	case "flap":
+		e.Kind = FaultFlap
+	default:
+		return FaultEvent{}, fmt.Errorf("simnet: unknown fault kind %q", kindStr)
+	}
+	workerStr, rest, ok := strings.Cut(rest, "@")
+	if !ok {
+		return malformed()
+	}
+	w, err := strconv.Atoi(workerStr)
+	if err != nil {
+		return malformed()
+	}
+	e.Worker = w
+	if e.Kind == FaultFlap {
+		var periodStr string
+		rest, periodStr, ok = strings.Cut(rest, "/")
+		if !ok {
+			return FaultEvent{}, fmt.Errorf("simnet: flap %q missing /period", s)
+		}
+		if e.Period, err = strconv.ParseFloat(periodStr, 64); err != nil {
+			return malformed()
+		}
+	}
+	startStr, durStr, hasDur := strings.Cut(rest, "+")
+	if e.At, err = strconv.ParseFloat(startStr, 64); err != nil {
+		return malformed()
+	}
+	if hasDur {
+		if e.Duration, err = strconv.ParseFloat(durStr, 64); err != nil {
+			return malformed()
+		}
+	}
+	if e.Kind == FaultFlap && (e.Duration <= 0 || e.Period <= 0) {
+		return FaultEvent{}, fmt.Errorf("simnet: flap %q needs +duration and a positive /period", s)
+	}
+	return e, nil
+}
+
+// Injector binds a fault schedule to a kernel and channel. Link faults
+// (blackout, flap) drive Channel.SetLinkDown directly; crash/rejoin are
+// surfaced through callbacks so the training driver can run its membership
+// protocol. All events live in virtual time, so churn experiments replay
+// bit-for-bit from a fixed seed.
+type Injector struct {
+	k  *Kernel
+	ch *Channel
+	// OnCrash and OnRejoin fire at the scheduled instants of FaultCrash
+	// events. Either may be nil.
+	OnCrash  func(worker int)
+	OnRejoin func(worker int)
+}
+
+// NewInjector creates an injector for the kernel/channel pair.
+func NewInjector(k *Kernel, ch *Channel) *Injector {
+	return &Injector{k: k, ch: ch}
+}
+
+// Install schedules every event of fs. It must be called before the kernel
+// runs past the earliest event.
+func (in *Injector) Install(fs FaultSchedule) error {
+	if err := fs.Validate(in.ch.NumDevices()); err != nil {
+		return err
+	}
+	for _, e := range fs {
+		e := e
+		switch e.Kind {
+		case FaultCrash:
+			in.k.At(e.At, func() {
+				if in.OnCrash != nil {
+					in.OnCrash(e.Worker)
+				}
+			})
+			if e.Duration > 0 {
+				in.k.At(e.At+e.Duration, func() {
+					if in.OnRejoin != nil {
+						in.OnRejoin(e.Worker)
+					}
+				})
+			}
+		case FaultBlackout:
+			in.k.At(e.At, func() { in.ch.SetLinkDown(e.Worker, true) })
+			if e.Duration > 0 {
+				in.k.At(e.At+e.Duration, func() { in.ch.SetLinkDown(e.Worker, false) })
+			}
+		case FaultFlap:
+			for t := 0.0; t < e.Duration; t += 2 * e.Period {
+				down := e.At + t
+				up := down + e.Period
+				if up > e.At+e.Duration {
+					up = e.At + e.Duration
+				}
+				in.k.At(down, func() { in.ch.SetLinkDown(e.Worker, true) })
+				in.k.At(up, func() { in.ch.SetLinkDown(e.Worker, false) })
+			}
+		}
+	}
+	return nil
+}

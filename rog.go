@@ -42,6 +42,8 @@ package rog
 
 import (
 	"rog/internal/core"
+	"rog/internal/metrics"
+	"rog/internal/simnet"
 	"rog/internal/trace"
 )
 
@@ -88,6 +90,39 @@ type MicroSample = core.MicroSample
 
 // Run executes one experiment to completion.
 func Run(cfg Config, wl Workload) (*Result, error) { return core.Run(cfg, wl) }
+
+// FaultKind discriminates injected failures: worker crashes (membership
+// churn) and link blackouts or flaps (connectivity loss without churn).
+type FaultKind = simnet.FaultKind
+
+// Fault kinds.
+const (
+	// FaultCrash removes a worker from the membership; with a duration it
+	// rejoins (and resyncs) after the outage.
+	FaultCrash = simnet.FaultCrash
+	// FaultBlackout drops a worker's link capacity to zero for a duration.
+	FaultBlackout = simnet.FaultBlackout
+	// FaultFlap alternates a worker's link down/up with a given period.
+	FaultFlap = simnet.FaultFlap
+)
+
+// FaultEvent is one scheduled failure in virtual time.
+type FaultEvent = simnet.FaultEvent
+
+// FaultSchedule scripts failures into a run via Config.Faults. Runs with
+// identical schedules replay deterministically.
+type FaultSchedule = simnet.FaultSchedule
+
+// ParseFaultSchedule parses a comma-separated fault script, e.g.
+// "crash:1@120+60,blackout:0@60+30,flap:3@100+120/10" — kind:worker@start,
+// +duration for recovery, /period for flap cadence (seconds, virtual time).
+func ParseFaultSchedule(spec string) (FaultSchedule, error) {
+	return simnet.ParseFaultSchedule(spec)
+}
+
+// ChurnStats counts membership-churn events observed during a run; see
+// Result.Churn.
+type ChurnStats = metrics.ChurnStats
 
 // BandwidthTrace is a piecewise-constant bandwidth series in Mbps.
 type BandwidthTrace = trace.Trace

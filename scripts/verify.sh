@@ -1,0 +1,21 @@
+#!/bin/sh
+# verify.sh — the pre-merge gate: build, vet, full test suite, and the
+# race-sensitive packages (the concurrent livenet server and the version
+# store it shares with the simulated drivers) again under -race.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (livenet, rowsync) =="
+go test -race ./internal/livenet/... ./internal/rowsync/...
+
+echo "verify: OK"
