@@ -1,15 +1,21 @@
 GO ?= go
 
-.PHONY: build test race verify bench
+.PHONY: build fmt vet test race verify bench
 
 build:
 	$(GO) build ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/livenet/... ./internal/rowsync/...
+	$(GO) test -race ./internal/livenet/... ./internal/engine/... ./internal/rowsync/...
 
 verify:
 	sh scripts/verify.sh

@@ -1,0 +1,37 @@
+package atp
+
+// Plan is one ordered speculative transmission: the ranked unit sequence
+// and its cumulative wire sizes. Both runtimes share it — the simnet
+// drivers read delivered units off a flow's byte count when the budget
+// timer fires, and the live worker uses the same prefix sums to apportion
+// its measured transmission time to the MTA floor.
+type Plan struct {
+	Units []int
+	// Prefix[i] is the wire size of Units[:i]; len(Prefix) == len(Units)+1.
+	Prefix []float64
+}
+
+// NewPlan builds the prefix sums for units under the given per-unit wire
+// size.
+func NewPlan(units []int, size func(u int) float64) Plan {
+	p := Plan{Units: units, Prefix: make([]float64, len(units)+1)}
+	for i, u := range units {
+		p.Prefix[i+1] = p.Prefix[i] + size(u)
+	}
+	return p
+}
+
+// TotalBytes is the wire size of the whole plan.
+func (p Plan) TotalBytes() float64 { return p.Prefix[len(p.Units)] }
+
+// DeliveredCount maps bytes-on-the-wire to fully transmitted units: the
+// in-flight unit at a timeout is discarded, exactly the speculative-
+// transmission cost of Sec. III-A. The epsilon absorbs float drift so a
+// unit whose last byte arrived exactly at the deadline still counts.
+func (p Plan) DeliveredCount(bytes float64) int {
+	k := 0
+	for k < len(p.Units) && p.Prefix[k+1] <= bytes+1e-9 {
+		k++
+	}
+	return k
+}

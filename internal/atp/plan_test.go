@@ -1,0 +1,60 @@
+package atp
+
+import "testing"
+
+func sizes(s ...float64) func(u int) float64 {
+	return func(u int) float64 { return s[u] }
+}
+
+func TestPlanPrefixSums(t *testing.T) {
+	p := NewPlan([]int{2, 0, 1}, sizes(10, 20, 30))
+	want := []float64{0, 30, 40, 60}
+	if len(p.Prefix) != len(want) {
+		t.Fatalf("prefix len = %d, want %d", len(p.Prefix), len(want))
+	}
+	for i, v := range want {
+		if p.Prefix[i] != v {
+			t.Fatalf("prefix[%d] = %v, want %v", i, p.Prefix[i], v)
+		}
+	}
+	if p.TotalBytes() != 60 {
+		t.Fatalf("total = %v, want 60", p.TotalBytes())
+	}
+}
+
+// TestDeliveredCountBoundary pins the timeout-discard rule: a unit counts
+// only when its last byte fit inside the budget, with a 1e-9 epsilon so an
+// exact boundary (modulo float drift) is not discarded.
+func TestDeliveredCountBoundary(t *testing.T) {
+	p := NewPlan([]int{0, 1, 2}, sizes(100, 50, 25))
+	cases := []struct {
+		bytes float64
+		want  int
+	}{
+		{0, 0},
+		{99.999, 0},
+		{100, 1},         // exact boundary: the unit completed
+		{100 - 1e-12, 1}, // within epsilon of the boundary
+		{100 + 1e-6, 1},  // partway into the next unit: discard it
+		{149.999999, 1},
+		{150, 2},
+		{174.9, 2},
+		{175, 3},
+		{1e9, 3}, // beyond the plan: clamp to all units
+	}
+	for _, c := range cases {
+		if got := p.DeliveredCount(c.bytes); got != c.want {
+			t.Errorf("DeliveredCount(%v) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestDeliveredCountEmptyPlan(t *testing.T) {
+	p := NewPlan(nil, nil)
+	if got := p.DeliveredCount(1e9); got != 0 {
+		t.Fatalf("empty plan delivered %d units", got)
+	}
+	if p.TotalBytes() != 0 {
+		t.Fatalf("empty plan total = %v", p.TotalBytes())
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"rog/internal/atp"
+	"rog/internal/engine"
+)
+
+// This file is the asynchronous driver loop shared by every non-barrier,
+// non-pipelined policy (SSP, FLOWN, ROG, DSSP): compute → plan → push →
+// staleness gate → plan → pull → next iteration, with every decision —
+// what to transmit, whether to skip, when to advance — delegated to the
+// engine policy. The loop owns only simnet mechanics: flows, timers, the
+// waiter list and the energy/stall accounting.
+
+// pushView assembles the policy's worker-side view for iteration n.
+func (c *cluster) pushView(w int, n int64) engine.PushView {
+	rows := make([]atp.RowInfo, c.part.NumUnits())
+	for u := range rows {
+		rows[u] = atp.RowInfo{ID: u, MeanAbs: c.local[w].MeanAbs(u), Iter: c.pushIter[w][u]}
+	}
+	return engine.PushView{
+		Worker: w,
+		Iter:   n,
+		Rows:   rows,
+		Min:    c.versions.Min(),
+		Budget: c.state.Tracker.Budget(),
+	}
+}
+
+func (c *cluster) wireSize(u int) float64 { return float64(c.part.WireSize(u)) }
+
+// transmitPush moves one push plan over worker w's link: speculatively
+// under the MTA budget when the plan says so, or as a single whole-plan
+// flow. done receives the delivered unit count, the (possibly estimated)
+// MTA time and the elapsed transmission time.
+func (c *cluster) transmitPush(w int, n int64, plan engine.Plan, done func(delivered int, mtaTime, elapsed float64)) {
+	ap := atp.NewPlan(plan.Units, c.wireSize)
+	deliver := func(u int) { c.deliverPush(w, u, n) }
+	if plan.Speculative {
+		c.sendPlan(w, ap, plan.Must, c.state.Tracker.Budget(), deliver, done)
+		return
+	}
+	start := c.k.Now()
+	c.ch.StartFlow(w, ap.TotalBytes(), func() {
+		elapsed := c.k.Now() - start
+		for _, u := range plan.Units {
+			deliver(u)
+		}
+		done(len(plan.Units), elapsed, elapsed)
+	})
+}
+
+// transmitPull moves one pull plan to worker w and reports the elapsed
+// transmission time.
+func (c *cluster) transmitPull(w int, plan engine.Plan, done func(elapsed float64)) {
+	ap := atp.NewPlan(plan.Units, c.wireSize)
+	if plan.Speculative {
+		c.sendPlan(w, ap, plan.Must, c.state.Tracker.Budget(), func(u int) {
+			c.deliverPull(w, u)
+		}, func(_ int, _, elapsed float64) {
+			done(elapsed)
+		})
+		return
+	}
+	start := c.k.Now()
+	c.ch.StartFlow(w, ap.TotalBytes(), func() {
+		for _, u := range plan.Units {
+			c.deliverPull(w, u)
+		}
+		done(c.k.Now() - start)
+	})
+}
+
+// recordMicro appends one Fig. 8 sample for the observed worker.
+func (c *cluster) recordMicro(w int, n int64, delivered int) {
+	if !c.cfg.RecordMicro || w != 1 {
+		return
+	}
+	var maxIt int64
+	for _, it := range c.iter {
+		if it > maxIt {
+			maxIt = it
+		}
+	}
+	stale := maxIt - (n - 1)
+	if stale < 0 {
+		stale = 0
+	}
+	c.micro = append(c.micro, MicroSample{
+		Time:      c.k.Now(),
+		LinkMbps:  c.ch.LinkMbps(w) / c.ch.Scale, // un-scaled trace value
+		TxRate:    float64(delivered) / float64(c.part.NumUnits()),
+		Staleness: stale,
+	})
+}
+
+// runAsync drives independent workers: each computes, pushes what the
+// policy plans, waits out the staleness gate (parked on the waiter list so
+// version advances and detaches re-evaluate it), pulls what the server
+// plans, and loops.
+func (c *cluster) runAsync() {
+	var startIter func(w int)
+	startIter = func(w int) {
+		if c.crashed[w] {
+			return // rejoin restarts the loop via resumeFn
+		}
+		if c.shouldHalt(w) {
+			c.halted[w] = true
+			return
+		}
+		iterStart := c.k.Now()
+		n := c.iter[w] + 1
+		commSec := 0.0
+
+		c.wl.ComputeGradients(w)
+		c.snapshotInto(w)
+
+		c.k.After(c.computeSecondsFor(w), func() {
+			if c.crashed[w] {
+				return // crashed during compute: the iteration is lost
+			}
+			plan := c.policy.PlanPush(c.pushView(w, n))
+			if plan.Skip {
+				// The scheduler (FLOWN) sat this one out: local gradients
+				// keep accumulating, nothing moves.
+				c.finishIteration(w, iterStart, 0)
+				startIter(w)
+				return
+			}
+			c.transmitPush(w, n, plan, func(delivered int, mtaTime, elapsed float64) {
+				commSec += elapsed
+				c.state.ObservePush(w, n, mtaTime, elapsed, plan.Speculative)
+				c.recordMicro(w, n, delivered)
+				c.waiters.Wake()
+
+				pull := func() bool {
+					if c.crashed[w] {
+						return true // abandon: the crash ends the iteration
+					}
+					if !c.state.CanAdvance(n) {
+						return false
+					}
+					c.transmitPull(w, c.state.PlanPull(w, n), func(elapsed float64) {
+						commSec += elapsed
+						c.finishIteration(w, iterStart, commSec)
+						startIter(w)
+					})
+					return true
+				}
+				if !pull() {
+					c.waiters.Park(w, c.k.Now(), pull)
+				}
+			})
+		})
+	}
+	c.resumeFn = startIter
+	for w := 0; w < c.cfg.Workers; w++ {
+		startIter(w)
+	}
+}

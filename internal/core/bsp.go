@@ -1,11 +1,14 @@
 package core
 
-// runBSP drives Bulk Synchronous Parallel: every iteration all workers
-// compute, push their whole (compressed) model of gradients, wait at the
-// barrier until everyone's push arrived and everyone's averaged pull is
-// delivered, then start the next iteration together. A single slow link
-// stalls the entire team — the straggler effect the paper sets out to kill.
-func (c *cluster) runBSP() {
+// runBarrier drives round-lockstep policies (BSP): every iteration all
+// workers compute, push what the policy plans, wait at the barrier until
+// everyone's push arrived and everyone's averaged pull is delivered, then
+// start the next round together. A single slow link stalls the entire
+// team — the straggler effect the paper sets out to kill. The barrier is
+// the runtime expression of the policy's CanAdvance gate (advance only
+// when every attached worker pushed the round); the socket runtime gets
+// the identical semantics from the gate alone.
+func (c *cluster) runBarrier() {
 	type roundState struct {
 		start    float64
 		commSec  []float64
@@ -42,12 +45,8 @@ func (c *cluster) runBSP() {
 			}
 			for _, s := range targets {
 				s := s
-				pullStart := c.k.Now()
-				c.ch.StartFlow(s, float64(c.part.TotalWireSize()), func() {
-					rs.commSec[s] += c.k.Now() - pullStart
-					for u := 0; u < c.part.NumUnits(); u++ {
-						c.deliverPull(s, u)
-					}
+				c.transmitPull(s, c.state.PlanPull(s, n), func(elapsed float64) {
+					rs.commSec[s] += elapsed
 					rs.pullLeft--
 					if rs.pullLeft == 0 {
 						// Iteration ends for every participant at the same
@@ -85,21 +84,19 @@ func (c *cluster) runBSP() {
 					arrive() // crashed during compute: its round is lost
 					return
 				}
-				pushStart := c.k.Now()
-				c.ch.StartFlow(w, float64(c.part.TotalWireSize()), func() {
-					rs.commSec[w] += c.k.Now() - pushStart
-					for u := 0; u < c.part.NumUnits(); u++ {
-						c.deliverPush(w, u, n)
-					}
+				plan := c.policy.PlanPush(c.pushView(w, n))
+				c.transmitPush(w, n, plan, func(_ int, mtaTime, elapsed float64) {
+					rs.commSec[w] += elapsed
+					c.state.ObservePush(w, n, mtaTime, elapsed, plan.Speculative)
 					arrive()
 				})
 			})
 		}
 	}
-	// BSP is round-driven: a rejoined worker needs no explicit resume — the
-	// next barrier includes every attached worker automatically. (If the
-	// entire team goes down the round engine dies with it; BSP has no
-	// membership protocol to revive a fully dead run.)
+	// The barrier loop is round-driven: a rejoined worker needs no explicit
+	// resume — the next barrier includes every attached worker
+	// automatically. (If the entire team goes down the round engine dies
+	// with it; BSP has no membership protocol to revive a fully dead run.)
 	c.resumeFn = func(int) {}
 	startRound()
 }

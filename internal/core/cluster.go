@@ -1,13 +1,14 @@
-// Package core contains the distributed-training drivers: the ROG
-// worker/parameter-server pair (Algos. 1–4 of the paper) and the BSP, SSP
-// and FLOWN baselines, all executed as deterministic state machines over
-// the simnet virtual-time channel while doing real SGD math on real models.
+// Package core is the simnet runtime of the synchronization engine: it
+// executes the single-copy strategy policies from internal/engine (BSP,
+// SSP, FLOWN, ROG, pipelined ROG, DSSP) as deterministic state machines
+// over the virtual-time channel while doing real SGD math on real models.
 //
 // The parameter-update discipline is the paper's: workers never apply their
 // own gradients directly; gradients travel worker → server (averaged into
 // per-worker copies) → worker, and parameters change only when averaged
-// gradient rows are pulled (Algo. 1 PullAveragedGradients). BSP/SSP/FLOWN
-// move whole models through the same machinery; ROG moves individual rows.
+// gradient rows are pulled (Algo. 1 PullAveragedGradients). The policies
+// decide what moves and when a worker may advance; this package owns the
+// clock, the fluid-flow links and the fault injector.
 package core
 
 import (
@@ -16,6 +17,7 @@ import (
 	"rog/internal/atp"
 	"rog/internal/compress"
 	"rog/internal/energy"
+	"rog/internal/engine"
 	"rog/internal/metrics"
 	"rog/internal/nn"
 	"rog/internal/rowsync"
@@ -37,6 +39,9 @@ const (
 	// ROG is the paper's row-granulated system: RSP staleness control with
 	// ATP adaptive row scheduling.
 	ROG
+	// DSSP is dynamic SSP (after Zhao et al.): SSP whose staleness
+	// threshold adapts at run time inside [2, Threshold].
+	DSSP
 )
 
 // String names the strategy.
@@ -50,8 +55,32 @@ func (s Strategy) String() string {
 		return "FLOWN"
 	case ROG:
 		return "ROG"
+	case DSSP:
+		return "DSSP"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// policyName maps the strategy (plus the Pipeline flag) to its engine
+// registry name; "" for unknown strategies.
+func (c Config) policyName() string {
+	switch c.Strategy {
+	case BSP:
+		return "bsp"
+	case SSP:
+		return "ssp"
+	case FLOWN:
+		return "flown"
+	case ROG:
+		if c.Pipeline {
+			return "pipeline"
+		}
+		return "rog"
+	case DSSP:
+		return "dssp"
+	default:
+		return ""
 	}
 }
 
@@ -149,12 +178,20 @@ type Config struct {
 	CheckpointEvery   int     // evaluate every N worker-0 iterations
 
 	RecordMicro bool // collect Fig. 8 micro-event samples for worker 1
+
+	// OnMerge, when set, observes every row merged into the server state
+	// (worker, unit, stamped version) — instrumentation for the
+	// simnet↔livenet parity tests.
+	OnMerge func(worker, unit int, iter int64)
 }
 
 // Validate fills defaults and rejects nonsense.
 func (c *Config) Validate() error {
 	if c.Workers < 2 {
 		return fmt.Errorf("core: need ≥2 workers, got %d", c.Workers)
+	}
+	if c.policyName() == "" {
+		return fmt.Errorf("core: unknown strategy %v", c.Strategy)
 	}
 	if c.Strategy != BSP && c.Threshold < 2 {
 		return fmt.Errorf("core: threshold must be ≥2, got %d", c.Threshold)
@@ -229,13 +266,19 @@ func (r *Result) Label() string {
 	return fmt.Sprintf("%s-%d", r.Strategy, r.Threshold)
 }
 
-// cluster is the shared runtime state of one experiment.
+// cluster is the shared runtime state of one experiment: the simnet
+// Runtime that executes an engine.Policy. The policy decides plans and
+// gates; the cluster owns the kernel, the channel, the workload math and
+// the energy/stall accounting.
 type cluster struct {
 	cfg  Config
 	wl   Workload
 	k    *simnet.Kernel
 	ch   *simnet.Channel
 	part *rowsync.Partition
+
+	policy engine.Policy
+	state  *engine.State
 
 	opt   []*nn.SGD            // per-worker optimizer (applies pulled rows)
 	local []*rowsync.GradStore // per-worker accumulated gradients g′
@@ -246,29 +289,25 @@ type cluster struct {
 	upCodec   []*compress.Codec // worker→server compression (error feedback)
 	downCodec []*compress.Codec // server→worker, one per worker copy
 
-	serverAcc []*rowsync.GradStore // server's per-worker averaged copies ḡ^s
+	// versions and serverAcc alias the engine state (kept as fields for the
+	// invariant checks the tests walk mid-run).
+	serverAcc []*rowsync.GradStore
 	versions  *rowsync.VersionStore
-	// serverIter[u]: latest training iteration (any worker) whose gradients
-	// updated unit u on the server — the freshness input of the server-mode
-	// importance metric.
-	serverIter []int64
 
 	meters []*energy.Meter
 	comp   metrics.CompositionRecorder
 	series metrics.Series
 
-	iter    []int64 // completed iterations per worker
-	halted  []bool
-	tracker *atp.TimeTracker
+	iter   []int64 // completed iterations per worker
+	halted []bool
 
 	// Fault-tolerance state: crashed workers, the waiter list RSP parks
 	// blocked workers on (shared with the fault layer so a detach can wake
-	// and attribute the released stall), the driver's per-worker resume hook
-	// for rejoins, and the churn counters.
+	// and attribute the released stall), and the driver's per-worker resume
+	// hook for rejoins. Churn counters live in the engine state.
 	crashed  []bool
-	waiters  *waitList
+	waiters  *engine.WaitList
 	resumeFn func(w int)
-	churn    metrics.ChurnStats
 
 	micro []MicroSample
 
@@ -295,17 +334,32 @@ func newCluster(cfg Config, wl Workload) *cluster {
 	}
 	scale := ref / cfg.PaperModelBytes
 
+	policy, err := engine.New(cfg.policyName(), engine.Params{
+		Workers:   cfg.Workers,
+		Threshold: cfg.Threshold,
+		NumUnits:  part.NumUnits(),
+		Coeff:     cfg.Coeff,
+	})
+	if err != nil {
+		// Validate rejects unknown strategies before any cluster is built.
+		panic(err)
+	}
+
 	c := &cluster{
 		cfg:     cfg,
 		wl:      wl,
 		k:       k,
 		ch:      simnet.NewChannel(k, links, scale),
 		part:    part,
-		tracker: atp.NewTimeTracker(cfg.Workers, 1.0),
+		policy:  policy,
+		state:   engine.NewState(policy, part, cfg.Workers, 1.0),
 		scratch: make([]float32, maxUnitLen(part)),
 		crashed: make([]bool, cfg.Workers),
-		waiters: newWaitList(),
+		waiters: engine.NewWaitList(),
 	}
+	c.state.OnMerge = cfg.OnMerge
+	c.serverAcc = c.state.Acc
+	c.versions = c.state.Versions
 	c.series.Name = fmt.Sprintf("%s-%d", cfg.Strategy, cfg.Threshold)
 	for w := 0; w < cfg.Workers; w++ {
 		c.opt = append(c.opt, nn.NewSGD(cfg.LR, cfg.Momentum))
@@ -313,13 +367,10 @@ func newCluster(cfg Config, wl Workload) *cluster {
 		c.pushIter = append(c.pushIter, make([]int64, part.NumUnits()))
 		c.upCodec = append(c.upCodec, compress.NewCodec(part.Widths()))
 		c.downCodec = append(c.downCodec, compress.NewCodec(part.Widths()))
-		c.serverAcc = append(c.serverAcc, rowsync.NewGradStore(part))
 		c.meters = append(c.meters, energy.NewMeter(energy.PaperModel()))
 		c.iter = append(c.iter, 0)
 		c.halted = append(c.halted, false)
 	}
-	c.versions = rowsync.NewVersionStore(cfg.Workers, part.NumUnits())
-	c.serverIter = make([]int64, part.NumUnits())
 	return c
 }
 
@@ -365,21 +416,14 @@ func (c *cluster) shouldHalt(w int) bool {
 }
 
 // deliverPush decodes worker w's unit u at local iteration n into the
-// server: averaged into every worker's copy and version-stamped (Algo. 2
-// lines 2–6).
+// server state (Algo. 2 lines 2–6: shrink-to-attached averaging and
+// version stamping live in engine.State.Merge).
 func (c *cluster) deliverPush(w, u int, n int64) {
 	g := c.local[w].Unit(u)
 	payload := c.upCodec[w].Encode(u, g)
 	vals := c.scratch[:len(g)]
 	compress.Decode(payload, vals)
-	inv := 1 / float32(c.cfg.Workers)
-	for s := 0; s < c.cfg.Workers; s++ {
-		c.serverAcc[s].AddUnit(u, vals, inv)
-	}
-	c.versions.Update(w, u, n)
-	if n > c.serverIter[u] {
-		c.serverIter[u] = n
-	}
+	c.state.Merge(w, u, vals, n)
 	// Worker side of Algo. 1 lines 9–11.
 	c.local[w].ZeroUnit(u)
 	c.pushIter[w][u] = n
@@ -503,9 +547,24 @@ func (c *cluster) result() *Result {
 		StallFrac:   stallFrac,
 		Micro:       c.micro,
 		FinalValue:  c.series.Last().Value,
-		Churn:       c.churn,
+		Churn:       c.state.Churn,
 	}
 	return r
+}
+
+// start launches the driver loop matching the policy's traits: the round
+// barrier for BSP, the compute/comm-overlapped pipeline when requested,
+// and the shared asynchronous loop for everything else. The traits choose
+// the loop shape only — plans, gates and merges all come from the policy.
+func (c *cluster) start() {
+	switch t := c.policy.Traits(); {
+	case t.Barrier:
+		c.runBarrier()
+	case t.Pipelined:
+		c.runPipelined()
+	default:
+		c.runAsync()
+	}
 }
 
 // Run executes one experiment to completion and returns its Result.
@@ -515,22 +574,7 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	}
 	c := newCluster(cfg, wl)
 	c.checkpoint() // baseline point at t=0
-	switch cfg.Strategy {
-	case BSP:
-		c.runBSP()
-	case SSP:
-		c.runSSP()
-	case FLOWN:
-		c.runFLOWN()
-	case ROG:
-		if cfg.Pipeline {
-			c.runROGPipelined()
-		} else {
-			c.runROG()
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
-	}
+	c.start()
 	if len(cfg.Faults) > 0 {
 		if err := c.installFaults(); err != nil {
 			return nil, err

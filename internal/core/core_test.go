@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"rog/internal/atp"
 	"rog/internal/nn"
 	"rog/internal/tensor"
 	"rog/internal/trace"
@@ -206,7 +207,7 @@ func TestSSPRunAndStalenessBound(t *testing.T) {
 	}
 	wl2 := newTestWorkload(3, 4)
 	c := newCluster(cfg, wl2)
-	c.runSSP()
+	c.start()
 	for c.k.Step() {
 		if ahead := c.versions.MaxAhead(); ahead > int64(cfg.Threshold) {
 			t.Fatalf("staleness bound violated: %d > %d", ahead, cfg.Threshold)
@@ -233,7 +234,7 @@ func TestROGRunsAndRespectsRSP(t *testing.T) {
 	wl := newTestWorkload(3, 6)
 	c := newCluster(cfg, wl)
 	c.checkpoint()
-	c.runROG()
+	c.start()
 	steps := 0
 	for c.k.Step() {
 		steps++
@@ -369,15 +370,15 @@ func TestSendPlanDeliveredCount(t *testing.T) {
 	wl := newTestWorkload(3, 19)
 	c := newCluster(cfg, wl)
 	plan := []int{0, 1, 2}
-	pc := c.newPlan(plan)
-	if pc.deliveredCount(0) != 0 {
+	ap := atp.NewPlan(plan, c.wireSize)
+	if ap.DeliveredCount(0) != 0 {
 		t.Fatal("zero bytes should deliver nothing")
 	}
-	if pc.deliveredCount(pc.prefix[3]) != 3 {
+	if ap.DeliveredCount(ap.Prefix[3]) != 3 {
 		t.Fatal("full bytes should deliver all")
 	}
-	mid := pc.prefix[1] + 0.5*(pc.prefix[2]-pc.prefix[1])
-	if pc.deliveredCount(mid) != 1 {
+	mid := ap.Prefix[1] + 0.5*(ap.Prefix[2]-ap.Prefix[1])
+	if ap.DeliveredCount(mid) != 1 {
 		t.Fatal("partial unit must be discarded")
 	}
 }

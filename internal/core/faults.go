@@ -44,13 +44,12 @@ func (c *cluster) crashWorker(w int) {
 		return
 	}
 	c.crashed[w] = true
-	c.churn.Disconnects++
-	c.versions.Detach(w)
+	c.state.Detach(w)
 	// The ghost itself must not resume; survivors it was blocking re-check
 	// their staleness predicate now, and any wait the detach releases is
 	// churn-attributable stall.
-	c.waiters.drop(w)
-	c.waiters.wakeAttributing(c.k.Now(), &c.churn.DetachStall)
+	c.waiters.Drop(w)
+	c.waiters.WakeAttributing(c.k.Now(), &c.state.Churn.DetachStall)
 }
 
 // rejoinWorker re-admits worker w: membership first (so the staleness
@@ -60,8 +59,7 @@ func (c *cluster) rejoinWorker(w int) {
 	if !c.crashed[w] {
 		return
 	}
-	base := c.versions.Attach(w)
-	c.churn.Reconnects++
+	base := c.state.Attach(w)
 	// Fast-forward the worker's counters to the baseline: its next
 	// iteration must version-stamp rows above every re-baselined entry.
 	if c.iter[w] < base {
@@ -74,15 +72,12 @@ func (c *cluster) rejoinWorker(w int) {
 	}
 	// The rejoin resync: every averaged row that accumulated while the
 	// worker was away rides one flow over its (possibly still weak) link.
-	var units []int
+	units := c.state.Backlog(w)
 	var bytes float64
-	for u := 0; u < c.part.NumUnits(); u++ {
-		if c.serverAcc[w].MeanAbs(u) != 0 {
-			units = append(units, u)
-			bytes += float64(c.part.WireSize(u))
-		}
+	for _, u := range units {
+		bytes += float64(c.part.WireSize(u))
 	}
-	c.churn.RowsResynced += len(units)
+	c.state.Churn.RowsResynced += len(units)
 	c.crashed[w] = false
 	start := c.k.Now()
 	c.ch.StartFlow(w, bytes, func() {

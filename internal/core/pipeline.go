@@ -1,31 +1,26 @@
 package core
 
 import (
-	"math"
-
-	"rog/internal/atp"
 	"rog/internal/energy"
 	"rog/internal/metrics"
 )
 
-// runROGPipelined implements the paper's future-work extension (Sec. VI-D):
+// runPipelined implements the paper's future-work extension (Sec. VI-D):
 // overlapping communication and computation on each robot, in the spirit of
 // Pipe-SGD [65]. Each worker owns two serial resources — the CPU and the
 // radio. While the radio synchronizes iteration n's rows, the CPU already
 // computes iteration n+1's gradients (on the model state before pull n,
 // which adds one bounded unit of staleness, still governed by RSP). The
 // pipeline depth is one: compute(n+2) cannot start until comm(n+1) begins,
-// i.e. until comm(n) finished.
+// i.e. until comm(n) finished. What moves and when a worker may advance
+// come from the policy (the "pipeline" registry entry — ROG's plans with
+// the Pipelined trait).
 //
 // Accounting: an iteration's span runs from the previous comm completion to
 // its own; compute and comm overlap, so the stall residual is clamped at
 // zero and total metered time may exceed wall time (both chips draw power
 // simultaneously, so the energy integral remains correct).
-func (c *cluster) runROGPipelined() {
-	waiters := c.waiters
-	numUnits := c.part.NumUnits()
-	mtaCount := int(math.Ceil(atp.MTA(c.cfg.Threshold) * float64(numUnits)))
-
+func (c *cluster) runPipelined() {
 	type wstate struct {
 		computeIter int64 // iterations whose gradients have been computed
 		readyIter   int64 // snapshot awaiting the radio (0 = none)
@@ -69,49 +64,20 @@ func (c *cluster) runROGPipelined() {
 		st.readyIter = 0
 		commSec := 0.0
 
-		rows := make([]atp.RowInfo, numUnits)
-		var meanSum float64
-		for u := 0; u < numUnits; u++ {
-			rows[u] = atp.RowInfo{ID: u, MeanAbs: c.local[w].MeanAbs(u), Iter: c.pushIter[w][u]}
-			meanSum += rows[u].MeanAbs
-		}
-		if meanSum > 0 {
-			norm := float64(numUnits) / meanSum
-			for u := range rows {
-				rows[u].MeanAbs *= norm
-			}
-		}
-		ranked := atp.Rank(rows, atp.Worker, c.cfg.Coeff)
-		var forced, rest []int
-		for _, u := range ranked {
-			if n-c.pushIter[w][u] >= int64(c.cfg.Threshold)-1 {
-				forced = append(forced, u)
-			} else {
-				rest = append(rest, u)
-			}
-		}
-		plan := append(forced, rest...)
-		must := mtaCount
-		if len(forced) > must {
-			must = len(forced)
-		}
-		pc := c.newPlan(plan)
-		c.sendPlan(w, pc, must, c.tracker.Budget(), func(u int) {
-			c.deliverPush(w, u, n)
-		}, func(_ int, mtaTime, elapsed float64) {
+		plan := c.policy.PlanPush(c.pushView(w, n))
+		c.transmitPush(w, n, plan, func(_ int, mtaTime, elapsed float64) {
 			commSec += elapsed
-			if must > 0 && mtaTime > 0 {
-				c.tracker.Observe(w, mtaTime)
-			}
-			waiters.wake()
+			c.state.ObservePush(w, n, mtaTime, elapsed, plan.Speculative)
+			c.waiters.Wake()
 			pull := func() bool {
 				if c.crashed[w] {
 					return true // abandon: the crash ends the iteration
 				}
-				if n-c.versions.Min() >= int64(c.cfg.Threshold) {
+				if !c.state.CanAdvance(n) {
 					return false
 				}
-				c.pullROG(w, n, mtaCount, &commSec, func() {
+				c.transmitPull(w, c.state.PlanPull(w, n), func(elapsed float64) {
+					commSec += elapsed
 					finish(w, commSec)
 					st.commBusy = false
 					if st.readyIter != 0 {
@@ -122,7 +88,7 @@ func (c *cluster) runROGPipelined() {
 				return true
 			}
 			if !pull() {
-				waiters.park(w, c.k.Now(), pull)
+				c.waiters.Park(w, c.k.Now(), pull)
 			}
 		})
 		// The radio is now busy with iteration n; the CPU may start on n+1.

@@ -25,7 +25,7 @@ func TestPipelinedROGRespectsRSP(t *testing.T) {
 	}
 	wl := newTestWorkload(3, 32)
 	c := newCluster(cfg, wl)
-	c.runROGPipelined()
+	c.start()
 	for c.k.Step() {
 		if ahead := c.versions.MaxAhead(); ahead > int64(cfg.Threshold) {
 			t.Fatalf("pipelined RSP bound violated: %d > %d", ahead, cfg.Threshold)

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"rog/internal/atp"
+	"rog/internal/simnet"
+)
+
+// minBudget floors the MTA-time budget so a transient zero-bandwidth
+// estimate cannot collapse transmissions to nothing.
+const minBudget = 0.05
+
+// sendPlan transmits plan units in order on worker w's link: speculatively
+// within `budget` seconds, but always completing the first mustCount units
+// (Algo. 4 lines 3–7). deliver fires for each fully transmitted unit;
+// done receives the delivered count, the (possibly estimated) time the
+// first mustCount units took, and the total elapsed transmission time.
+func (c *cluster) sendPlan(w int, ap atp.Plan, mustCount int, budget float64, deliver func(u int), done func(delivered int, mtaTime, elapsed float64)) {
+	if len(ap.Units) == 0 {
+		c.k.After(0, func() { done(0, 0, 0) })
+		return
+	}
+	if mustCount > len(ap.Units) {
+		mustCount = len(ap.Units)
+	}
+	if budget < minBudget {
+		budget = minBudget
+	}
+	if c.cfg.PerUnitCheckSeconds > 0 {
+		c.sendPlanSequential(w, ap, mustCount, budget, deliver, done)
+		return
+	}
+	start := c.k.Now()
+	total := ap.TotalBytes()
+	mustBytes := ap.Prefix[mustCount]
+
+	var timer *simnet.Timer
+	var flow *simnet.Flow
+	// StartFlow only schedules events; neither callback can fire until the
+	// kernel processes the next event, so both captures are safe.
+	flow = c.ch.StartFlow(w, total, func() {
+		timer.Stop()
+		for _, u := range ap.Units {
+			deliver(u)
+		}
+		elapsed := c.k.Now() - start
+		mta := elapsed
+		if total > 0 {
+			mta = elapsed * mustBytes / total
+		}
+		done(len(ap.Units), mta, elapsed)
+	})
+	timer = c.k.After(budget, func() {
+		sent := c.ch.Cancel(flow)
+		k := ap.DeliveredCount(sent)
+		for _, u := range ap.Units[:k] {
+			deliver(u)
+		}
+		if k < mustCount {
+			// Forced continuation: retransmit the discarded partial unit
+			// and finish the MTA floor (Algo. 4 lines 4–7).
+			remaining := mustBytes - ap.Prefix[k]
+			c.ch.StartFlow(w, remaining, func() {
+				for _, u := range ap.Units[k:mustCount] {
+					deliver(u)
+				}
+				elapsed := c.k.Now() - start
+				done(mustCount, elapsed, elapsed)
+			})
+			return
+		}
+		mta := budget
+		if sent > 0 {
+			mta = budget * mustBytes / sent
+		}
+		done(k, mta, budget)
+	})
+}
+
+// sendPlanSequential is the granularity-ablation path: a timeout judgement
+// is inserted between every two unit transmissions (cost
+// PerUnitCheckSeconds each) instead of speculating — the design the paper
+// rejects in Sec. III-A for under-utilizing the channel.
+func (c *cluster) sendPlanSequential(w int, ap atp.Plan, mustCount int, budget float64, deliver func(u int), done func(delivered int, mtaTime, elapsed float64)) {
+	start := c.k.Now()
+	mtaTime := 0.0
+	var next func(i int)
+	next = func(i int) {
+		elapsed := c.k.Now() - start
+		if i == mustCount {
+			mtaTime = elapsed
+		}
+		if i >= len(ap.Units) || (elapsed >= budget && i >= mustCount) {
+			if i < mustCount {
+				mtaTime = elapsed
+			}
+			done(i, mtaTime, elapsed)
+			return
+		}
+		u := ap.Units[i]
+		c.ch.StartFlow(w, float64(c.part.WireSize(u)), func() {
+			deliver(u)
+			// The inserted judgement: dead air before the next unit.
+			c.k.After(c.cfg.PerUnitCheckSeconds, func() { next(i + 1) })
+		})
+	}
+	next(0)
+}

@@ -1,0 +1,21 @@
+package engine
+
+// bsp is Bulk Synchronous Parallel: whole-model push and pull every
+// iteration, and a gate equivalent to a full barrier — a worker entering
+// iteration n may not advance until every attached worker's rows reached
+// n−1. The simnet runtime executes it round-lockstep (the Barrier trait);
+// the socket runtime gets the same semantics from CanAdvance alone.
+type bsp struct{}
+
+func newBSP() *bsp { return &bsp{} }
+
+func (*bsp) Name() string   { return "bsp" }
+func (*bsp) Traits() Traits { return Traits{Barrier: true} }
+
+func (*bsp) PlanPush(v PushView) Plan { return allUnits(len(v.Rows)) }
+
+func (*bsp) CanAdvance(iter, min int64) bool { return iter-min < 1 }
+
+func (*bsp) PlanPull(v PullView) Plan { return allUnits(len(v.Rows)) }
+
+func (*bsp) ObservePush(worker int, iter int64, seconds float64) {}

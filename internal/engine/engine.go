@@ -1,0 +1,167 @@
+// Package engine is the transport-agnostic synchronization engine: the
+// single home of every strategy's *policy* — what to transmit, when a
+// worker may advance, how pushed rows merge — shared by the two runtimes
+// that execute it (the discrete-event simnet drivers in internal/core and
+// the real-socket server/worker in internal/livenet).
+//
+// A Policy is pure decision logic over views of worker/server state; it
+// owns no clock, no links and no membership. The runtimes own those: they
+// build the views, transmit what the plans say, gate workers on
+// CanAdvance, and fold delivered rows through State.Merge (which also owns
+// the shrink-to-attached averaging and churn counters). Adding a strategy
+// is one Policy implementation in one file; both transports pick it up
+// through the registry.
+package engine
+
+import (
+	"fmt"
+
+	"rog/internal/atp"
+)
+
+// Traits tell a runtime which loop shape executes the policy. They select
+// the driver, not the decisions: all plan/gate/merge logic stays in the
+// Policy methods.
+type Traits struct {
+	// Barrier marks round-lockstep strategies (BSP): the simnet runtime
+	// drives explicit rounds; the socket runtime gets the same behaviour
+	// from CanAdvance alone (iteration n proceeds only once every attached
+	// worker pushed n).
+	Barrier bool
+	// Pipelined lets a runtime overlap a worker's compute with its
+	// communication (the paper's Sec. VI-D extension).
+	Pipelined bool
+}
+
+// Plan is one transmission decision. Units are sent in order; the first
+// Must units always complete (the MTA floor and rows at the staleness
+// bound), the rest are speculative and may be cut at the budget deadline.
+// Non-speculative plans transmit every unit with no deadline. Skip means
+// the worker synchronizes nothing this iteration (FLOWN's scheduler).
+type Plan struct {
+	Skip        bool
+	Units       []int
+	Must        int
+	Speculative bool
+}
+
+// PushView is the worker-side state a push decision sees. Rows holds one
+// entry per unit, indexed by unit ID (Rows[u].ID == u): the raw mean
+// absolute accumulated gradient and the last iteration the unit was
+// pushed. Min is the latest known global minimum row version (a socket
+// worker learns it from the server's pull-done frame), Budget the current
+// MTA-time budget — the straggler's reported transmission time.
+type PushView struct {
+	Worker int
+	Iter   int64
+	Rows   []atp.RowInfo
+	Min    int64
+	Budget float64
+}
+
+// PullView is the server-side state a pull decision sees: Rows[u] carries
+// the mean absolute mass accumulated for the worker and the latest
+// iteration any worker updated the unit at (the freshness input of the
+// server-mode importance metric).
+type PullView struct {
+	Worker int
+	Iter   int64
+	Rows   []atp.RowInfo
+	Min    int64
+}
+
+// Policy is one synchronization strategy, transport-free. A policy
+// instance serves one run; implementations may keep per-run state but must
+// mutate it only in PlanPush, PlanPull and ObservePush — each called at
+// most once per worker-iteration by every runtime. CanAdvance must be a
+// pure predicate: the socket runtime re-evaluates it arbitrarily often
+// inside a condition-variable loop.
+type Policy interface {
+	// Name is the registry name ("ssp", "rog", ...).
+	Name() string
+	// Traits selects the runtime loop shape.
+	Traits() Traits
+	// PlanPush decides what worker v.Worker transmits for iteration v.Iter.
+	PlanPush(v PushView) Plan
+	// CanAdvance reports whether a worker at iteration iter may proceed
+	// past the staleness gate given the global minimum row version.
+	CanAdvance(iter, min int64) bool
+	// PlanPull decides which averaged rows the server returns to the
+	// worker after iteration v.Iter's push.
+	PlanPull(v PullView) Plan
+	// ObservePush feeds back one completed push: the iteration it
+	// synchronized and the seconds it took on the wire.
+	ObservePush(worker int, iter int64, seconds float64)
+}
+
+// Params configures a policy instance for one run.
+type Params struct {
+	Workers   int
+	Threshold int
+	NumUnits  int
+	Coeff     atp.Coefficients
+}
+
+func (p Params) withDefaults() Params {
+	if p.Coeff == (atp.Coefficients{}) {
+		p.Coeff = atp.DefaultCoefficients()
+	}
+	return p
+}
+
+// New builds the named policy. Names: "bsp", "ssp", "flown", "rog",
+// "pipeline" (ROG with the pipelined trait), "dssp".
+func New(name string, p Params) (Policy, error) {
+	p = p.withDefaults()
+	switch name {
+	case "bsp":
+		return newBSP(), nil
+	case "ssp":
+		return newSSP(p), nil
+	case "flown":
+		return newFLOWN(p), nil
+	case "rog":
+		return newROG(p, false), nil
+	case "pipeline":
+		return newROG(p, true), nil
+	case "dssp":
+		return newDSSP(p), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown policy %q", name)
+	}
+}
+
+// Names lists the registered policies.
+func Names() []string {
+	return []string{"bsp", "ssp", "flown", "rog", "pipeline", "dssp"}
+}
+
+// allUnits is the whole-model plan shared by the model-granular policies:
+// every unit in index order, all mandatory, no deadline.
+func allUnits(n int) Plan {
+	units := make([]int, n)
+	for i := range units {
+		units[i] = i
+	}
+	return Plan{Units: units, Must: n}
+}
+
+// normalized scales a copy of rows so the mean of MeanAbs is 1, putting
+// the f1 magnitude term on the same O(1) scale as the staleness term for
+// any model (keeps the paper's f1=f2=1 meaningful). Rows with zero total
+// mass pass through unscaled.
+func normalized(rows []atp.RowInfo) []atp.RowInfo {
+	out := make([]atp.RowInfo, len(rows))
+	copy(out, rows)
+	var meanSum float64
+	for _, r := range out {
+		meanSum += r.MeanAbs
+	}
+	if meanSum > 0 {
+		norm := float64(len(out)) / meanSum
+		for i := range out {
+			out[i].MeanAbs *= norm
+		}
+	}
+	return out
+}

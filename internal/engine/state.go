@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"rog/internal/atp"
+	"rog/internal/metrics"
+	"rog/internal/rowsync"
+)
+
+// State is the server side of a run, shared verbatim by both runtimes:
+// per-worker averaged-gradient copies, row versions, the MTA-time tracker
+// and the churn counters. It owns the merge semantics (shrink-to-attached
+// averaging) and the membership bookkeeping; the runtimes own transport
+// and locking (the socket server calls every method under its mutex, the
+// simnet kernel is single-threaded).
+type State struct {
+	policy  Policy
+	part    *rowsync.Partition
+	workers int
+
+	// Acc[w] is worker w's averaged-gradient copy ḡ^s; detached workers'
+	// copies keep accumulating the backlog their rejoin resync replays.
+	Acc      []*rowsync.GradStore
+	Versions *rowsync.VersionStore
+	// RowIter[u] is the latest iteration (any worker) whose gradients
+	// updated unit u — the freshness input of the server-mode importance
+	// metric.
+	RowIter []int64
+	Tracker *atp.TimeTracker
+	Churn   metrics.ChurnStats
+
+	// OnMerge, when set, observes every merged row (worker, unit, stamped
+	// version) — the hook the simnet↔livenet parity tests record with.
+	OnMerge func(worker, unit int, iter int64)
+}
+
+// NewState builds the server state for one run. initialBudget seeds the
+// MTA-time tracker (the simnet drivers use 1 s, the socket server its
+// configured floor).
+func NewState(policy Policy, part *rowsync.Partition, workers int, initialBudget float64) *State {
+	s := &State{
+		policy:   policy,
+		part:     part,
+		workers:  workers,
+		Versions: rowsync.NewVersionStore(workers, part.NumUnits()),
+		RowIter:  make([]int64, part.NumUnits()),
+		Tracker:  atp.NewTimeTracker(workers, initialBudget),
+	}
+	for i := 0; i < workers; i++ {
+		s.Acc = append(s.Acc, rowsync.NewGradStore(part))
+	}
+	return s
+}
+
+// Policy returns the policy this state executes.
+func (s *State) Policy() Policy { return s.policy }
+
+// Merge folds one received row into every worker's averaged copy (Algo. 2
+// lines 2–6). Averaging is normalized by the attached team size (graceful
+// degradation: N−1 workers average over N−1, not N), and the row is
+// version-stamped monotonically.
+func (s *State) Merge(worker, unit int, vals []float32, iter int64) {
+	active := s.Versions.ActiveWorkers()
+	if active == 0 {
+		active = s.workers
+	}
+	inv := 1 / float32(active)
+	for w := range s.Acc {
+		s.Acc[w].AddUnit(unit, vals, inv)
+	}
+	if iter > s.Versions.Get(worker, unit) {
+		s.Versions.Update(worker, unit, iter)
+	}
+	if iter > s.RowIter[unit] {
+		s.RowIter[unit] = iter
+	}
+	if s.OnMerge != nil {
+		s.OnMerge(worker, unit, iter)
+	}
+}
+
+// CanAdvance applies the policy's staleness gate at the current global
+// minimum row version.
+func (s *State) CanAdvance(iter int64) bool {
+	return s.policy.CanAdvance(iter, s.Versions.Min())
+}
+
+// PlanPull asks the policy which averaged rows to return to worker after
+// its iteration-iter push. Called exactly once per worker-iteration — the
+// contract adaptive policies (DSSP) rely on.
+func (s *State) PlanPull(worker int, iter int64) Plan {
+	rows := make([]atp.RowInfo, s.part.NumUnits())
+	for u := range rows {
+		rows[u] = atp.RowInfo{ID: u, MeanAbs: s.Acc[worker].MeanAbs(u), Iter: s.RowIter[u]}
+	}
+	return s.policy.PlanPull(PullView{
+		Worker: worker,
+		Iter:   iter,
+		Rows:   rows,
+		Min:    s.Versions.Min(),
+	})
+}
+
+// ObservePush records one completed push with the tracker and the policy:
+// speculative pushes report their (possibly estimated) MTA time, whole-
+// model pushes their full elapsed time — either way the tracker's budget
+// becomes the straggler's report (Algo. 4).
+func (s *State) ObservePush(worker int, iter int64, mtaTime, elapsed float64, speculative bool) {
+	if speculative {
+		if mtaTime > 0 {
+			s.Tracker.Observe(worker, mtaTime)
+		}
+	} else if elapsed > 0 {
+		s.Tracker.Observe(worker, elapsed)
+	}
+	s.policy.ObservePush(worker, iter, elapsed)
+}
+
+// Detach removes the worker from membership: its rows stop pinning the
+// RSP minimum. Idempotent; counts one disconnect per actual detach.
+func (s *State) Detach(worker int) {
+	if !s.Versions.IsActive(worker) {
+		return
+	}
+	s.Versions.Detach(worker)
+	s.Churn.Disconnects++
+}
+
+// Attach re-admits a detached worker, re-baselining its rows at the
+// surviving minimum, and returns that baseline iteration.
+func (s *State) Attach(worker int) int64 {
+	base := s.Versions.Attach(worker)
+	s.Churn.Reconnects++
+	return base
+}
+
+// Backlog lists the units holding accumulated mass for the worker — what a
+// rejoin resync must replay. The caller transmits them and adds the count
+// to Churn.RowsResynced.
+func (s *State) Backlog(worker int) []int {
+	var units []int
+	for u := 0; u < s.part.NumUnits(); u++ {
+		if s.Acc[worker].MeanAbs(u) != 0 {
+			units = append(units, u)
+		}
+	}
+	return units
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/tensor"
+)
+
+func testState(t *testing.T, workers int) (*State, *rowsync.Partition) {
+	t.Helper()
+	proto := nn.NewClassifierMLP(4, []int{6}, 3, tensor.NewRNG(1))
+	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
+	pol, err := New("ssp", Params{Workers: workers, Threshold: 4, NumUnits: part.NumUnits()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewState(pol, part, workers, 1.0), part
+}
+
+// TestMergeShrinkToAttachedAveraging pushes one row before and after a
+// detach: with all 3 workers attached the averaged contribution is v/3,
+// with one detached it is v/2 — graceful degradation, not dilution.
+func TestMergeShrinkToAttachedAveraging(t *testing.T) {
+	s, part := testState(t, 3)
+	vals := make([]float32, part.Unit(0).Len)
+	for i := range vals {
+		vals[i] = 3
+	}
+	s.Merge(0, 0, vals, 1)
+	if got := s.Acc[1].Unit(0)[0]; got != 1 {
+		t.Fatalf("3 attached: merged value = %v, want 1 (v/3)", got)
+	}
+	s.Detach(2)
+	s.Merge(0, 0, vals, 2)
+	if got := s.Acc[1].Unit(0)[0]; got != 2.5 {
+		t.Fatalf("2 attached: merged value = %v, want 1 + 1.5 (v/2)", got)
+	}
+	// The detached worker's copy keeps accumulating the rejoin backlog.
+	if got := s.Acc[2].Unit(0)[0]; got != 2.5 {
+		t.Fatalf("detached copy = %v, want the same backlog", got)
+	}
+}
+
+// TestMergeVersionStampsAndHook checks monotone version stamping, the
+// per-unit freshness iterator, and the OnMerge observation hook.
+func TestMergeVersionStampsAndHook(t *testing.T) {
+	s, part := testState(t, 2)
+	var log [][3]int64
+	s.OnMerge = func(w, u int, it int64) { log = append(log, [3]int64{int64(w), int64(u), it}) }
+	vals := make([]float32, part.Unit(1).Len)
+	s.Merge(1, 1, vals, 5)
+	s.Merge(1, 1, vals, 4) // stale duplicate: must not rewind
+	if got := s.Versions.Get(1, 1); got != 5 {
+		t.Fatalf("version = %d, want 5", got)
+	}
+	if s.RowIter[1] != 5 {
+		t.Fatalf("row iter = %d, want 5", s.RowIter[1])
+	}
+	if len(log) != 2 || log[0] != [3]int64{1, 1, 5} {
+		t.Fatalf("hook log = %v", log)
+	}
+}
+
+// TestDetachAttachBacklog walks the churn protocol: detach counts once
+// (idempotent), attach re-baselines and counts, and the backlog lists
+// exactly the units with accumulated mass.
+func TestDetachAttachBacklog(t *testing.T) {
+	s, part := testState(t, 3)
+	vals := make([]float32, part.Unit(0).Len)
+	for i := range vals {
+		vals[i] = 1
+	}
+	// Advance the survivors to iteration 3 on every unit.
+	for u := 0; u < part.NumUnits(); u++ {
+		uv := make([]float32, part.Unit(u).Len)
+		for i := range uv {
+			uv[i] = 1
+		}
+		for it := int64(1); it <= 3; it++ {
+			s.Merge(0, u, uv, it)
+			s.Merge(1, u, uv, it)
+		}
+	}
+	s.Detach(2)
+	s.Detach(2)
+	if s.Churn.Disconnects != 1 {
+		t.Fatalf("disconnects = %d, want 1 (idempotent)", s.Churn.Disconnects)
+	}
+	if !s.CanAdvance(4) {
+		t.Fatal("detached worker's stale rows still pin the gate")
+	}
+	backlog := s.Backlog(2)
+	if len(backlog) != part.NumUnits() {
+		t.Fatalf("backlog = %d units, want every unit", len(backlog))
+	}
+	base := s.Attach(2)
+	if base != 3 {
+		t.Fatalf("baseline = %d, want the surviving minimum 3", base)
+	}
+	if s.Churn.Reconnects != 1 {
+		t.Fatalf("reconnects = %d", s.Churn.Reconnects)
+	}
+}

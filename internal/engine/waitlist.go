@@ -1,0 +1,64 @@
+package engine
+
+import "sort"
+
+// WaitList holds workers blocked on the staleness predicate, with the
+// check to re-evaluate whenever server versions advance. Park times are
+// recorded so a wake triggered by a membership detach can attribute the
+// released stall to churn. It is the simnet runtime's analogue of the
+// socket server's condition variable, kept here because park/wake ordering
+// is part of the engine's determinism contract.
+type WaitList struct {
+	pending  map[int]func() bool // worker → "try to resume; true if resumed"
+	parkedAt map[int]float64     // worker → virtual time it parked
+}
+
+// NewWaitList creates an empty wait list.
+func NewWaitList() *WaitList {
+	return &WaitList{pending: make(map[int]func() bool), parkedAt: make(map[int]float64)}
+}
+
+// Park registers worker w's retry closure, stamped with the current time.
+func (wl *WaitList) Park(w int, now float64, retry func() bool) {
+	wl.pending[w] = retry
+	wl.parkedAt[w] = now
+}
+
+// Drop discards worker w's parked retry without running it (the worker
+// crashed while blocked; a ghost must not resume).
+func (wl *WaitList) Drop(w int) {
+	delete(wl.pending, w)
+	delete(wl.parkedAt, w)
+}
+
+// Parked reports whether worker w is currently parked.
+func (wl *WaitList) Parked(w int) bool {
+	_, ok := wl.pending[w]
+	return ok
+}
+
+// Len reports how many workers are parked.
+func (wl *WaitList) Len() int { return len(wl.pending) }
+
+// Wake retries every parked worker; resumed ones are removed. Workers are
+// retried in index order so the resulting event sequence is deterministic.
+func (wl *WaitList) Wake() { wl.WakeAttributing(0, nil) }
+
+// WakeAttributing is Wake with churn accounting: when stall is non-nil,
+// each resumed worker adds its time-parked to *stall (the caller passes
+// the churn counter when the wake was caused by a detach).
+func (wl *WaitList) WakeAttributing(now float64, stall *float64) {
+	workers := make([]int, 0, len(wl.pending))
+	for w := range wl.pending {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		if wl.pending[w]() {
+			if stall != nil {
+				*stall += now - wl.parkedAt[w]
+			}
+			wl.Drop(w)
+		}
+	}
+}

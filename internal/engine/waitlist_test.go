@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWaitListWakeOrderDeterministic parks workers in scrambled order and
+// checks that a wake retries them in ascending worker index — the property
+// the simnet runtime's bit-for-bit determinism rests on.
+func TestWaitListWakeOrderDeterministic(t *testing.T) {
+	wl := NewWaitList()
+	var order []int
+	for _, w := range []int{3, 0, 2, 1} {
+		w := w
+		wl.Park(w, 10.0, func() bool {
+			order = append(order, w)
+			return true
+		})
+	}
+	wl.Wake()
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("wake order = %v, want %v", order, want)
+	}
+	if wl.Len() != 0 {
+		t.Fatalf("%d workers still parked after everyone resumed", wl.Len())
+	}
+}
+
+// TestWaitListRetryKeepsBlockedWorkers checks that a retry returning false
+// keeps the worker parked (with its original park time) while resumed
+// workers leave the list.
+func TestWaitListRetryKeepsBlockedWorkers(t *testing.T) {
+	wl := NewWaitList()
+	resumed := map[int]bool{}
+	park := func(w int, ok bool) {
+		wl.Park(w, float64(w), func() bool {
+			if ok {
+				resumed[w] = true
+			}
+			return ok
+		})
+	}
+	park(0, true)
+	park(1, false)
+	park(2, true)
+	wl.Wake()
+	if !resumed[0] || !resumed[2] || resumed[1] {
+		t.Fatalf("resumed = %v, want workers 0 and 2 only", resumed)
+	}
+	if !wl.Parked(1) || wl.Len() != 1 {
+		t.Fatalf("worker 1 should remain parked (len=%d)", wl.Len())
+	}
+	// A later wake that succeeds releases it.
+	wl.Drop(1)
+	wl.Park(1, 1, func() bool { return true })
+	wl.Wake()
+	if wl.Len() != 0 {
+		t.Fatal("worker 1 never released")
+	}
+}
+
+// TestWaitListDropPreventsGhostResume drops a crashed worker and checks
+// its retry never runs.
+func TestWaitListDropPreventsGhostResume(t *testing.T) {
+	wl := NewWaitList()
+	ran := false
+	wl.Park(5, 0, func() bool { ran = true; return true })
+	wl.Drop(5)
+	wl.Wake()
+	if ran {
+		t.Fatal("dropped worker's retry ran — a ghost resumed")
+	}
+	if wl.Parked(5) {
+		t.Fatal("dropped worker still parked")
+	}
+}
+
+// TestWaitListStallAttribution wakes parked workers through the
+// attributing path and checks each resumed worker contributes exactly its
+// parked duration — the detach-stall accounting of the churn experiment.
+func TestWaitListStallAttribution(t *testing.T) {
+	wl := NewWaitList()
+	// Worker 1 parked at t=10, worker 2 at t=30; the detach wakes at t=50.
+	wl.Park(1, 10, func() bool { return true })
+	wl.Park(2, 30, func() bool { return true })
+	// Worker 3 stays blocked: no stall is attributed for it.
+	wl.Park(3, 0, func() bool { return false })
+	var stall float64
+	wl.WakeAttributing(50, &stall)
+	if want := (50.0 - 10) + (50 - 30); stall != want {
+		t.Fatalf("attributed stall = %v, want %v", stall, want)
+	}
+	if !wl.Parked(3) {
+		t.Fatal("blocked worker should remain parked")
+	}
+	// The plain wake attributes nothing.
+	wl.Drop(3)
+	wl.Park(3, 0, func() bool { return true })
+	wl.Wake()
+	if stall != 60 {
+		t.Fatalf("plain wake changed attribution: %v", stall)
+	}
+}
+
+// TestWaitListReparkOverwrites re-parks a worker (a retry loop) and checks
+// the newest closure and timestamp win.
+func TestWaitListReparkOverwrites(t *testing.T) {
+	wl := NewWaitList()
+	hits := 0
+	wl.Park(7, 1, func() bool { hits += 100; return true })
+	wl.Park(7, 2, func() bool { hits++; return true })
+	var stall float64
+	wl.WakeAttributing(5, &stall)
+	if hits != 1 {
+		t.Fatalf("stale closure ran (hits=%d)", hits)
+	}
+	if stall != 3 {
+		t.Fatalf("stall attributed from stale park time: %v", stall)
+	}
+}

@@ -155,8 +155,9 @@ func TestRegistryCompleteness(t *testing.T) {
 		"ablation-granularity", "ablation-importance", "ablation-speculative",
 		"churn",
 	}
-	if len(reg) != len(want)+3 { // +3: ext-pipeline, ext-convmlp, ext-gridmap
-		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	// +4: ext-pipeline, ext-dssp, ext-convmlp, ext-gridmap
+	if len(reg) != len(want)+4 {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want)+4)
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

@@ -41,6 +41,7 @@ func Registry() []Experiment {
 		{"ablation-speculative", "Speculative transmission vs per-row timeout checks (Sec. III-A)", runAblationSpeculative},
 		{"churn", "Robustness: accuracy vs time under worker crash, rejoin, and blackout (membership churn)", runChurn},
 		{"ext-pipeline", "Future-work extension: pipelined computation and communication (Sec. VI-D)", runExtPipeline},
+		{"ext-dssp", "Extension: dynamic-staleness SSP (Zhao et al.) vs fixed SSP and ROG", runExtDSSP},
 		{"ext-convmlp", "Architecture-faithful CRUDA: ConvMLP stem + MLP head on synthetic images", runExtConvMLP},
 		{"ext-gridmap", "Architecture-faithful CRIMP: NICE-SLAM-style feature-grid map", runExtGridMap},
 	}
@@ -410,6 +411,23 @@ func runExtPipeline(s Scale) (string, error) {
 	))
 	b.WriteString("\noverlapping hides communication behind the next iteration's compute\n")
 	return b.String(), nil
+}
+
+// runExtDSSP compares fixed-threshold SSP against DSSP — the dynamic-
+// staleness baseline after Zhao et al., whose threshold adapts inside
+// [2, Threshold] from the observed iteration spread — and ROG at the same
+// cap. The lineup isolates what dynamic staleness alone buys over SSP,
+// and what row granularity (ROG) adds on top of staleness control.
+func runExtDSSP(s Scale) (string, error) {
+	results, err := RunEndToEnd(EndToEndOptions{
+		Paradigm: "cruda", Env: trace.Outdoor, Scale: s,
+		Systems: []SystemSpec{{core.SSP, 4}, {core.SSP, 20}, {core.DSSP, 20}, {core.ROG, 20}},
+	})
+	if err != nil {
+		return "", err
+	}
+	return endToEndReport("Extension: dynamic-staleness SSP (DSSP) vs fixed SSP and ROG, CRUDA outdoors",
+		results, true, s), nil
 }
 
 // runChurn is the robustness experiment: the same crash/rejoin/blackout

@@ -207,8 +207,8 @@ func TestProtocolRoundtrip(t *testing.T) {
 		{"row", rowMsg(7, p), kindRow},
 		{"pushDone", pushDoneMsg(7, 1.25), kindPushDone},
 		{"pull", pullMsg(p), kindPull},
-		{"pullDone", pullDoneMsg(0.5), kindPullDone},
-		{"resyncDone", resyncDoneMsg(9, 0.25), kindResyncDone},
+		{"pullDone", pullDoneMsg(0.5, 3), kindPullDone},
+		{"resyncDone", resyncDoneMsg(9, 0.25, 4), kindResyncDone},
 	} {
 		msg, err := parse(tc.frame)
 		if err != nil {
@@ -221,10 +221,10 @@ func TestProtocolRoundtrip(t *testing.T) {
 	if m, err := parse(pushDoneMsg(7, 1.25)); err != nil || m.iter != 7 || m.mta != 1.25 {
 		t.Fatalf("pushDone fields: %+v %v", m, err)
 	}
-	if m, _ := parse(pullDoneMsg(0.5)); m.budget != 0.5 {
-		t.Fatalf("pullDone budget: %v", m.budget)
+	if m, _ := parse(pullDoneMsg(0.5, 3)); m.budget != 0.5 || m.min != 3 {
+		t.Fatalf("pullDone fields: %+v", m)
 	}
-	if m, _ := parse(resyncDoneMsg(9, 0.25)); m.iter != 9 || m.budget != 0.25 {
+	if m, _ := parse(resyncDoneMsg(9, 0.25, 4)); m.iter != 9 || m.budget != 0.25 || m.min != 4 {
 		t.Fatalf("resyncDone fields: %+v", m)
 	}
 	for _, bad := range [][]byte{{}, {'Z', 1}, {kindRow, 1}, {kindPushDone, 1, 2}, {kindResyncDone, 1}} {

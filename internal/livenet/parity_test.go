@@ -1,0 +1,236 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"rog/internal/core"
+	"rog/internal/engine"
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/tensor"
+	"rog/internal/trace"
+)
+
+// The parity tests pin the tentpole invariant of the engine extraction: the
+// simnet runtime (internal/core, virtual time) and the socket runtime (this
+// package, net.Pipe) execute the *same* policy code, so with identical
+// deterministic gradient streams they must merge identical per-worker
+// (unit, version) sequences and complete identical iteration counts.
+//
+// Determinism across transports requires gradients independent of model
+// parameters (the two runtimes' replicas diverge — pulls apply at different
+// wall instants) and no speculative cuts (tiny model, generous budgets), so
+// every planned row is delivered on both sides.
+
+type mergeEvent struct {
+	unit int
+	iter int64
+}
+
+const (
+	parityWorkers   = 3
+	parityThreshold = 4
+	parityIters     = 8
+)
+
+func parityModel() *nn.Sequential {
+	return nn.NewClassifierMLP(5, []int{7}, 3, tensor.NewRNG(1))
+}
+
+// fillGrads writes the next slice of worker w's deterministic gradient
+// stream straight into the model's gradient matrices — no forward pass, so
+// the stream is identical no matter what the parameters hold.
+func fillGrads(model *nn.Sequential, rng *tensor.RNG) {
+	for _, g := range model.Grads() {
+		for i := range g.Data {
+			g.Data[i] = rng.Float32()*2 - 1
+		}
+	}
+}
+
+func gradRNG(w int) *tensor.RNG { return tensor.NewRNG(uint64(w)*977 + 13) }
+
+// parityWorkload adapts the gradient streams to the simnet Workload
+// interface.
+type parityWorkload struct {
+	models []*nn.Sequential
+	rngs   []*tensor.RNG
+}
+
+func newParityWorkload(workers int) *parityWorkload {
+	p := &parityWorkload{}
+	for w := 0; w < workers; w++ {
+		p.models = append(p.models, parityModel())
+		p.rngs = append(p.rngs, gradRNG(w))
+	}
+	return p
+}
+
+func (p *parityWorkload) Model(w int) *nn.Sequential { return p.models[w] }
+func (p *parityWorkload) ComputeGradients(w int) float64 {
+	fillGrads(p.models[w], p.rngs[w])
+	return 0
+}
+func (p *parityWorkload) Evaluate() float64 { return 0 }
+func (p *parityWorkload) Increasing() bool  { return true }
+
+// simnetMergeLog runs the strategy on the discrete-event runtime and
+// returns the per-worker merge sequences and worker-0 iteration count.
+func simnetMergeLog(t *testing.T, strategy core.Strategy) ([][]mergeEvent, int) {
+	t.Helper()
+	logs := make([][]mergeEvent, parityWorkers)
+	cfg := core.Config{
+		Strategy:       strategy,
+		Workers:        parityWorkers,
+		Threshold:      parityThreshold,
+		Env:            trace.Outdoor,
+		Seed:           11,
+		ComputeSeconds: 0.01,
+		// A one-byte "paper model" scales the links so fast that no
+		// speculative deadline ever cuts a transmission.
+		PaperModelBytes: 1.0,
+		LR:              0.1,
+		MaxIterations:   parityIters,
+		OnMerge: func(w, u int, iter int64) {
+			logs[w] = append(logs[w], mergeEvent{u, iter})
+		},
+	}
+	res, err := core.Run(cfg, newParityWorkload(parityWorkers))
+	if err != nil {
+		t.Fatalf("simnet run: %v", err)
+	}
+	return logs, res.Iterations
+}
+
+// livenetMergeLog runs the same policy over net.Pipe connections, driving
+// the workers round-robin so the staleness gate never parks a handler.
+func livenetMergeLog(t *testing.T, policyName string) ([][]mergeEvent, []int64) {
+	t.Helper()
+	proto := parityModel()
+	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
+	params := engine.Params{
+		Workers:   parityWorkers,
+		Threshold: parityThreshold,
+		NumUnits:  part.NumUnits(),
+	}
+	serverPolicy, err := engine.New(policyName, params)
+	if err != nil {
+		t.Fatalf("engine.New(%q): %v", policyName, err)
+	}
+
+	logs := make([][]mergeEvent, parityWorkers)
+	srv, err := NewServer(part, ServerConfig{
+		Workers:   parityWorkers,
+		Threshold: parityThreshold,
+		Policy:    serverPolicy,
+		// Generous floor: the pipe is microseconds per frame, so neither a
+		// pull nor (after the first pull-done) a push is ever cut.
+		MTAFloorSeconds: 5,
+		OnMerge: func(w, u int, iter int64) {
+			logs[w] = append(logs[w], mergeEvent{u, iter})
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+
+	var (
+		ws     []*Worker
+		models []*nn.Sequential
+		conns  []net.Conn
+		wg     sync.WaitGroup
+	)
+	for i := 0; i < parityWorkers; i++ {
+		pol, err := engine.New(policyName, params)
+		if err != nil {
+			t.Fatalf("engine.New(%q): %v", policyName, err)
+		}
+		m := parityModel()
+		models = append(models, m)
+		c, s := net.Pipe()
+		conns = append(conns, c, s)
+		wg.Add(1)
+		go func(id int, conn net.Conn) {
+			defer wg.Done()
+			if err := srv.HandleConn(id, conn); err != nil {
+				t.Errorf("server handler %d: %v", id, err)
+			}
+		}(i, s)
+		w := NewWorker(m, part, c, WorkerConfig{
+			ID: i, Workers: parityWorkers, Threshold: parityThreshold,
+			Policy: pol, LR: 0.1,
+		})
+		// Pre-seed the budget the first pull-done would deliver, so even the
+		// very first push cannot be cut by the cold-start 2 ms default.
+		w.budget = 5
+		ws = append(ws, w)
+	}
+
+	rngs := make([]*tensor.RNG, parityWorkers)
+	for i := range rngs {
+		rngs[i] = gradRNG(i)
+	}
+	for k := 0; k < parityIters; k++ {
+		for i, w := range ws {
+			i := i
+			if err := w.RunIteration(func() { fillGrads(models[i], rngs[i]) }); err != nil {
+				t.Fatalf("worker %d iter %d: %v", i, k, err)
+			}
+		}
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	srv.Close()
+	wg.Wait()
+
+	iters := make([]int64, parityWorkers)
+	for i, w := range ws {
+		iters[i] = w.Iterations()
+	}
+	return logs, iters
+}
+
+func diffMergeLogs(sim, live [][]mergeEvent) error {
+	for w := range sim {
+		if len(sim[w]) != len(live[w]) {
+			return fmt.Errorf("worker %d merged %d rows on simnet, %d on livenet",
+				w, len(sim[w]), len(live[w]))
+		}
+		for i := range sim[w] {
+			if sim[w][i] != live[w][i] {
+				return fmt.Errorf("worker %d merge %d: simnet %+v, livenet %+v",
+					w, i, sim[w][i], live[w][i])
+			}
+		}
+	}
+	return nil
+}
+
+func runParity(t *testing.T, strategy core.Strategy, policyName string) {
+	simLogs, simIters := simnetMergeLog(t, strategy)
+	liveLogs, liveIters := livenetMergeLog(t, policyName)
+
+	if simIters != parityIters {
+		t.Fatalf("simnet completed %d iterations, want %d", simIters, parityIters)
+	}
+	for w, it := range liveIters {
+		if it != parityIters {
+			t.Fatalf("livenet worker %d completed %d iterations, want %d", w, it, parityIters)
+		}
+	}
+	for w := range simLogs {
+		if len(simLogs[w]) == 0 {
+			t.Fatalf("worker %d merged nothing on simnet", w)
+		}
+	}
+	if err := diffMergeLogs(simLogs, liveLogs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParitySSP(t *testing.T) { runParity(t, core.SSP, "ssp") }
+func TestParityROG(t *testing.T) { runParity(t, core.ROG, "rog") }

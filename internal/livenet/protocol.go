@@ -57,11 +57,14 @@ func pullMsg(p compress.Payload) []byte {
 }
 
 // pullDoneMsg signals the end of a pull and distributes the server's
-// current MTA-time budget (the straggler's report, Algo. 4).
-func pullDoneMsg(budgetSeconds float64) []byte {
-	out := make([]byte, 1+8)
+// current MTA-time budget (the straggler's report, Algo. 4) plus the
+// global minimum row version — the Min a socket worker's next PushView
+// carries (FLOWN's scheduler and any staleness-aware push plan need it).
+func pullDoneMsg(budgetSeconds float64, min int64) []byte {
+	out := make([]byte, 1+8+8)
 	out[0] = kindPullDone
 	binary.LittleEndian.PutUint64(out[1:], math.Float64bits(budgetSeconds))
+	binary.LittleEndian.PutUint64(out[9:], uint64(min))
 	return out
 }
 
@@ -69,12 +72,14 @@ func pullDoneMsg(budgetSeconds float64) []byte {
 // every averaged row the worker missed while detached, baseline is the
 // iteration the server re-baselined the worker's rows at (the worker
 // fast-forwards its own counter so its next push stays monotone), and
-// budget seeds the MTA budget for the next push.
-func resyncDoneMsg(baseline int64, budgetSeconds float64) []byte {
-	out := make([]byte, 1+8+8)
+// budget seeds the MTA budget for the next push and min the worker's view
+// of the global minimum row version.
+func resyncDoneMsg(baseline int64, budgetSeconds float64, min int64) []byte {
+	out := make([]byte, 1+8+8+8)
 	out[0] = kindResyncDone
 	binary.LittleEndian.PutUint64(out[1:], uint64(baseline))
 	binary.LittleEndian.PutUint64(out[9:], math.Float64bits(budgetSeconds))
+	binary.LittleEndian.PutUint64(out[17:], uint64(min))
 	return out
 }
 
@@ -83,7 +88,8 @@ type parsed struct {
 	kind    byte
 	iter    int64
 	mta     float64 // kindPushDone
-	budget  float64 // kindPullDone
+	budget  float64 // kindPullDone, kindResyncDone
+	min     int64   // kindPullDone, kindResyncDone: global minimum row version
 	payload compress.Payload
 }
 
@@ -121,21 +127,23 @@ func parse(frame []byte) (parsed, error) {
 		}
 		return parsed{kind: kindPull, payload: p}, nil
 	case kindPullDone:
-		if len(frame) != 9 {
+		if len(frame) != 17 {
 			return parsed{}, fmt.Errorf("livenet: bad pull-done frame")
 		}
 		return parsed{
 			kind:   kindPullDone,
 			budget: math.Float64frombits(binary.LittleEndian.Uint64(frame[1:])),
+			min:    int64(binary.LittleEndian.Uint64(frame[9:])),
 		}, nil
 	case kindResyncDone:
-		if len(frame) != 17 {
+		if len(frame) != 25 {
 			return parsed{}, fmt.Errorf("livenet: bad resync-done frame")
 		}
 		return parsed{
 			kind:   kindResyncDone,
 			iter:   int64(binary.LittleEndian.Uint64(frame[1:])),
 			budget: math.Float64frombits(binary.LittleEndian.Uint64(frame[9:])),
+			min:    int64(binary.LittleEndian.Uint64(frame[17:])),
 		}, nil
 	default:
 		return parsed{}, fmt.Errorf("livenet: unknown frame kind %q", frame[0])

@@ -10,6 +10,7 @@ import (
 
 	"rog/internal/atp"
 	"rog/internal/compress"
+	"rog/internal/engine"
 	"rog/internal/metrics"
 	"rog/internal/rowsync"
 	"rog/internal/transport"
@@ -20,6 +21,10 @@ type ServerConfig struct {
 	Workers   int
 	Threshold int
 	Coeff     atp.Coefficients
+	// Policy overrides the synchronization policy (any engine registry
+	// entry). nil selects ROG built from Workers/Threshold/Coeff — the
+	// paper's system and the historical default of this package.
+	Policy engine.Policy
 	// MTAFloorSeconds lower-bounds the transmission budget so that a cold
 	// start or a microsecond in-process pipe never collapses it to zero.
 	MTAFloorSeconds float64
@@ -28,6 +33,10 @@ type ServerConfig struct {
 	// lingers but the robot is gone. 0 disables stall detection; a vanished
 	// worker is then detached only when its connection errors out.
 	IdleTimeout time.Duration
+	// OnMerge, when set, observes every row merged into the server state
+	// (worker, unit, stamped version) — instrumentation for the
+	// simnet↔livenet parity tests. Called under the server mutex.
+	OnMerge func(worker, unit int, iter int64)
 }
 
 // DisconnectReason classifies why a worker's connection ended.
@@ -59,10 +68,12 @@ func (r DisconnectReason) String() string {
 	}
 }
 
-// Server is the live parameter server (Algo. 2 over real connections).
-// It holds no model — only per-worker averaged-gradient copies, row
-// versions, and the MTA-time tracker. One goroutine per worker calls
-// HandleConn.
+// Server is the live parameter server: the socket Runtime that executes an
+// engine policy (Algo. 2 over real connections). It holds no model — the
+// shared engine.State carries the per-worker averaged-gradient copies, row
+// versions, MTA-time tracker and churn counters; this type owns transport,
+// framing, locking and membership detection. One goroutine per worker
+// calls HandleConn.
 //
 // Membership: a worker whose connection ends — cleanly, abruptly, or by
 // silent stall — is detached: its rows stop holding back the RSP minimum,
@@ -77,26 +88,19 @@ type Server struct {
 
 	mu          sync.Mutex
 	cond        *sync.Cond
-	acc         []*rowsync.GradStore // per-worker averaged copies ḡ^s
+	state       *engine.State
 	codecs      []*compress.Codec    // per-worker downlink error feedback
 	pending     [][]compress.Payload // rows encoded for an in-flight pull
-	versions    *rowsync.VersionStore
-	serverIter  []int64
-	tracker     *atp.TimeTracker
 	closed      bool
-	churn       metrics.ChurnStats
 	detachEpoch int64 // bumped on every detach; attributes wait time to churn
 }
 
 // NewServer creates a server for a model decomposed by part. It returns an
 // error for configurations that cannot train (fewer than 2 workers, a
-// staleness threshold below 2).
+// staleness threshold below 2 when the default ROG policy is selected).
 func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 	if cfg.Workers < 2 {
 		return nil, fmt.Errorf("livenet: need at least 2 workers, got %d", cfg.Workers)
-	}
-	if cfg.Threshold < 2 {
-		return nil, fmt.Errorf("livenet: threshold must be >= 2, got %d", cfg.Threshold)
 	}
 	if cfg.IdleTimeout < 0 {
 		return nil, fmt.Errorf("livenet: negative idle timeout %v", cfg.IdleTimeout)
@@ -107,16 +111,29 @@ func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 	if cfg.MTAFloorSeconds <= 0 {
 		cfg.MTAFloorSeconds = 2 * time.Millisecond.Seconds()
 	}
-	s := &Server{
-		cfg:        cfg,
-		part:       part,
-		versions:   rowsync.NewVersionStore(cfg.Workers, part.NumUnits()),
-		serverIter: make([]int64, part.NumUnits()),
-		tracker:    atp.NewTimeTracker(cfg.Workers, cfg.MTAFloorSeconds),
+	if cfg.Policy == nil {
+		if cfg.Threshold < 2 {
+			return nil, fmt.Errorf("livenet: threshold must be >= 2, got %d", cfg.Threshold)
+		}
+		pol, err := engine.New("rog", engine.Params{
+			Workers:   cfg.Workers,
+			Threshold: cfg.Threshold,
+			NumUnits:  part.NumUnits(),
+			Coeff:     cfg.Coeff,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Policy = pol
 	}
+	s := &Server{
+		cfg:   cfg,
+		part:  part,
+		state: engine.NewState(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds),
+	}
+	s.state.OnMerge = cfg.OnMerge
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
-		s.acc = append(s.acc, rowsync.NewGradStore(part))
 		s.codecs = append(s.codecs, compress.NewCodec(part.Widths()))
 	}
 	s.pending = make([][]compress.Payload, cfg.Workers)
@@ -137,32 +154,32 @@ func (s *Server) Close() {
 func (s *Server) MaxStalenessObserved() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.versions.MaxAhead()
+	return s.state.Versions.MaxAhead()
 }
 
 // ActiveWorkers reports how many workers are currently attached.
 func (s *Server) ActiveWorkers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.versions.ActiveWorkers()
+	return s.state.Versions.ActiveWorkers()
 }
 
 // Churn returns a snapshot of the membership-churn counters.
 func (s *Server) Churn() metrics.ChurnStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.churn
+	return s.state.Churn
 }
 
 // HandleConn serves one worker's connection until it ends. It processes
-// pushes (Algo. 2 lines 1–6), enforces the RSP wait (lines 7–9), and
-// answers each iteration with a speculative pull (lines 10–13). If the
-// worker was previously detached, it is re-attached first: the server
-// replays all averaged rows accumulated during the absence, then resumes
-// the normal protocol. Whatever way the connection ends — clean close,
-// abrupt error, or silent stall past IdleTimeout — the worker is detached
-// on exit, so RSP never waits on a ghost. Callers must not run two
-// handlers for the same worker concurrently.
+// pushes (Algo. 2 lines 1–6), enforces the policy's staleness gate (lines
+// 7–9), and answers each iteration with the policy's pull plan (lines
+// 10–13). If the worker was previously detached, it is re-attached first:
+// the server replays all averaged rows accumulated during the absence, then
+// resumes the normal protocol. Whatever way the connection ends — clean
+// close, abrupt error, or silent stall past IdleTimeout — the worker is
+// detached on exit, so the gate never waits on a ghost. Callers must not
+// run two handlers for the same worker concurrently.
 func (s *Server) HandleConn(worker int, conn net.Conn) error {
 	if worker < 0 || worker >= s.cfg.Workers {
 		return fmt.Errorf("livenet: worker %d out of range [0,%d)", worker, s.cfg.Workers)
@@ -212,28 +229,26 @@ func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 			s.applyPush(worker, msg)
 		case kindPushDone:
 			s.mu.Lock()
-			if msg.mta > 0 {
-				s.tracker.Observe(worker, msg.mta)
-			}
 			n := msg.iter
-			// RSP wait: serve the pull only when worker isn't too far
-			// ahead of the slowest row anywhere. Min() spans attached
+			s.state.ObservePush(worker, n, msg.mta, msg.mta, true)
+			// The staleness gate: serve the pull only when the policy lets
+			// the worker advance past iteration n. Min() spans attached
 			// workers only, so a departed teammate cannot park this loop
 			// forever; the wait time a detach releases is accounted as
 			// churn-attributable stall.
-			if !s.closed && n-s.versions.Min() >= int64(s.cfg.Threshold) {
+			if !s.closed && !s.state.CanAdvance(n) {
 				epoch := s.detachEpoch
 				waitStart := time.Now()
-				for !s.closed && n-s.versions.Min() >= int64(s.cfg.Threshold) {
+				for !s.closed && !s.state.CanAdvance(n) {
 					s.cond.Wait()
 				}
 				if s.detachEpoch != epoch {
-					s.churn.DetachStall += time.Since(waitStart).Seconds()
+					s.state.Churn.DetachStall += time.Since(waitStart).Seconds()
 				}
 			}
-			plan, budget := s.planPullLocked(worker)
+			frames, plan, budget, min := s.planPullLocked(worker, n)
 			s.mu.Unlock()
-			if err := s.sendPull(worker, conn, plan, budget); err != nil {
+			if err := s.sendPull(worker, conn, frames, plan, budget, min); err != nil {
 				return DisconnectError, fmt.Errorf("livenet: worker %d pull send: %w", worker, err)
 			}
 		default:
@@ -242,23 +257,22 @@ func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 	}
 }
 
-// detach removes the worker from membership: its rows stop pinning the RSP
+// detach removes the worker from membership: its rows stop pinning the
 // minimum and every parked handler re-evaluates its wait. Idempotent.
 func (s *Server) detach(worker int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.versions.IsActive(worker) {
+	if !s.state.Versions.IsActive(worker) {
 		return
 	}
-	s.versions.Detach(worker)
-	s.churn.Disconnects++
+	s.state.Detach(worker)
 	s.detachEpoch++
 	// Pull rows cut off mid-flight stay in pending; fold their mass back
 	// into the accumulator so nothing is lost across the disconnect.
 	for _, p := range s.pending[worker] {
 		vals := make([]float32, p.N)
 		compress.Decode(p, vals)
-		s.acc[worker].AddUnit(p.Row, vals, 1)
+		s.state.Acc[worker].AddUnit(p.Row, vals, 1)
 	}
 	s.pending[worker] = nil
 	s.cond.Broadcast()
@@ -271,35 +285,29 @@ func (s *Server) detach(worker int) {
 // worker that was never detached this is a no-op.
 func (s *Server) attach(worker int, conn net.Conn) error {
 	s.mu.Lock()
-	if s.versions.IsActive(worker) {
+	if s.state.Versions.IsActive(worker) {
 		s.mu.Unlock()
 		return nil
 	}
 	// Encode the backlog under the lock; send outside it.
 	var frames [][]byte
 	var payloads []compress.Payload
-	for u := 0; u < s.part.NumUnits(); u++ {
-		if s.acc[worker].MeanAbs(u) == 0 {
-			continue
-		}
-		payload := s.codecs[worker].Encode(u, s.acc[worker].Unit(u))
-		s.acc[worker].ZeroUnit(u)
+	for _, u := range s.state.Backlog(worker) {
+		payload := s.codecs[worker].Encode(u, s.state.Acc[worker].Unit(u))
+		s.state.Acc[worker].ZeroUnit(u)
 		payloads = append(payloads, payload)
 		frames = append(frames, pullMsg(payload))
 	}
-	baseline := s.versions.Attach(worker)
-	s.churn.Reconnects++
-	s.churn.RowsResynced += len(frames)
-	budget := s.tracker.Budget()
-	if budget < s.cfg.MTAFloorSeconds {
-		budget = s.cfg.MTAFloorSeconds
-	}
+	baseline := s.state.Attach(worker)
+	s.state.Churn.RowsResynced += len(frames)
+	budget := s.budgetLocked()
+	min := s.state.Versions.Min()
 	s.cond.Broadcast() // the rejoined rows may re-gate or release waiters
 	s.mu.Unlock()
 
 	sent, err := transport.SendFrames(conn, frames, time.Time{})
 	if err == nil {
-		_, err = transport.SendFrames(conn, [][]byte{resyncDoneMsg(baseline, budget)}, time.Time{})
+		_, err = transport.SendFrames(conn, [][]byte{resyncDoneMsg(baseline, budget, min)}, time.Time{})
 	}
 	if err != nil {
 		// Conserve the undelivered mass; the next attach replays it.
@@ -307,7 +315,7 @@ func (s *Server) attach(worker int, conn net.Conn) error {
 		for _, p := range payloads[sent:] {
 			vals := make([]float32, p.N)
 			compress.Decode(p, vals)
-			s.acc[worker].AddUnit(p.Row, vals, 1)
+			s.state.Acc[worker].AddUnit(p.Row, vals, 1)
 		}
 		s.mu.Unlock()
 		return fmt.Errorf("livenet: worker %d resync: %w", worker, err)
@@ -315,10 +323,11 @@ func (s *Server) attach(worker int, conn net.Conn) error {
 	return nil
 }
 
-// applyPush folds one received row into every worker's averaged copy —
-// including detached workers' copies, which accumulate the backlog their
-// rejoin resync will replay. Averaging is normalized by the attached team
-// size (graceful degradation: N−1 workers average over N−1, not N).
+// applyPush folds one received row into the shared engine state: every
+// worker's averaged copy — including detached workers' copies, which
+// accumulate the backlog their rejoin resync will replay — with averaging
+// normalized to the attached team size and the row version-stamped
+// (engine.State.Merge owns those semantics).
 func (s *Server) applyPush(worker int, msg parsed) {
 	u := msg.payload.Row
 	vals := make([]float32, msg.payload.N)
@@ -326,57 +335,35 @@ func (s *Server) applyPush(worker int, msg parsed) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	active := s.versions.ActiveWorkers()
-	if active == 0 {
-		active = s.cfg.Workers
-	}
-	inv := 1 / float32(active)
-	for w := range s.acc {
-		s.acc[w].AddUnit(u, vals, inv)
-	}
-	if msg.iter > s.versions.Get(worker, u) {
-		s.versions.Update(worker, u, msg.iter)
-	}
-	if msg.iter > s.serverIter[u] {
-		s.serverIter[u] = msg.iter
-	}
+	s.state.Merge(worker, u, vals, msg.iter)
 	s.cond.Broadcast()
 }
 
-// planPullLocked ranks the worker's pending averaged rows (server mode:
-// fresher first) and encodes them. Must hold s.mu.
-func (s *Server) planPullLocked(worker int) ([][]byte, float64) {
-	var rows []atp.RowInfo
-	var meanSum float64
-	for u := 0; u < s.part.NumUnits(); u++ {
-		ma := s.acc[worker].MeanAbs(u)
-		if ma == 0 {
-			continue
-		}
-		rows = append(rows, atp.RowInfo{ID: u, MeanAbs: ma, Iter: s.serverIter[u]})
-		meanSum += ma
-	}
-	if meanSum > 0 {
-		norm := float64(len(rows)) / meanSum
-		for i := range rows {
-			rows[i].MeanAbs *= norm
-		}
-	}
-	plan := atp.Rank(rows, atp.Server, s.cfg.Coeff)
-	frames := make([][]byte, 0, len(plan))
-	payloads := make([]compress.Payload, 0, len(plan))
-	for _, u := range plan {
-		payload := s.codecs[worker].Encode(u, s.acc[worker].Unit(u))
-		s.acc[worker].ZeroUnit(u)
-		payloads = append(payloads, payload)
-		frames = append(frames, pullMsg(payload))
-	}
-	budget := s.tracker.Budget()
+// budgetLocked is the MTA-time budget clamped to the configured floor.
+// Must hold s.mu.
+func (s *Server) budgetLocked() float64 {
+	budget := s.state.Tracker.Budget()
 	if budget < s.cfg.MTAFloorSeconds {
 		budget = s.cfg.MTAFloorSeconds
 	}
+	return budget
+}
+
+// planPullLocked asks the policy which averaged rows to return to the
+// worker after its iteration-n push and encodes them in plan order. Must
+// hold s.mu.
+func (s *Server) planPullLocked(worker int, n int64) ([][]byte, engine.Plan, float64, int64) {
+	plan := s.state.PlanPull(worker, n)
+	frames := make([][]byte, 0, len(plan.Units))
+	payloads := make([]compress.Payload, 0, len(plan.Units))
+	for _, u := range plan.Units {
+		payload := s.codecs[worker].Encode(u, s.state.Acc[worker].Unit(u))
+		s.state.Acc[worker].ZeroUnit(u)
+		payloads = append(payloads, payload)
+		frames = append(frames, pullMsg(payload))
+	}
 	s.pending[worker] = payloads
-	return frames, budget
+	return frames, plan, s.budgetLocked(), s.state.Versions.Min()
 }
 
 // restoreUnsent re-adds the decoded values of rows the deadline cut off
@@ -389,24 +376,40 @@ func (s *Server) restoreUnsent(worker, sentFrames int) {
 	for _, p := range s.pending[worker][sentFrames:] {
 		vals := make([]float32, p.N)
 		compress.Decode(p, vals)
-		s.acc[worker].AddUnit(p.Row, vals, 1)
+		s.state.Acc[worker].AddUnit(p.Row, vals, 1)
 	}
 	s.pending[worker] = nil
 }
 
-// sendPull transmits the planned rows speculatively within the budget.
-// Rows cut off by the deadline — or stranded by a connection failure — are
-// restored to the worker's accumulator (mass conserved) and ride a later
-// pull or the rejoin resync. The pull-done control frame follows on
-// success, carrying the budget for the worker's next push.
-func (s *Server) sendPull(worker int, conn net.Conn, frames [][]byte, budget float64) error {
-	deadline := time.Now().Add(time.Duration(budget * float64(time.Second)))
+// sendPull transmits the planned rows: speculatively within the budget
+// when the plan says so (completing the first plan.Must rows regardless,
+// mirroring the push-side MTA floor), or in full with no deadline for
+// whole-model plans. Rows cut off by the deadline — or stranded by a
+// connection failure — are restored to the worker's accumulator (mass
+// conserved) and ride a later pull or the rejoin resync. The pull-done
+// control frame follows on success, carrying the budget and the global
+// minimum row version for the worker's next push.
+func (s *Server) sendPull(worker int, conn net.Conn, frames [][]byte, plan engine.Plan, budget float64, min int64) error {
+	deadline := time.Time{}
+	if plan.Speculative {
+		deadline = time.Now().Add(time.Duration(budget * float64(time.Second)))
+	}
 	sent, err := transport.SendFrames(conn, frames, deadline)
+	if err == transport.ErrTimeout {
+		err = nil // the deadline cut is the expected speculative outcome
+	}
+	if err == nil && sent < plan.Must {
+		// Forced continuation: the speculative deadline cut the plan short
+		// of its floor; finish the mandatory rows without a deadline.
+		var more int
+		more, err = transport.SendFrames(conn, frames[sent:plan.Must], time.Time{})
+		sent += more
+	}
 	s.restoreUnsent(worker, sent)
-	if err != nil && err != transport.ErrTimeout {
+	if err != nil {
 		return err
 	}
-	if _, err := transport.SendFrames(conn, [][]byte{pullDoneMsg(budget)}, time.Time{}); err != nil {
+	if _, err := transport.SendFrames(conn, [][]byte{pullDoneMsg(budget, min)}, time.Time{}); err != nil {
 		return err
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 
 	"rog/internal/atp"
 	"rog/internal/compress"
+	"rog/internal/engine"
 	"rog/internal/nn"
 	"rog/internal/rowsync"
 	"rog/internal/transport"
@@ -15,21 +16,28 @@ import (
 // WorkerConfig parameterizes one live worker.
 type WorkerConfig struct {
 	ID        int
+	Workers   int // team size; defaults to ID+1 (only per-worker policy state needs it)
 	Threshold int
 	Coeff     atp.Coefficients
-	LR        float64
-	Momentum  float64
+	// Policy overrides the synchronization policy. nil selects ROG built
+	// from Workers/Threshold/Coeff. Must decide like the server's policy —
+	// the pair executes one strategy split across the wire.
+	Policy   engine.Policy
+	LR       float64
+	Momentum float64
 }
 
-// Worker is the live ROG client (Algo. 1 over a real connection): it
-// accumulates locally computed gradients per row, pushes the most important
-// rows speculatively under the server-distributed MTA budget, and applies
+// Worker is the live client (Algo. 1 over a real connection): the socket
+// Runtime's worker half. It accumulates locally computed gradients per row,
+// transmits whatever its policy plans — speculatively under the
+// server-distributed MTA budget when the plan says so — and applies
 // whatever averaged rows the pull delivers.
 type Worker struct {
-	cfg   WorkerConfig
-	part  *rowsync.Partition
-	model *nn.Sequential
-	opt   *nn.SGD
+	cfg    WorkerConfig
+	part   *rowsync.Partition
+	model  *nn.Sequential
+	opt    *nn.SGD
+	policy engine.Policy
 
 	local    *rowsync.GradStore
 	pushIter []int64
@@ -37,9 +45,9 @@ type Worker struct {
 	conn     net.Conn
 	rc       *transport.Receiver
 
-	iter     int64
-	budget   float64 // MTA-time budget from the server's last pull-done
-	mtaCount int
+	iter   int64
+	budget float64 // MTA-time budget from the server's last pull-done
+	minVer int64   // global minimum row version, from the last pull-done
 }
 
 // NewWorker wires a worker to its model and server connection.
@@ -50,19 +58,33 @@ func NewWorker(model *nn.Sequential, part *rowsync.Partition, conn net.Conn, cfg
 	if cfg.LR == 0 {
 		cfg.LR = 0.05
 	}
-	mta := atp.MTA(cfg.Threshold)
+	if cfg.Workers <= cfg.ID {
+		cfg.Workers = cfg.ID + 1
+	}
+	if cfg.Policy == nil {
+		pol, err := engine.New("rog", engine.Params{
+			Workers:   cfg.Workers,
+			Threshold: cfg.Threshold,
+			NumUnits:  part.NumUnits(),
+			Coeff:     cfg.Coeff,
+		})
+		if err != nil {
+			panic(err) // unreachable: "rog" is always registered
+		}
+		cfg.Policy = pol
+	}
 	return &Worker{
 		cfg:      cfg,
 		part:     part,
 		model:    model,
 		opt:      nn.NewSGD(cfg.LR, cfg.Momentum),
+		policy:   cfg.Policy,
 		local:    rowsync.NewGradStore(part),
 		pushIter: make([]int64, part.NumUnits()),
 		codec:    compress.NewCodec(part.Widths()),
 		conn:     conn,
 		rc:       transport.NewReceiver(conn),
 		budget:   2 * time.Millisecond.Seconds(),
-		mtaCount: int(mta*float64(part.NumUnits()) + 0.999),
 	}
 }
 
@@ -71,8 +93,10 @@ func (w *Worker) Iterations() int64 { return w.iter }
 
 // RunIteration performs one training iteration: computeGradients must run
 // the forward/backward pass on the worker's model (filling its gradient
-// matrices); the worker then pushes, waits for the averaged pull and
-// applies it.
+// matrices); the worker then pushes what its policy plans, waits for the
+// averaged pull and applies it. A policy may skip the synchronization
+// entirely (FLOWN's scheduler); the local gradients then keep accumulating
+// and ride the next planned push.
 func (w *Worker) RunIteration(computeGradients func()) error {
 	w.iter++
 	n := w.iter
@@ -80,83 +104,83 @@ func (w *Worker) RunIteration(computeGradients func()) error {
 	w.local.Accumulate(w.model.Grads())
 	w.model.ZeroGrads()
 
-	if err := w.push(n); err != nil {
+	skipped, err := w.push(n)
+	if err != nil {
 		return err
+	}
+	if skipped {
+		return nil
 	}
 	return w.pull()
 }
 
-// push implements Algo. 1 PushGradients with Algo. 3/4: rank, force rows
-// nearing the within-worker staleness bound, send speculatively, complete
-// the MTA floor, report the measured MTA time.
-func (w *Worker) push(n int64) error {
+// push implements Algo. 1 PushGradients: the policy plans the transmission
+// (rank, forced rows, MTA floor — Algo. 3/4 for ROG), the worker sends it —
+// under the budget deadline when the plan is speculative, completing the
+// first plan.Must rows regardless — and reports the measured MTA time.
+// It reports skipped=true when the policy sat this iteration out.
+func (w *Worker) push(n int64) (skipped bool, err error) {
 	numUnits := w.part.NumUnits()
 	rows := make([]atp.RowInfo, numUnits)
-	var meanSum float64
 	for u := 0; u < numUnits; u++ {
 		rows[u] = atp.RowInfo{ID: u, MeanAbs: w.local.MeanAbs(u), Iter: w.pushIter[u]}
-		meanSum += rows[u].MeanAbs
 	}
-	if meanSum > 0 {
-		norm := float64(numUnits) / meanSum
-		for i := range rows {
-			rows[i].MeanAbs *= norm
-		}
+	plan := w.policy.PlanPush(engine.PushView{
+		Worker: w.cfg.ID,
+		Iter:   n,
+		Rows:   rows,
+		Min:    w.minVer,
+		Budget: w.budget,
+	})
+	if plan.Skip {
+		return true, nil
 	}
-	ranked := atp.Rank(rows, atp.Worker, w.cfg.Coeff)
-	var forced, rest []int
-	for _, u := range ranked {
-		if n-w.pushIter[u] >= int64(w.cfg.Threshold)-1 {
-			forced = append(forced, u)
-		} else {
-			rest = append(rest, u)
-		}
+	must := plan.Must
+	if must > len(plan.Units) {
+		must = len(plan.Units)
 	}
-	plan := append(forced, rest...)
-	must := w.mtaCount
-	if len(forced) > must {
-		must = len(forced)
-	}
-	if must > len(plan) {
-		must = len(plan)
-	}
+	ap := atp.NewPlan(plan.Units, func(u int) float64 { return float64(w.part.WireSize(u)) })
 
-	frames := make([][]byte, len(plan))
-	payloads := make([]compress.Payload, len(plan))
-	for i, u := range plan {
+	frames := make([][]byte, len(plan.Units))
+	payloads := make([]compress.Payload, len(plan.Units))
+	for i, u := range plan.Units {
 		payloads[i] = w.codec.Encode(u, w.local.Unit(u))
 		w.local.ZeroUnit(u)
 		frames[i] = rowMsg(n, payloads[i])
 	}
 
 	start := time.Now()
-	deadline := start.Add(time.Duration(w.budget * float64(time.Second)))
-	sent, err := transport.SendFrames(w.conn, frames, deadline)
+	deadline := time.Time{}
+	if plan.Speculative {
+		deadline = start.Add(time.Duration(w.budget * float64(time.Second)))
+	}
+	sent, serr := transport.SendFrames(w.conn, frames, deadline)
 	var sendErr error
-	if err != nil && err != transport.ErrTimeout {
-		sendErr = err
+	if serr != nil && serr != transport.ErrTimeout {
+		sendErr = serr
 	}
 	if sendErr == nil && sent < must {
 		// Forced continuation (Algo. 4 lines 4–7): finish the MTA floor
 		// and any rows at the staleness bound, without a deadline.
-		more, err := transport.SendFrames(w.conn, frames[sent:must], time.Time{})
+		more, serr := transport.SendFrames(w.conn, frames[sent:must], time.Time{})
 		sent += more
-		if err != nil {
-			sendErr = err
+		if serr != nil {
+			sendErr = serr
 		}
 	}
-	mtaTime := time.Since(start).Seconds()
-	if sent > must && sent > 0 {
-		// Everything (or more than the floor) fit in the budget: estimate
-		// the floor's share of the measured time.
-		mtaTime *= float64(must) / float64(sent)
+	elapsed := time.Since(start).Seconds()
+	mtaTime := elapsed
+	if sent > must && ap.Prefix[sent] > 0 {
+		// Everything (or more than the floor) fit in the budget: the floor's
+		// share of the measured time, weighted by actual bytes on the wire.
+		mtaTime = elapsed * ap.Prefix[must] / ap.Prefix[sent]
 	}
 	// Bookkeeping: delivered rows are version-stamped; undelivered rows get
 	// their mass back (the partial frame at the cut was discarded by the
 	// receiver's resync). This runs even when the connection broke, so a
 	// push interrupted by a crash conserves the gradient mass for the push
 	// after the worker reconnects.
-	for i, u := range plan {
+	for i, u := range plan.Units {
 		if i < sent {
 			w.pushIter[u] = n
 			continue
@@ -166,14 +190,17 @@ func (w *Worker) push(n int64) error {
 		w.local.AddUnit(u, vals, 1)
 	}
 	if sendErr != nil {
-		return fmt.Errorf("livenet: worker %d push: %w", w.cfg.ID, sendErr)
+		return false, fmt.Errorf("livenet: worker %d push: %w", w.cfg.ID, sendErr)
 	}
-	_, err = transport.SendFrames(w.conn, [][]byte{pushDoneMsg(n, mtaTime)}, time.Time{})
-	return err
+	w.policy.ObservePush(w.cfg.ID, n, elapsed)
+	_, serr = transport.SendFrames(w.conn, [][]byte{pushDoneMsg(n, mtaTime)}, time.Time{})
+	return false, serr
 }
 
 // pull consumes averaged rows until the pull-done control frame, applying
-// each to the model (Algo. 1 PullAveragedGradients).
+// each to the model (Algo. 1 PullAveragedGradients). The control frame also
+// refreshes the worker's view of the MTA budget and the global minimum row
+// version its next push plan sees.
 func (w *Worker) pull() error {
 	for {
 		frame, err := w.rc.Recv()
@@ -193,6 +220,7 @@ func (w *Worker) pull() error {
 			if msg.budget > 0 {
 				w.budget = msg.budget
 			}
+			w.minVer = msg.min
 			return nil
 		default:
 			return fmt.Errorf("livenet: worker %d got frame %q during pull", w.cfg.ID, msg.kind)
@@ -236,6 +264,7 @@ func (w *Worker) Rejoin(conn net.Conn) error {
 			if msg.budget > 0 {
 				w.budget = msg.budget
 			}
+			w.minVer = msg.min
 			return nil
 		default:
 			return fmt.Errorf("livenet: worker %d got frame %q during resync", w.cfg.ID, msg.kind)

@@ -1,10 +1,19 @@
 #!/bin/sh
-# verify.sh — the pre-merge gate: build, vet, full test suite, and the
-# race-sensitive packages (the concurrent livenet server and the version
-# store it shares with the simulated drivers) again under -race.
+# verify.sh — the pre-merge gate: formatting, build, vet, full test suite,
+# and the race-sensitive packages (the concurrent livenet server, the
+# policy engine it executes, and the version store shared with the
+# simulated drivers) again under -race.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go build =="
 go build ./...
@@ -15,7 +24,7 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (livenet, rowsync) =="
-go test -race ./internal/livenet/... ./internal/rowsync/...
+echo "== go test -race (livenet, engine, rowsync) =="
+go test -race ./internal/livenet/... ./internal/engine/... ./internal/rowsync/...
 
 echo "verify: OK"
