@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt vet test race verify bench
+.PHONY: build fmt vet lint test race verify bench
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+lint:
+	sh scripts/lint.sh
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/livenet/... ./internal/engine/... ./internal/rowsync/...
+	$(GO) test -race ./internal/livenet/... ./internal/engine/... ./internal/rowsync/... ./internal/core/... ./internal/transport/...
 
 verify:
 	sh scripts/verify.sh

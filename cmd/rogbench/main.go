@@ -30,6 +30,18 @@ func main() {
 	)
 	flag.Parse()
 
+	// Refuse stray positional arguments (a mistyped flag would otherwise
+	// run the default experiment set with its value silently dropped).
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rogbench: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *seeds < 1 {
+		fmt.Fprintf(os.Stderr, "rogbench: -seeds must be >= 1, got %d\n", *seeds)
+		os.Exit(2)
+	}
+
 	scale := rog.QuickScale
 	if *full {
 		scale = rog.FullScale

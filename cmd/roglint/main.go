@@ -1,0 +1,150 @@
+// Command roglint runs the repo's invariant analyzer suite (see
+// internal/analysis) over the module and prints findings as
+// file:line:col: [pass] message. It exits 1 when any finding survives the
+// //roglint:ignore suppressions, 2 on usage or load errors — so the
+// verify gate can fail a PR before a single test runs.
+//
+// Usage:
+//
+//	roglint ./...                 # whole module (the default)
+//	roglint ./internal/livenet    # one package
+//	roglint -passes lockguard,errdrop ./...
+//	roglint -list                 # show the passes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rog/internal/analysis"
+)
+
+func main() {
+	var (
+		passNames = flag.String("passes", "", "comma-separated pass names to run (default: all)")
+		list      = flag.Bool("list", false, "list the available passes and exit")
+	)
+	flag.Parse()
+
+	all := analysis.DefaultPasses()
+	if *list {
+		for _, p := range all {
+			fmt.Printf("%-10s %s\n", p.Name(), p.Doc())
+		}
+		return
+	}
+
+	passes := all
+	if *passNames != "" {
+		byName := map[string]analysis.Pass{}
+		for _, p := range all {
+			byName[p.Name()] = p
+		}
+		passes = nil
+		for _, name := range strings.Split(*passNames, ",") {
+			p, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "roglint: unknown pass %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			passes = append(passes, p)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roglint: %v\n", err)
+		os.Exit(2)
+	}
+	modPath, err := analysis.ModulePath(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roglint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(root, modPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roglint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if filtered, err := filterPackages(pkgs, root, modPath, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "roglint: %v\n", err)
+		os.Exit(2)
+	} else {
+		pkgs = filtered
+	}
+
+	diags := analysis.Analyze(pkgs, passes)
+	for _, d := range diags {
+		rel := d
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "roglint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// filterPackages narrows the loaded packages to the argument patterns:
+// "./..." (everything), "./dir/..." (subtree), or "./dir" (exactly one).
+// No arguments means everything.
+func filterPackages(pkgs []*analysis.Package, root, modPath string, args []string) ([]*analysis.Package, error) {
+	if len(args) == 0 {
+		return pkgs, nil
+	}
+	var out []*analysis.Package
+	seen := map[string]bool{}
+	for _, arg := range args {
+		pattern := strings.TrimSuffix(strings.TrimPrefix(arg, "./"), "/")
+		subtree := false
+		if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+			subtree = true
+			pattern = rest
+		} else if pattern == "..." {
+			subtree = true
+			pattern = ""
+		}
+		want := modPath
+		if pattern != "" && pattern != "." {
+			want = modPath + "/" + filepath.ToSlash(pattern)
+		}
+		matched := false
+		for _, p := range pkgs {
+			if p.Path == want || (subtree && (pattern == "" || pattern == "." || strings.HasPrefix(p.Path, want+"/"))) {
+				matched = true
+				if !seen[p.Path] {
+					seen[p.Path] = true
+					out = append(out, p)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", arg)
+		}
+	}
+	return out, nil
+}

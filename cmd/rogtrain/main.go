@@ -34,6 +34,35 @@ func main() {
 	flag.StringVar(faultSpec, "fault", "", "alias for -faults")
 	flag.Parse()
 
+	// A stray positional argument usually means a mistyped flag (e.g.
+	// "threshold 4" without the dash); training with silently ignored
+	// arguments — or with zero values — is the failure mode, so refuse.
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rogtrain: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *paradigm != "cruda" && *paradigm != "crimp" {
+		fmt.Fprintf(os.Stderr, "rogtrain: unknown paradigm %q (want cruda or crimp)\n", *paradigm)
+		os.Exit(2)
+	}
+	if *env != "indoor" && *env != "outdoor" {
+		fmt.Fprintf(os.Stderr, "rogtrain: unknown env %q (want indoor or outdoor)\n", *env)
+		os.Exit(2)
+	}
+	if *workers < 2 {
+		fmt.Fprintf(os.Stderr, "rogtrain: need at least 2 workers, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *threshold < 1 {
+		fmt.Fprintf(os.Stderr, "rogtrain: threshold must be >= 1, got %d\n", *threshold)
+		os.Exit(2)
+	}
+	if *minutes <= 0 {
+		fmt.Fprintf(os.Stderr, "rogtrain: minutes must be > 0, got %g\n", *minutes)
+		os.Exit(2)
+	}
+
 	faults, err := rog.ParseFaultSchedule(*faultSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)

@@ -1,0 +1,207 @@
+// Package analysis is roglint's engine: a multi-pass static analyzer for
+// the repo's Policy×Runtime core, built purely on go/parser, go/ast and
+// go/types (no external tooling — the tree must stay checkable offline).
+//
+// The paper's correctness claims rest on cross-package invariants the
+// compiler cannot see: the socket runtime's lock discipline around the
+// shared engine.State, virtual-time determinism in the simulated runtime,
+// fixed-width wire framing, and never-dropped transport errors. Each pass
+// encodes one such invariant and reports findings with file:line
+// positions; the driver deduplicates and sorts them for stable output and
+// honors //roglint:ignore suppressions (which must carry a reason, and are
+// themselves flagged when they match nothing).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: where, which pass, and what.
+type Diagnostic struct {
+	Pos  token.Position
+	Pass string
+	Msg  string
+}
+
+// String formats the finding as file:line:col: [pass] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Msg)
+}
+
+// Pass is one invariant checker. Run inspects a single type-checked
+// package and returns its findings; the driver owns filtering and output
+// order.
+type Pass interface {
+	Name() string
+	Doc() string
+	Run(pkg *Package) []Diagnostic
+}
+
+// DefaultPasses returns every pass in the suite, in stable order.
+func DefaultPasses() []Pass {
+	return []Pass{
+		NewLockguard(),
+		NewWallclock(),
+		NewMaporder(),
+		NewWireframe(),
+		NewErrdrop(),
+	}
+}
+
+// suppressPass names the pseudo-pass that reports problems with the
+// suppression comments themselves (missing reason, matching nothing).
+const suppressPass = "suppress"
+
+// ignoreDirective introduces a suppression comment:
+//
+//	//roglint:ignore <pass> <reason>
+//
+// It silences diagnostics of the named pass on the comment's line or the
+// line directly below it (so it can trail the offending statement or sit
+// on its own line above).
+const ignoreDirective = "roglint:ignore"
+
+// suppression is one parsed //roglint:ignore comment.
+type suppression struct {
+	pos    token.Position
+	pass   string
+	reason string
+	used   bool
+}
+
+// Analyze runs the passes over every package, applies suppressions, and
+// returns the surviving findings deduplicated and sorted by position.
+func Analyze(pkgs []*Package, passes []Pass) []Diagnostic {
+	var diags []Diagnostic
+	var sups []*suppression
+	active := map[string]bool{}
+	for _, p := range passes {
+		active[p.Name()] = true
+	}
+	for _, pkg := range pkgs {
+		for _, p := range passes {
+			diags = append(diags, p.Run(pkg)...)
+		}
+		s, malformed := parseSuppressions(pkg)
+		sups = append(sups, s...)
+		diags = append(diags, malformed...)
+	}
+
+	// A suppression silences same-pass findings on its own line or the
+	// next line.
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if s.pass == d.Pass && s.pos.Filename == d.Pos.Filename &&
+				(s.pos.Line == d.Pos.Line || s.pos.Line == d.Pos.Line-1) {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	// A suppression for a pass that ran but silenced nothing is dead
+	// weight — likely left behind by a fix — and gets flagged itself.
+	for _, s := range sups {
+		if !s.used && active[s.pass] {
+			diags = append(diags, Diagnostic{
+				Pos:  s.pos,
+				Pass: suppressPass,
+				Msg:  fmt.Sprintf("//roglint:ignore %s matched no diagnostic; remove it", s.pass),
+			})
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseSuppressions scans a package's comments for //roglint:ignore
+// directives. Directives without a pass name or a reason are reported as
+// findings rather than honored.
+func parseSuppressions(pkg *Package) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Pos:  pos,
+						Pass: suppressPass,
+						Msg:  "//roglint:ignore needs a pass name and a reason: //roglint:ignore <pass> <why>",
+					})
+					continue
+				}
+				sups = append(sups, &suppression{
+					pos:    pos,
+					pass:   fields[0],
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return sups, diags
+}
+
+// pathMatches reports whether pkgPath is exactly suffix or ends with
+// "/"+suffix — how passes scope themselves to packages like
+// "internal/engine" regardless of the module prefix (fixture trees have
+// none).
+func pathMatches(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// wantRe matches expected-diagnostic comments in fixture packages:
+// // want "regexp"
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// fileComments returns the comment groups of f in source order — a helper
+// shared by directive parsing and the fixture harness.
+func fileComments(f *ast.File) []*ast.Comment {
+	var out []*ast.Comment
+	for _, cg := range f.Comments {
+		out = append(out, cg.List...)
+	}
+	return out
+}

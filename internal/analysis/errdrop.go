@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Errdrop flags dropped error returns on the wire hot paths. A swallowed
+// net.Conn write error turns a dead connection into silent gradient loss
+// (the push "succeeds" but nothing reaches the server), an unchecked
+// deadline setter disables the speculative-transmission cutoff, and an
+// ignored Close can leak the descriptor a rejoining worker needs. The
+// pass applies to the socket packages only and flags statement- or
+// defer-position calls of the risky methods whose final result is an
+// error; assigning the error away explicitly (_ = conn.Close()) is a
+// visible decision and passes.
+type Errdrop struct {
+	// Scoped lists package-path suffixes the pass applies to.
+	Scoped []string
+	// Methods lists the method names whose dropped errors are flagged.
+	Methods map[string]bool
+}
+
+// NewErrdrop returns the pass scoped to the wire packages.
+func NewErrdrop() *Errdrop {
+	return &Errdrop{
+		Scoped: []string{"internal/livenet", "internal/transport"},
+		Methods: map[string]bool{
+			"Close": true, "Write": true, "Encode": true, "Flush": true,
+			"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+		},
+	}
+}
+
+// Name implements Pass.
+func (*Errdrop) Name() string { return "errdrop" }
+
+// Doc implements Pass.
+func (*Errdrop) Doc() string {
+	return "no dropped errors from conn writes, encoders and Close on wire hot paths"
+}
+
+// Run implements Pass.
+func (ed *Errdrop) Run(pkg *Package) []Diagnostic {
+	inScope := false
+	for _, suffix := range ed.Scoped {
+		if pathMatches(pkg.Path, suffix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := s.X.(*ast.CallExpr); ok {
+					call = c
+				}
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			if d, ok := ed.check(pkg, call); ok {
+				diags = append(diags, d)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// check reports a diagnostic when call drops an error from one of the
+// risky methods.
+func (ed *Errdrop) check(pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !ed.Methods[sel.Sel.Name] {
+		return Diagnostic{}, false
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return Diagnostic{}, false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return Diagnostic{}, false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Pos:  pkg.Fset.Position(call.Pos()),
+		Pass: ed.Name(),
+		Msg:  fmt.Sprintf("error from %s.%s is dropped; check it or discard explicitly", exprString(sel.X), sel.Sel.Name),
+	}, true
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// expectation is one // want "regexp" comment in a fixture file.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runFixture loads testdata/src/<dir> as a self-contained tree, runs the
+// passes through the real driver (so suppressions apply), and checks the
+// findings against the fixture's want comments: every want must be
+// matched by a finding on its line, and every finding must be expected.
+func runFixture(t *testing.T, dir string, passes ...Pass) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	pkgs, err := Load(root, "")
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, c := range fileComments(f) {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+
+	diags := Analyze(pkgs, passes)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Msg) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// diagSummaries renders findings as "pass: msg" lines for exact-set
+// assertions.
+func diagSummaries(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s: %s", d.Pass, d.Msg))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// containsSummary reports whether any summary line contains substr.
+func containsSummary(sums []string, substr string) bool {
+	for _, s := range sums {
+		if strings.Contains(s, substr) {
+			return true
+		}
+	}
+	return false
+}

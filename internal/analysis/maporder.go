@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags floating-point accumulation inside a range over a map.
+// Go randomizes map iteration order, and float addition is not
+// associative, so a gradient norm or energy total summed that way differs
+// between runs — which breaks the simnet↔livenet parity tests and makes
+// the paper's convergence numbers irreproducible. Accumulating into a
+// slot indexed by the map key (out[k] += v) is order-independent and not
+// flagged; sum over sorted keys instead.
+type Maporder struct{}
+
+// NewMaporder returns the pass.
+func NewMaporder() *Maporder { return &Maporder{} }
+
+// Name implements Pass.
+func (*Maporder) Name() string { return "maporder" }
+
+// Doc implements Pass.
+func (*Maporder) Doc() string {
+	return "no float accumulation in range-over-map loops (iteration order is random)"
+}
+
+// Run implements Pass.
+func (mo *Maporder) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pkg.Info.Types[rs.X].Type; t == nil || !isMap(t) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				switch as.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					for _, lhs := range as.Lhs {
+						if d, ok := mo.accumulator(pkg, rs, lhs); ok {
+							diags = append(diags, d)
+						}
+					}
+				case token.ASSIGN:
+					// x = x + v spelled out.
+					for i, lhs := range as.Lhs {
+						if i >= len(as.Rhs) {
+							break
+						}
+						if selfReferential(pkg, lhs, as.Rhs[i]) {
+							if d, ok := mo.accumulator(pkg, rs, lhs); ok {
+								diags = append(diags, d)
+							}
+						}
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// accumulator reports a diagnostic when lhs is a float-typed scalar
+// (identifier or field selector — not a key-indexed slot) declared
+// outside the range body.
+func (mo *Maporder) accumulator(pkg *Package, rs *ast.RangeStmt, lhs ast.Expr) (Diagnostic, bool) {
+	t := pkg.Info.Types[lhs].Type
+	if t == nil || !isFloat(t) {
+		return Diagnostic{}, false
+	}
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[l]
+		if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()) {
+			return Diagnostic{}, false // loop-local, including the iteration vars
+		}
+	case *ast.SelectorExpr:
+		// A field of the iteration variable (for f := range m { f.x += v })
+		// is a per-element update like out[k] += v: order-independent.
+		if root, ok := rootIdent(l).(*ast.Ident); ok {
+			obj := pkg.Info.Uses[root]
+			if obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+				return Diagnostic{}, false
+			}
+		}
+	default:
+		return Diagnostic{}, false // indexed slots like out[k] are order-safe
+	}
+	return Diagnostic{
+		Pos:  pkg.Fset.Position(lhs.Pos()),
+		Pass: mo.Name(),
+		Msg: fmt.Sprintf("float accumulation into %s over map iteration is nondeterministic; sum over sorted keys",
+			exprString(lhs)),
+	}, true
+}
+
+// selfReferential reports whether rhs is an additive expression that
+// reads the same object lhs writes (x = x + v).
+func selfReferential(pkg *Package, lhs, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+		return false
+	}
+	found := false
+	ast.Inspect(bin, func(n ast.Node) bool {
+		if rid, ok := n.(*ast.Ident); ok && pkg.Info.Uses[rid] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdent returns the leftmost expression of a selector chain
+// (s.total → s, a.b.c → a).
+func rootIdent(e ast.Expr) ast.Expr {
+	for {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return e
+		}
+		e = sel.X
+	}
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "value"
+	}
+}

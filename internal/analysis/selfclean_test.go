@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleSelfClean runs the full pass suite over the real module and
+// requires zero findings — the same gate scripts/verify.sh enforces via
+// cmd/roglint. A failure here means a change broke a checked invariant
+// (or needs a justified //roglint:ignore).
+func TestModuleSelfClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader lost the tree", len(pkgs))
+	}
+	diags := Analyze(pkgs, DefaultPasses())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("module is not roglint-clean: %d finding(s)", len(diags))
+	}
+}
+
+// TestModulePathParsesGoMod pins the module path the loader resolves
+// intra-tree imports with.
+func TestModulePathParsesGoMod(t *testing.T) {
+	mp, err := ModulePath(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp != "rog" {
+		t.Fatalf("module path = %q, want rog", mp)
+	}
+}

@@ -1,0 +1,28 @@
+// Package livenet is a fixture for the errdrop pass: dropped wire-path
+// errors versus checked or explicitly discarded ones.
+package livenet
+
+import (
+	"net"
+	"time"
+)
+
+func Bad(conn net.Conn, buf []byte) {
+	conn.Write(buf)                 // want "dropped"
+	conn.SetReadDeadline(zeroTime)  // want "dropped"
+	conn.SetWriteDeadline(zeroTime) // want "dropped"
+	defer conn.Close()              // want "dropped"
+}
+
+func Good(conn net.Conn, buf []byte) error {
+	if _, err := conn.Write(buf); err != nil {
+		return err
+	}
+	if err := conn.SetReadDeadline(zeroTime); err != nil {
+		return err
+	}
+	_ = conn.SetWriteDeadline(zeroTime) // explicit discard is a decision
+	return conn.Close()
+}
+
+var zeroTime = time.Time{}

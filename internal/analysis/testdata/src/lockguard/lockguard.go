@@ -1,0 +1,73 @@
+// Package lockguard is a fixture for the lockguard pass: guarded fields
+// accessed with and without their mutex held.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int // guarded by mu
+	m    int // guarded by mu
+	free int
+}
+
+func (c *counter) Bad() int {
+	return c.n // want "guarded by mu"
+}
+
+func (c *counter) BadAfterUnlock() {
+	c.mu.Lock()
+	c.m++
+	c.mu.Unlock()
+	c.m++ // want "guarded by mu"
+}
+
+func (c *counter) BadBranch(cond bool) {
+	if cond {
+		c.mu.Lock()
+	}
+	c.n++ // want "guarded by mu"
+	if cond {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) GoodExplicit() {
+	c.mu.Lock()
+	c.m++
+	c.mu.Unlock()
+	c.free++
+}
+
+func (c *counter) GoodEarlyReturn(skip bool) {
+	c.mu.Lock()
+	if skip {
+		c.mu.Unlock()
+		return
+	}
+	c.n++ // still held: the unlocking branch returned
+	c.mu.Unlock()
+}
+
+func (c *counter) GoodLoop(xs []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for range xs {
+		c.n++
+	}
+}
+
+// nLocked asserts via its name that the caller holds mu.
+func (c *counter) nLocked() int { return c.n }
+
+type broken struct {
+	x int // guarded by missing    want "not a field"
+}
+
+func use(b *broken) int { return b.x }

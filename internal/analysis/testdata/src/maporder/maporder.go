@@ -1,0 +1,69 @@
+// Package maporder is a fixture for the maporder pass: float accumulation
+// over randomized map iteration versus order-safe alternatives.
+package maporder
+
+type stats struct{ total float64 }
+
+func Bad(m map[int]float32) float32 {
+	var sum float32
+	for _, v := range m {
+		sum += v // want "nondeterministic"
+	}
+	return sum
+}
+
+func BadSpelledOut(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want "nondeterministic"
+	}
+	return sum
+}
+
+func BadField(s *stats, m map[int]float64) {
+	for _, v := range m {
+		s.total += v // want "nondeterministic"
+	}
+}
+
+func GoodSortedKeys(m map[int]float32, keys []int) float32 {
+	var sum float32
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func GoodInt(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition is associative: order cannot change it
+	}
+	return n
+}
+
+func GoodKeyedSlot(m map[int]float32, out []float32) {
+	for k, v := range m {
+		out[k] += v // lands in a key-indexed slot: order-independent
+	}
+}
+
+type flow struct{ rem float64 }
+
+func GoodPerElement(flows map[*flow]struct{}, dt float64) {
+	for f := range flows {
+		f.rem += dt // field of the iteration variable: per-element, order-safe
+	}
+}
+
+func GoodLoopLocal(m map[int][]float32) float32 {
+	var last float32
+	for _, vs := range m {
+		rowSum := float32(0)
+		for _, v := range vs {
+			rowSum += v // accumulator lives inside the map loop body
+		}
+		last = rowSum
+	}
+	return last
+}

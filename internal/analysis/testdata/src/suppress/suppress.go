@@ -1,0 +1,27 @@
+// Package suppress is a fixture for the driver's suppression handling:
+// one honored ignore, one unused ignore, one missing its reason.
+package suppress
+
+func Quiet(m map[int]float32) float32 {
+	var sum float32
+	for _, v := range m {
+		sum += v //roglint:ignore maporder fixture exercises an honored suppression
+	}
+	return sum
+}
+
+func Unused(xs []float32) float32 {
+	var sum float32
+	for _, v := range xs {
+		sum += v //roglint:ignore maporder slices iterate in order, nothing to silence
+	}
+	return sum
+}
+
+func NoReason(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //roglint:ignore maporder
+	}
+	return sum
+}

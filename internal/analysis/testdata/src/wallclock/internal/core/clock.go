@@ -1,0 +1,16 @@
+// Package core is a fixture for the wallclock pass: wall-clock reads in a
+// restricted virtual-time package.
+package core
+
+import "time"
+
+// Step mixes allowed time arithmetic with forbidden clock reads.
+func Step(virtualNow float64) float64 {
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	start := time.Now()          // want "time.Now"
+	_ = time.Since(start)        // want "time.Since"
+	return virtualNow + time.Millisecond.Seconds()
+}
+
+// Tick uses only duration arithmetic and injected time — clean.
+func Tick(now, dt float64) float64 { return now + dt }

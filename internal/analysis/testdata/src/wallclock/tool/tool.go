@@ -1,0 +1,9 @@
+// Package tool is outside the restricted set: wall-clock use is fine
+// here.
+package tool
+
+import "time"
+
+// Stamp may read the real clock; this package is not in the virtual-time
+// core.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,44 @@
+// Package livenet is a fixture for the wireframe pass: frame structs with
+// platform-width integers and positional construction.
+package livenet
+
+// helloFrame is detected by its name suffix.
+type helloFrame struct {
+	Version uint16
+	Length  int // want "platform-width"
+}
+
+// ack is detected by the marker.
+//
+//roglint:wire
+type ack struct {
+	Code uint // want "platform-width"
+	Seq  uint32
+}
+
+// okFrame is a clean frame struct.
+type okFrame struct {
+	Kind byte
+	Iter int64
+	Body []uint8
+}
+
+// plain is not a wire struct: bare ints are fine here.
+type plain struct {
+	Count int
+	Sizes []int
+}
+
+func buildKeyed() okFrame {
+	return okFrame{Kind: 1, Iter: 2}
+}
+
+func buildPositional() okFrame {
+	return okFrame{1, 2, nil} // want "keyed"
+}
+
+func buildPlain() plain {
+	return plain{3, nil} // not a wire struct: positional is allowed
+}
+
+func use(h helloFrame, a ack) (int, uint32) { return h.Length, a.Seq }

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Wallclock forbids wall-clock time sources inside the deterministic
+// core. The simulated runtime (internal/core over internal/simnet), the
+// policy engine, and ATP all run on injected virtual time so that every
+// experiment replays bit-identically and the simnet↔livenet parity tests
+// can compare merge sequences; one stray time.Now() or time.Sleep()
+// silently couples an experiment to the host scheduler. Only the socket
+// runtime (livenet, transport) and the CLIs may read the real clock.
+type Wallclock struct {
+	// Restricted lists package-path suffixes (module-prefix independent)
+	// where wall-clock calls are forbidden.
+	Restricted []string
+	// Banned lists the forbidden functions from package time.
+	Banned map[string]bool
+}
+
+// NewWallclock returns the pass with the repo's virtual-time packages
+// restricted.
+func NewWallclock() *Wallclock {
+	return &Wallclock{
+		Restricted: []string{"internal/core", "internal/engine", "internal/simnet", "internal/atp"},
+		Banned: map[string]bool{
+			"Now": true, "Sleep": true, "Since": true, "Until": true,
+			"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+			"AfterFunc": true,
+		},
+	}
+}
+
+// Name implements Pass.
+func (*Wallclock) Name() string { return "wallclock" }
+
+// Doc implements Pass.
+func (*Wallclock) Doc() string {
+	return "no wall-clock time (time.Now/Sleep/...) in the virtual-time core packages"
+}
+
+// Run implements Pass.
+func (wc *Wallclock) Run(pkg *Package) []Diagnostic {
+	restricted := false
+	for _, suffix := range wc.Restricted {
+		if pathMatches(pkg.Path, suffix) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !wc.Banned[obj.Name()] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(id.Pos()),
+				Pass: wc.Name(),
+				Msg: fmt.Sprintf("time.%s reads the wall clock; %s runs on injected virtual time (pass the clock in)",
+					obj.Name(), pkg.Path),
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Wireframe checks the shape of protocol frame structs in the wire
+// packages: every integer field must be a fixed-width type (a bare int or
+// uint changes size across architectures, so the same frame would encode
+// differently on a robot's 32-bit SoC and the server), and composite
+// literals of a frame struct must use keyed fields (a positional literal
+// silently shifts values into the wrong wire slot when a field is
+// inserted). A struct is a frame struct if its name ends in "Frame" or
+// "Msg", or if its doc comment carries a roglint:wire marker.
+type Wireframe struct {
+	// Scoped lists package-path suffixes the pass applies to.
+	Scoped []string
+}
+
+// NewWireframe returns the pass scoped to the wire packages.
+func NewWireframe() *Wireframe {
+	return &Wireframe{Scoped: []string{"internal/livenet", "internal/transport"}}
+}
+
+// Name implements Pass.
+func (*Wireframe) Name() string { return "wireframe" }
+
+// Doc implements Pass.
+func (*Wireframe) Doc() string {
+	return "wire frame structs use fixed-width integers and keyed literals"
+}
+
+// wireMarker in a struct's doc comment opts it into the check regardless
+// of its name.
+const wireMarker = "roglint:wire"
+
+// Run implements Pass.
+func (wf *Wireframe) Run(pkg *Package) []Diagnostic {
+	inScope := false
+	for _, suffix := range wf.Scoped {
+		if pathMatches(pkg.Path, suffix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var diags []Diagnostic
+	wire := map[types.Object]bool{}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || !isWireStruct(ts, gd) {
+					continue
+				}
+				if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+					wire[obj] = true
+				}
+				for _, fld := range st.Fields.List {
+					diags = append(diags, wf.checkField(pkg, ts.Name.Name, fld)...)
+				}
+			}
+		}
+	}
+	if len(wire) == 0 {
+		return diags
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			t := pkg.Info.Types[lit].Type
+			if t == nil {
+				return true
+			}
+			named, ok := derefNamed(t)
+			if !ok || !wire[named.Obj()] {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if _, keyed := elt.(*ast.KeyValueExpr); !keyed {
+					diags = append(diags, Diagnostic{
+						Pos:  pkg.Fset.Position(lit.Pos()),
+						Pass: wf.Name(),
+						Msg: fmt.Sprintf("wire struct %s must be constructed with keyed fields",
+							named.Obj().Name()),
+					})
+					break
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkField flags any field whose type resolves (through arrays and
+// slices) to a platform-width integer.
+func (wf *Wireframe) checkField(pkg *Package, structName string, fld *ast.Field) []Diagnostic {
+	t := pkg.Info.Types[fld.Type].Type
+	if t == nil || !hasBareInt(t) {
+		return nil
+	}
+	names := "embedded field"
+	if len(fld.Names) > 0 {
+		var ns []string
+		for _, n := range fld.Names {
+			ns = append(ns, n.Name)
+		}
+		names = strings.Join(ns, ", ")
+	}
+	return []Diagnostic{{
+		Pos:  pkg.Fset.Position(fld.Pos()),
+		Pass: wf.Name(),
+		Msg: fmt.Sprintf("wire struct %s field %s uses a platform-width integer; use a fixed-width type (int32, uint64, ...)",
+			structName, names),
+	}}
+}
+
+// isWireStruct reports whether the type spec is a protocol frame struct:
+// marker comment or Frame/Msg name suffix.
+func isWireStruct(ts *ast.TypeSpec, gd *ast.GenDecl) bool {
+	name := ts.Name.Name
+	if strings.HasSuffix(name, "Frame") || strings.HasSuffix(name, "Msg") ||
+		strings.HasSuffix(name, "frame") || strings.HasSuffix(name, "msg") {
+		return true
+	}
+	for _, cg := range []*ast.CommentGroup{ts.Doc, ts.Comment, gd.Doc} {
+		if cg == nil {
+			continue
+		}
+		// CommentGroup.Text strips directive comments, so scan raw.
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, wireMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasBareInt reports whether t contains a platform-width integer,
+// looking through named types, arrays and slices.
+func hasBareInt(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int, types.Uint, types.Uintptr:
+			return true
+		}
+	case *types.Array:
+		return hasBareInt(u.Elem())
+	case *types.Slice:
+		return hasBareInt(u.Elem())
+	}
+	return false
+}
+
+// derefNamed unwraps pointers to reach a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

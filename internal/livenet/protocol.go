@@ -83,7 +83,10 @@ func resyncDoneMsg(baseline int64, budgetSeconds float64, min int64) []byte {
 	return out
 }
 
-// parsed is one decoded message.
+// parsed is one decoded message. The roglint:wire marker holds its fields
+// to fixed-width integers and keyed construction (see internal/analysis).
+//
+//roglint:wire
 type parsed struct {
 	kind    byte
 	iter    int64

@@ -87,12 +87,12 @@ type Server struct {
 	part *rowsync.Partition
 
 	mu          sync.Mutex
-	cond        *sync.Cond
-	state       *engine.State
-	codecs      []*compress.Codec    // per-worker downlink error feedback
-	pending     [][]compress.Payload // rows encoded for an in-flight pull
-	closed      bool
-	detachEpoch int64 // bumped on every detach; attributes wait time to churn
+	cond        *sync.Cond           // signals on mu; set once in NewServer
+	state       *engine.State        // guarded by mu
+	codecs      []*compress.Codec    // guarded by mu — per-worker downlink error feedback
+	pending     [][]compress.Payload // guarded by mu — rows encoded for an in-flight pull
+	closed      bool                 // guarded by mu
+	detachEpoch int64                // guarded by mu — bumped on every detach; attributes wait time to churn
 }
 
 // NewServer creates a server for a model decomposed by part. It returns an
@@ -193,7 +193,7 @@ func (s *Server) HandleConn(worker int, conn net.Conn) error {
 	if reason == DisconnectStall {
 		// Kill the stalled connection so a zombie peer cannot hold the
 		// socket (and so a late write on its end fails fast).
-		conn.Close()
+		conn.Close() //roglint:ignore errdrop best-effort kill of a zombie peer; there is no recovery from a failed close
 	}
 	return err
 }

@@ -284,7 +284,7 @@ func (w *Worker) RunResilient(iters int, computeGradients func(), dial func() (n
 			b.Reset()
 			continue
 		}
-		w.conn.Close()
+		_ = w.conn.Close() // the connection already failed; nothing to do about a close error
 		rejoined := false
 		for attempt := 0; attempt < maxRetries; attempt++ {
 			time.Sleep(b.Next())
@@ -293,7 +293,7 @@ func (w *Worker) RunResilient(iters int, computeGradients func(), dial func() (n
 				continue
 			}
 			if rerr := w.Rejoin(conn); rerr != nil {
-				conn.Close()
+				_ = conn.Close() // resync failed; discard the half-open connection
 				continue
 			}
 			rejoined = true

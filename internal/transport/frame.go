@@ -178,7 +178,7 @@ func SendFrames(conn net.Conn, payloads [][]byte, deadline time.Time) (sent int,
 		if err := conn.SetWriteDeadline(deadline); err != nil {
 			return 0, err
 		}
-		defer conn.SetWriteDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+		defer conn.SetWriteDeadline(time.Time{}) //roglint:ignore errdrop best-effort deadline reset; the conn may already be dead and the caller sees the send error
 	}
 	for i, p := range payloads {
 		if err := WriteFrame(conn, p); err != nil {

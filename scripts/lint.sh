@@ -1,0 +1,9 @@
+#!/bin/sh
+# lint.sh — run roglint, the repo's invariant analyzer suite
+# (internal/analysis), over the whole module. Exits non-zero on any
+# finding that is not covered by a justified //roglint:ignore.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/roglint ./...

@@ -1,30 +1,43 @@
 #!/bin/sh
-# verify.sh — the pre-merge gate: formatting, build, vet, full test suite,
-# and the race-sensitive packages (the concurrent livenet server, the
-# policy engine it executes, and the version store shared with the
-# simulated drivers) again under -race.
+# verify.sh — the pre-merge gate, in order: formatting, build, vet,
+# roglint (the invariant analyzer — it runs before any test so a broken
+# invariant fails fast), the full test suite, and the race-sensitive
+# packages (the concurrent livenet server, the policy engine it executes,
+# the simnet drivers and version store that share engine.State with it,
+# and the wire transport) again under -race. Each stage reports its wall
+# time.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:" >&2
-	echo "$unformatted" >&2
-	exit 1
-fi
+stage() {
+	name=$1
+	shift
+	echo "== $name =="
+	t0=$(date +%s)
+	"$@"
+	echo "   [$name: $(($(date +%s) - t0))s]"
+}
 
-echo "== go build =="
-go build ./...
+check_fmt() {
+	unformatted=$(gofmt -l .)
+	if [ -n "$unformatted" ]; then
+		echo "gofmt needed on:" >&2
+		echo "$unformatted" >&2
+		return 1
+	fi
+}
 
-echo "== go vet =="
-go vet ./...
+run_race() {
+	go test -race ./internal/livenet/... ./internal/engine/... \
+		./internal/rowsync/... ./internal/core/... ./internal/transport/...
+}
 
-echo "== go test =="
-go test ./...
-
-echo "== go test -race (livenet, engine, rowsync) =="
-go test -race ./internal/livenet/... ./internal/engine/... ./internal/rowsync/...
+stage fmt check_fmt
+stage build go build ./...
+stage vet go vet ./...
+stage lint sh scripts/lint.sh
+stage test go test ./...
+stage race run_race
 
 echo "verify: OK"
