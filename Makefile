@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt vet lint test race verify bench
+.PHONY: build fmt vet lint test race verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,7 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+bench-json:
+	$(GO) run ./cmd/rogbench -exp fig1 -json BENCH_fig1.json
+	$(GO) run ./cmd/rogbench -exp churn -json BENCH_churn.json

@@ -7,6 +7,7 @@
 //	rogbench -exp fig1            # quick scale (~1/9 duration)
 //	rogbench -exp fig7 -full      # paper scale (60 virtual minutes)
 //	rogbench -all                 # every experiment, quick scale
+//	rogbench -exp fig1 -json BENCH_fig1.json   # machine-readable report
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 		full  = flag.Bool("full", false, "run at paper scale (60 virtual minutes per system)")
 		list  = flag.Bool("list", false, "list available experiments")
 		seeds = flag.Int("seeds", 1, "replicate fig1/fig6/fig7 across N seeds and report mean±std")
+		jsonP = flag.String("json", "", "write a machine-readable report of -exp (fig1, fig6, fig7 or churn) to this file")
 	)
 	flag.Parse()
 
@@ -52,6 +54,12 @@ func main() {
 		for _, e := range rog.Experiments() {
 			fmt.Printf("%-22s %s\n", e.ID, e.Title)
 		}
+	case *jsonP != "":
+		if *exp == "" {
+			fmt.Fprintln(os.Stderr, "rogbench: -json needs -exp (fig1, fig6, fig7 or churn)")
+			os.Exit(2)
+		}
+		writeJSON(*exp, scale, *jsonP)
 	case *seeds > 1:
 		runSeeds(*exp, scale, *seeds)
 	case *all:
@@ -93,6 +101,32 @@ func runSeeds(exp string, scale rog.ExperimentScale, n int) {
 	fmt.Printf("== %s across %d seeds (scale=%s) ==\n\n", exp, n, scale.Name)
 	fmt.Println(harness.SeedSummaryTable(sums))
 	fmt.Printf("[completed in %.1fs wall clock]\n", time.Since(start).Seconds())
+}
+
+// writeJSON runs one experiment and writes its machine-readable report.
+func writeJSON(id string, scale rog.ExperimentScale, path string) {
+	start := time.Now()
+	rep, err := harness.RunJSONReport(id, scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogbench: %v\n", err)
+		os.Exit(2)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteJSON(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s report written to %s (%d systems, scale=%s, %.1fs wall clock)\n",
+		id, path, len(rep.Systems), scale.Name, time.Since(start).Seconds())
 }
 
 func runOne(id string, scale rog.ExperimentScale) {

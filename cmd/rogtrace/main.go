@@ -1,0 +1,163 @@
+// Command rogtrace aggregates a JSONL event trace written by rogtrain
+// -trace (or any obs.JSONLTracer) into the run's composition, transmission
+// and staleness tables — the offline counterpart of the live metrics
+// registry.
+//
+// Usage:
+//
+//	rogtrain -strategy rog -trace run.jsonl
+//	rogtrace run.jsonl
+//	rogtrace - < run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"rog"
+	"rog/internal/metrics"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rogtrace <trace.jsonl>  (or \"-\" for stdin)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rogtrace: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	sum, err := rog.AggregateTrace(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogtrace: %v\n", err)
+		os.Exit(1)
+	}
+	printSummary(sum)
+	if len(sum.PairErrors) > 0 {
+		os.Exit(1)
+	}
+}
+
+func printSummary(s *rog.TraceSummary) {
+	fmt.Println("-- event counts --")
+	kinds := make([]string, 0, len(s.Events))
+	for k := range s.Events {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	rows := make([][]string, 0, len(kinds))
+	for _, k := range kinds {
+		rows = append(rows, []string{k, fmt.Sprintf("%d", s.Events[k])})
+	}
+	fmt.Println(metrics.FormatTable([]string{"event", "count"}, rows))
+
+	if s.Iters > 0 {
+		comp, comm, stall := s.Composition()
+		fmt.Printf("\navg iteration (%d worker-iterations): compute %.2fs, comm %.2fs, stall %.2fs\n",
+			s.Iters, comp, comm, stall)
+		fmt.Println("\n-- per-iteration composition --")
+		rows = rows[:0]
+		// Sample long runs down to ~40 rows so the table stays readable.
+		step := (len(s.ByIter) + 39) / 40
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(s.ByIter); i += step {
+			r := s.ByIter[i]
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", r.Iter),
+				fmt.Sprintf("%d", r.Count),
+				fmt.Sprintf("%.2f", r.Compute),
+				fmt.Sprintf("%.2f", r.Comm),
+				fmt.Sprintf("%.2f", r.Stall),
+			})
+		}
+		fmt.Println(metrics.FormatTable(
+			[]string{"iter", "workers", "compute s", "comm s", "stall s"}, rows))
+	}
+
+	if s.RowsPlanned > 0 || s.RowsSent > 0 {
+		fmt.Println("\n-- transmission --")
+		fmt.Println(metrics.FormatTable(
+			[]string{"direction", "rows", "bytes"},
+			[][]string{
+				{"push", fmt.Sprintf("%d", s.RowsSent), fmt.Sprintf("%.0f", s.BytesPushed)},
+				{"pull", fmt.Sprintf("%d", s.RowsPulled), fmt.Sprintf("%.0f", s.BytesPulled)},
+			}))
+		fmt.Printf("planned %d rows, deferred %d\n", s.RowsPlanned, s.RowsDeferred)
+	}
+
+	if s.Merges > 0 {
+		fmt.Println("\n-- staleness at merge (lag = iteration ahead of the row minimum) --")
+		lags := make([]int64, 0, len(s.LagHist))
+		for l := range s.LagHist {
+			lags = append(lags, l)
+		}
+		sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+		rows = rows[:0]
+		for _, l := range lags {
+			rows = append(rows, []string{fmt.Sprintf("%d", l), fmt.Sprintf("%d", s.LagHist[l])})
+		}
+		fmt.Println(metrics.FormatTable([]string{"lag", "merges"}, rows))
+
+		fmt.Println("\n-- per-unit staleness --")
+		rows = rows[:0]
+		step := (len(s.Units) + 39) / 40
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(s.Units); i += step {
+			u := s.Units[i]
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", u.Unit),
+				fmt.Sprintf("%d", u.Merges),
+				fmt.Sprintf("%.2f", u.MeanLag),
+				fmt.Sprintf("%d", u.MaxLag),
+			})
+		}
+		fmt.Println(metrics.FormatTable([]string{"unit", "merges", "mean lag", "max lag"}, rows))
+	}
+
+	if len(s.StallByCause) > 0 {
+		fmt.Println("\n-- stall seconds by cause --")
+		causes := make([]string, 0, len(s.StallByCause))
+		for c := range s.StallByCause {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		rows = rows[:0]
+		for _, c := range causes {
+			rows = append(rows, []string{c, fmt.Sprintf("%.2f", s.StallByCause[c])})
+		}
+		fmt.Println(metrics.FormatTable([]string{"cause", "seconds"}, rows))
+	}
+
+	if s.Detaches > 0 || s.Reconnects > 0 {
+		fmt.Printf("\nchurn: %d detaches, %d reconnects, %d resyncs (%d rows, %.0f bytes)\n",
+			s.Detaches, s.Reconnects, s.Resyncs, s.ResyncRows, s.ResyncBytes)
+	}
+	if s.OpenStalls > 0 {
+		fmt.Printf("\n%d stall interval(s) left open (run ended or membership ended them)\n", s.OpenStalls)
+	}
+	if len(s.PairErrors) > 0 {
+		fmt.Println("\n-- pairing violations --")
+		for _, e := range s.PairErrors {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}

@@ -30,6 +30,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		csvPath   = flag.String("csv", "", "write the checkpoint series to this CSV file")
 		faultSpec = flag.String("faults", "", `fault script, e.g. "crash:1@120+60,blackout:0@300+30,flap:2@60+90/5"`)
+		tracePath = flag.String("trace", "", "write a structured event trace to this file (see rogtrace)")
+		traceFmt  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (chrome://tracing / Perfetto)")
 	)
 	flag.StringVar(faultSpec, "fault", "", "alias for -faults")
 	flag.Parse()
@@ -67,6 +69,36 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
 		os.Exit(2)
+	}
+	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
+		fmt.Fprintf(os.Stderr, "rogtrain: unknown trace format %q (want jsonl or chrome)\n", *traceFmt)
+		os.Exit(2)
+	}
+	if *tracePath == "" {
+		// An explicit -trace-format without -trace would silently trace
+		// nothing; refuse rather than ignore.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "trace-format" {
+				fmt.Fprintln(os.Stderr, "rogtrain: -trace-format needs -trace")
+				os.Exit(2)
+			}
+		})
+	}
+	var tracer interface {
+		rog.Tracer
+		Close() error
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
+			os.Exit(1)
+		}
+		if *traceFmt == "chrome" {
+			tracer = rog.NewChromeTracer(f)
+		} else {
+			tracer = rog.NewJSONLTracer(f)
+		}
 	}
 
 	var strat rog.Strategy
@@ -126,10 +158,20 @@ func main() {
 		CheckpointEvery:   10,
 		Faults:            faults,
 	}
+	if tracer != nil {
+		cfg.Trace = tracer
+	}
 	res, err := rog.Run(cfg, wl)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
 		os.Exit(1)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rogtrain: closing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%s)\n", *tracePath, *traceFmt)
 	}
 
 	fmt.Printf("\n%s on %s (%s, %d workers, %.0f virtual minutes)\n",

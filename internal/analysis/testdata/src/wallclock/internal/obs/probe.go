@@ -1,0 +1,33 @@
+// Package obs is a fixture for the wallclock pass: the observability
+// probes run inside the simulated runtime, so a wall-clock read here —
+// even one buried in a callback the simnet invokes — breaks determinism.
+// Timestamps must come through the injected clock closure.
+package obs
+
+import "time"
+
+// probe mimics the real package's shape: an injected clock closure.
+type probe struct {
+	now func() float64
+}
+
+// emit stamps an event. Falling back to the real clock when the closure
+// is nil is exactly the bug this pass exists to catch: a probe created by
+// internal/core would silently time-stamp with host time.
+func (p *probe) emit() float64 {
+	if p.now == nil {
+		return float64(time.Now().UnixNano()) // want "time.Now"
+	}
+	return p.now()
+}
+
+// stamp is a callback handed to the simulated runtime; the clock read
+// inside it executes under virtual time and must be flagged.
+func stamp() func() float64 {
+	return func() float64 {
+		return time.Since(time.Time{}).Seconds() // want "time.Since"
+	}
+}
+
+// ok uses only the injected closure — clean.
+func ok(p *probe) float64 { return p.now() }

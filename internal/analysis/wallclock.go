@@ -7,11 +7,14 @@ import (
 
 // Wallclock forbids wall-clock time sources inside the deterministic
 // core. The simulated runtime (internal/core over internal/simnet), the
-// policy engine, and ATP all run on injected virtual time so that every
-// experiment replays bit-identically and the simnet↔livenet parity tests
-// can compare merge sequences; one stray time.Now() or time.Sleep()
-// silently couples an experiment to the host scheduler. Only the socket
-// runtime (livenet, transport) and the CLIs may read the real clock.
+// policy engine, ATP, and the observability probes all run on injected
+// virtual time so that every experiment replays bit-identically and the
+// simnet↔livenet parity tests can compare merge sequences; one stray
+// time.Now() or time.Sleep() silently couples an experiment to the host
+// scheduler. Only the socket runtime (livenet, transport) and the CLIs
+// may read the real clock. internal/obs is restricted because its probes
+// are invoked from inside the simulated runtime: event timestamps must
+// come from the injected clock closure, never from package time.
 type Wallclock struct {
 	// Restricted lists package-path suffixes (module-prefix independent)
 	// where wall-clock calls are forbidden.
@@ -24,7 +27,7 @@ type Wallclock struct {
 // restricted.
 func NewWallclock() *Wallclock {
 	return &Wallclock{
-		Restricted: []string{"internal/core", "internal/engine", "internal/simnet", "internal/atp"},
+		Restricted: []string{"internal/core", "internal/engine", "internal/simnet", "internal/atp", "internal/obs"},
 		Banned: map[string]bool{
 			"Now": true, "Sleep": true, "Since": true, "Until": true,
 			"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,

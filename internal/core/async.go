@@ -3,6 +3,7 @@ package core
 import (
 	"rog/internal/atp"
 	"rog/internal/engine"
+	"rog/internal/obs"
 )
 
 // This file is the asynchronous driver loop shared by every non-barrier,
@@ -34,10 +35,16 @@ func (c *cluster) wireSize(u int) float64 { return float64(c.part.WireSize(u)) }
 // flow. done receives the delivered unit count, the (possibly estimated)
 // MTA time and the elapsed transmission time.
 func (c *cluster) transmitPush(w int, n int64, plan engine.Plan, done func(delivered int, mtaTime, elapsed float64)) {
-	ap := atp.NewPlan(plan.Units, c.wireSize)
+	ap := atp.NewPlanObserved(plan.Units, c.wireSize, c.probe)
+	c.probe.PushPlanned(w, n, len(ap.Units), plan.Must,
+		c.part.NumUnits()-len(ap.Units), ap.TotalBytes(), plan.Speculative, "")
 	deliver := func(u int) { c.deliverPush(w, u, n) }
+	finish := func(delivered int, mtaTime, elapsed float64) {
+		c.probe.RowsSent(w, n, obs.DirPush, delivered, ap.Prefix[delivered], elapsed, plan.Speculative)
+		done(delivered, mtaTime, elapsed)
+	}
 	if plan.Speculative {
-		c.sendPlan(w, ap, plan.Must, c.state.Tracker.Budget(), deliver, done)
+		c.sendPlan(w, ap, plan.Must, c.state.Tracker.Budget(), deliver, finish)
 		return
 	}
 	start := c.k.Now()
@@ -46,19 +53,23 @@ func (c *cluster) transmitPush(w int, n int64, plan engine.Plan, done func(deliv
 		for _, u := range plan.Units {
 			deliver(u)
 		}
-		done(len(plan.Units), elapsed, elapsed)
+		finish(len(plan.Units), elapsed, elapsed)
 	})
 }
 
-// transmitPull moves one pull plan to worker w and reports the elapsed
-// transmission time.
-func (c *cluster) transmitPull(w int, plan engine.Plan, done func(elapsed float64)) {
-	ap := atp.NewPlan(plan.Units, c.wireSize)
+// transmitPull moves one pull plan of worker w's iteration n and reports
+// the elapsed transmission time.
+func (c *cluster) transmitPull(w int, n int64, plan engine.Plan, done func(elapsed float64)) {
+	ap := atp.NewPlanObserved(plan.Units, c.wireSize, c.probe)
+	finish := func(delivered int, elapsed float64) {
+		c.probe.RowsSent(w, n, obs.DirPull, delivered, ap.Prefix[delivered], elapsed, plan.Speculative)
+		done(elapsed)
+	}
 	if plan.Speculative {
 		c.sendPlan(w, ap, plan.Must, c.state.Tracker.Budget(), func(u int) {
 			c.deliverPull(w, u)
-		}, func(_ int, _, elapsed float64) {
-			done(elapsed)
+		}, func(delivered int, _, elapsed float64) {
+			finish(delivered, elapsed)
 		})
 		return
 	}
@@ -67,7 +78,7 @@ func (c *cluster) transmitPull(w int, plan engine.Plan, done func(elapsed float6
 		for _, u := range plan.Units {
 			c.deliverPull(w, u)
 		}
-		done(c.k.Now() - start)
+		finish(len(plan.Units), c.k.Now()-start)
 	})
 }
 
@@ -94,6 +105,27 @@ func (c *cluster) recordMicro(w int, n int64, delivered int) {
 	})
 }
 
+// parkStalled parks worker w's gate predicate on the waiter list with the
+// stall interval traced: StallBegin at the park, StallEnd when the retried
+// predicate finally succeeds. A predicate dropped by a crash leaves its
+// interval open — the aggregation tolerates an unclosed stall (the run
+// ended, or membership ended it).
+func (c *cluster) parkStalled(w int, n int64, pull func() bool) {
+	start := c.k.Now()
+	if c.probe == nil {
+		c.waiters.Park(w, start, pull)
+		return
+	}
+	c.probe.StallBegin(w, n, "gate")
+	c.waiters.Park(w, start, func() bool {
+		if !pull() {
+			return false
+		}
+		c.probe.StallEnd(w, n, "gate", c.k.Now()-start)
+		return true
+	})
+}
+
 // runAsync drives independent workers: each computes, pushes what the
 // policy plans, waits out the staleness gate (parked on the waiter list so
 // version advances and detaches re-evaluate it), pulls what the server
@@ -111,6 +143,7 @@ func (c *cluster) runAsync() {
 		iterStart := c.k.Now()
 		n := c.iter[w] + 1
 		commSec := 0.0
+		c.probe.IterStart(w, n)
 
 		c.wl.ComputeGradients(w)
 		c.snapshotInto(w)
@@ -123,6 +156,7 @@ func (c *cluster) runAsync() {
 			if plan.Skip {
 				// The scheduler (FLOWN) sat this one out: local gradients
 				// keep accumulating, nothing moves.
+				c.probe.PushPlanned(w, n, 0, 0, c.part.NumUnits(), 0, false, "skip")
 				c.finishIteration(w, iterStart, 0)
 				startIter(w)
 				return
@@ -140,7 +174,7 @@ func (c *cluster) runAsync() {
 					if !c.state.CanAdvance(n) {
 						return false
 					}
-					c.transmitPull(w, c.state.PlanPull(w, n), func(elapsed float64) {
+					c.transmitPull(w, n, c.state.PlanPull(w, n), func(elapsed float64) {
 						commSec += elapsed
 						c.finishIteration(w, iterStart, commSec)
 						startIter(w)
@@ -148,7 +182,7 @@ func (c *cluster) runAsync() {
 					return true
 				}
 				if !pull() {
-					c.waiters.Park(w, c.k.Now(), pull)
+					c.parkStalled(w, n, pull)
 				}
 			})
 		})

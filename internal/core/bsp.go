@@ -45,7 +45,7 @@ func (c *cluster) runBarrier() {
 			}
 			for _, s := range targets {
 				s := s
-				c.transmitPull(s, c.state.PlanPull(s, n), func(elapsed float64) {
+				c.transmitPull(s, n, c.state.PlanPull(s, n), func(elapsed float64) {
 					rs.commSec[s] += elapsed
 					rs.pullLeft--
 					if rs.pullLeft == 0 {
@@ -74,6 +74,7 @@ func (c *cluster) runBarrier() {
 				arrive() // a downed worker contributes nothing this round
 				continue
 			}
+			c.probe.IterStart(w, n)
 			c.wl.ComputeGradients(w)
 			c.snapshotInto(w)
 			// Each worker pushes when its own compute finishes (devices may

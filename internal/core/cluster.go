@@ -20,6 +20,7 @@ import (
 	"rog/internal/engine"
 	"rog/internal/metrics"
 	"rog/internal/nn"
+	"rog/internal/obs"
 	"rog/internal/rowsync"
 	"rog/internal/simnet"
 	"rog/internal/trace"
@@ -183,6 +184,13 @@ type Config struct {
 	// (worker, unit, stamped version) — instrumentation for the
 	// simnet↔livenet parity tests.
 	OnMerge func(worker, unit int, iter int64)
+
+	// Trace, when set, receives every structured runtime event with
+	// virtual-time timestamps (obs.NewJSONLTracer / obs.NewChromeTracer).
+	Trace obs.Tracer
+	// Metrics, when set, accumulates the runtime counters/gauges/histograms
+	// (rows sent, bytes on wire, staleness, stall causes, MTA budget).
+	Metrics *obs.Registry
 }
 
 // Validate fills defaults and rejects nonsense.
@@ -309,6 +317,10 @@ type cluster struct {
 	waiters  *engine.WaitList
 	resumeFn func(w int)
 
+	// probe is the observability handle (nil when tracing and metrics are
+	// both off — every emit site is then a pointer check).
+	probe *obs.Probe
+
 	micro []MicroSample
 
 	// decode scratch
@@ -358,6 +370,8 @@ func newCluster(cfg Config, wl Workload) *cluster {
 		waiters: engine.NewWaitList(),
 	}
 	c.state.OnMerge = cfg.OnMerge
+	c.probe = obs.NewProbe(cfg.Trace, cfg.Metrics, k.Now)
+	c.state.Probe = c.probe
 	c.serverAcc = c.state.Acc
 	c.versions = c.state.Versions
 	c.series.Name = fmt.Sprintf("%s-%d", cfg.Strategy, cfg.Threshold)
@@ -520,6 +534,9 @@ func (c *cluster) finishIteration(w int, startTime, commSeconds float64) {
 	c.meters[w].Add(energy.Communicate, commSeconds)
 	c.meters[w].Add(energy.Stall, stall)
 	c.comp.Record(metrics.Composition{Compute: comp, Comm: commSeconds, Stall: stall})
+	// The trace carries the exact values the Result averages, so an
+	// aggregated trace reproduces Result.Composition bit-for-bit.
+	c.probe.IterEnd(w, c.iter[w]+1, comp, commSeconds, stall)
 	c.iter[w]++
 	if w == 0 && c.iter[0]%int64(c.cfg.CheckpointEvery) == 0 {
 		c.checkpoint()

@@ -45,6 +45,7 @@ func (c *cluster) crashWorker(w int) {
 	}
 	c.crashed[w] = true
 	c.state.Detach(w)
+	c.probe.Detach(w, c.iter[w], "crash")
 	// The ghost itself must not resume; survivors it was blocking re-check
 	// their staleness predicate now, and any wait the detach releases is
 	// churn-attributable stall.
@@ -78,6 +79,8 @@ func (c *cluster) rejoinWorker(w int) {
 		bytes += float64(c.part.WireSize(u))
 	}
 	c.state.Churn.RowsResynced += len(units)
+	c.probe.Reconnect(w, base)
+	c.probe.Resync(w, len(units), bytes)
 	c.crashed[w] = false
 	start := c.k.Now()
 	c.ch.StartFlow(w, bytes, func() {

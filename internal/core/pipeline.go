@@ -49,6 +49,7 @@ func (c *cluster) runPipelined() {
 		c.meters[w].Add(energy.Communicate, commSec)
 		c.meters[w].Add(energy.Stall, stall)
 		c.comp.Record(metrics.Composition{Compute: comp, Comm: commSec, Stall: stall})
+		c.probe.IterEnd(w, c.iter[w]+1, comp, commSec, stall)
 		c.iter[w]++
 		if w == 0 && c.iter[0]%int64(c.cfg.CheckpointEvery) == 0 {
 			c.checkpoint()
@@ -76,7 +77,7 @@ func (c *cluster) runPipelined() {
 				if !c.state.CanAdvance(n) {
 					return false
 				}
-				c.transmitPull(w, c.state.PlanPull(w, n), func(elapsed float64) {
+				c.transmitPull(w, n, c.state.PlanPull(w, n), func(elapsed float64) {
 					commSec += elapsed
 					finish(w, commSec)
 					st.commBusy = false
@@ -88,7 +89,7 @@ func (c *cluster) runPipelined() {
 				return true
 			}
 			if !pull() {
-				c.waiters.Park(w, c.k.Now(), pull)
+				c.parkStalled(w, n, pull)
 			}
 		})
 		// The radio is now busy with iteration n; the CPU may start on n+1.
@@ -110,6 +111,7 @@ func (c *cluster) runPipelined() {
 		st.cpuBusy = true
 		st.computeIter++
 		n := st.computeIter
+		c.probe.IterStart(w, n)
 		c.wl.ComputeGradients(w)
 		c.k.After(c.computeSecondsFor(w), func() {
 			if c.crashed[w] {

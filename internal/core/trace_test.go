@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rog/internal/obs"
+)
+
+// closeEnough tolerates float rounding between the streamed aggregate and
+// the recorder's running sums (both add the same terms, possibly in a
+// different order).
+func closeEnough(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestTraceAggregationMatchesResult is the acceptance criterion of the
+// tracing tentpole: a traced simnet run must yield a JSONL stream whose
+// aggregation reproduces the run's metrics.Result — same iteration
+// composition, consistent row/byte totals — with no pairing violations.
+func TestTraceAggregationMatchesResult(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig(ROG, 4)
+	tr := obs.NewJSONLTracer(&buf)
+	cfg.Trace = tr
+	cfg.Metrics = obs.NewRegistry()
+	res, err := Run(cfg, newTestWorkload(3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := obs.Aggregate(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.PairErrors) != 0 {
+		t.Fatalf("pairing violations: %v", sum.PairErrors)
+	}
+	comp, comm, stall := sum.Composition()
+	if !closeEnough(comp, res.Composition.Compute) ||
+		!closeEnough(comm, res.Composition.Comm) ||
+		!closeEnough(stall, res.Composition.Stall) {
+		t.Fatalf("trace composition = %g/%g/%g, result = %g/%g/%g",
+			comp, comm, stall,
+			res.Composition.Compute, res.Composition.Comm, res.Composition.Stall)
+	}
+	if sum.Iters == 0 {
+		t.Fatal("no IterEnd events in trace")
+	}
+	if sum.Events["IterStart"] < sum.Events["IterEnd"] {
+		t.Fatalf("IterStart (%d) < IterEnd (%d): every finished iteration must have started",
+			sum.Events["IterStart"], sum.Events["IterEnd"])
+	}
+	if sum.RowsSent == 0 || sum.BytesPushed == 0 {
+		t.Fatalf("no push traffic traced (rows=%d bytes=%g)", sum.RowsSent, sum.BytesPushed)
+	}
+	if sum.RowsPlanned < sum.RowsSent {
+		t.Fatalf("planned %d rows but sent %d", sum.RowsPlanned, sum.RowsSent)
+	}
+	if sum.Merges == 0 {
+		t.Fatal("no Merge events traced")
+	}
+
+	// The registry must agree with the trace on shared counters.
+	snap := cfg.Metrics.Snapshot()
+	if snap.Counters["iters_completed"] != int64(sum.Iters) {
+		t.Fatalf("registry iters_completed = %d, trace = %d",
+			snap.Counters["iters_completed"], sum.Iters)
+	}
+	if snap.Counters["rows_sent"] != sum.RowsSent {
+		t.Fatalf("registry rows_sent = %d, trace = %d", snap.Counters["rows_sent"], sum.RowsSent)
+	}
+	if snap.Counters["rows_merged"] != sum.Merges {
+		t.Fatalf("registry rows_merged = %d, trace merges = %d",
+			snap.Counters["rows_merged"], sum.Merges)
+	}
+	if snap.Histograms["staleness"].Count != sum.Merges {
+		t.Fatalf("staleness histogram count = %d, merges = %d",
+			snap.Histograms["staleness"].Count, sum.Merges)
+	}
+}
+
+// TestTraceChromeExport runs a traced experiment through the Chrome
+// exporter and checks the result is valid trace_event JSON.
+func TestTraceChromeExport(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig(ROG, 4)
+	tr := obs.NewChromeTracer(&buf)
+	cfg.Trace = tr
+	if _, err := Run(cfg, newTestWorkload(3, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("chrome trace is not valid JSON (%d bytes)", buf.Len())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var spans, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		default:
+			t.Fatalf("unexpected phase %q for %q", e.Ph, e.Name)
+		}
+	}
+	if spans == 0 || instants == 0 {
+		t.Fatalf("chrome trace has %d spans, %d instants; want both > 0", spans, instants)
+	}
+}
+
+// TestTraceChurnEventsMatchCounters crashes and rejoins a worker under
+// tracing: Detach/Reconnect/Resync events must agree with Result.Churn
+// and the stall/churn pairing rules must hold.
+func TestTraceChurnEventsMatchCounters(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := churnConfig(ROG, 4, "crash:1@30+60")
+	tr := obs.NewJSONLTracer(&buf)
+	cfg.Trace = tr
+	res, err := Run(cfg, newTestWorkload(3, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.Aggregate(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.PairErrors) != 0 {
+		t.Fatalf("pairing violations: %v", sum.PairErrors)
+	}
+	if int(sum.Detaches) != res.Churn.Disconnects {
+		t.Fatalf("trace detaches = %d, churn disconnects = %d", sum.Detaches, res.Churn.Disconnects)
+	}
+	if int(sum.Reconnects) != res.Churn.Reconnects {
+		t.Fatalf("trace reconnects = %d, churn reconnects = %d", sum.Reconnects, res.Churn.Reconnects)
+	}
+	if int(sum.ResyncRows) != res.Churn.RowsResynced {
+		t.Fatalf("trace resync rows = %d, churn rows = %d", sum.ResyncRows, res.Churn.RowsResynced)
+	}
+	if sum.Detaches == 0 || sum.Reconnects == 0 {
+		t.Fatal("churn run traced no detach/reconnect events")
+	}
+}
+
+// TestTraceDisabledRunsUnchanged re-runs the same seeded experiment with
+// and without tracing: the probe must be purely observational.
+func TestTraceDisabledRunsUnchanged(t *testing.T) {
+	plain, err := Run(testConfig(ROG, 4), newTestWorkload(3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := testConfig(ROG, 4)
+	cfg.Trace = obs.NewJSONLTracer(&buf)
+	cfg.Metrics = obs.NewRegistry()
+	traced, err := Run(cfg, newTestWorkload(3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Iterations != traced.Iterations ||
+		plain.Composition != traced.Composition ||
+		plain.TotalJoules != traced.TotalJoules ||
+		plain.FinalValue != traced.FinalValue {
+		t.Fatalf("tracing perturbed the run: %+v vs %+v", plain, traced)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"rog/internal/atp"
 	"rog/internal/metrics"
+	"rog/internal/obs"
 	"rog/internal/rowsync"
 )
 
@@ -31,6 +32,11 @@ type State struct {
 	// OnMerge, when set, observes every merged row (worker, unit, stamped
 	// version) — the hook the simnet↔livenet parity tests record with.
 	OnMerge func(worker, unit int, iter int64)
+
+	// Probe, when set, receives structured trace events and feeds the
+	// runtime counters (merges with staleness lag, gate checks, MTA budget
+	// utilization). nil — the default — costs one pointer check per site.
+	Probe *obs.Probe
 }
 
 // NewState builds the server state for one run. initialBudget seeds the
@@ -76,12 +82,23 @@ func (s *State) Merge(worker, unit int, vals []float32, iter int64) {
 	if s.OnMerge != nil {
 		s.OnMerge(worker, unit, iter)
 	}
+	if s.Probe != nil {
+		// Lag is this row's stamped version ahead of the global minimum —
+		// the live staleness spread RSP bounds. Min() is O(1) (cached).
+		lag := iter - s.Versions.Min()
+		if lag < 0 {
+			lag = 0
+		}
+		s.Probe.Merge(worker, unit, iter, iter, lag)
+	}
 }
 
 // CanAdvance applies the policy's staleness gate at the current global
 // minimum row version.
 func (s *State) CanAdvance(iter int64) bool {
-	return s.policy.CanAdvance(iter, s.Versions.Min())
+	ok := s.policy.CanAdvance(iter, s.Versions.Min())
+	s.Probe.GateCheck(ok)
+	return ok
 }
 
 // PlanPull asks the policy which averaged rows to return to worker after
@@ -105,6 +122,11 @@ func (s *State) PlanPull(worker int, iter int64) Plan {
 // model pushes their full elapsed time — either way the tracker's budget
 // becomes the straggler's report (Algo. 4).
 func (s *State) ObservePush(worker int, iter int64, mtaTime, elapsed float64, speculative bool) {
+	if s.Probe != nil {
+		// Utilization against the budget in force when the push was
+		// planned — read before this report moves it.
+		s.Probe.BudgetUsed(worker, iter, s.Tracker.Budget(), elapsed)
+	}
 	if speculative {
 		if mtaTime > 0 {
 			s.Tracker.Observe(worker, mtaTime)

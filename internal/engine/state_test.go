@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rog/internal/nn"
+	"rog/internal/obs"
 	"rog/internal/rowsync"
 	"rog/internal/tensor"
 )
@@ -101,5 +102,67 @@ func TestDetachAttachBacklog(t *testing.T) {
 	}
 	if s.Churn.Reconnects != 1 {
 		t.Fatalf("reconnects = %d", s.Churn.Reconnects)
+	}
+}
+
+// TestMergeWithoutProbeDoesNotAllocate is the tentpole's overhead guard:
+// with observability disabled (nil Probe — the default), the instrumented
+// Merge/CanAdvance/ObservePush hot path must not allocate. Repeated
+// same-version merges keep the VersionStore stable, so any allocation the
+// guard sees would come from the instrumentation itself.
+func TestMergeWithoutProbeDoesNotAllocate(t *testing.T) {
+	s, part := testState(t, 3)
+	vals := make([]float32, part.Unit(0).Len)
+	s.Merge(0, 0, vals, 1) // warm up version state
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Merge(0, 0, vals, 1)
+		s.CanAdvance(1)
+		s.ObservePush(0, 1, 0.5, 0.5, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-probe hot path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestStateProbeObservesMergeAndGate wires a registry-backed probe into
+// the state and checks the merge, gate and budget metrics move.
+func TestStateProbeObservesMergeAndGate(t *testing.T) {
+	s, part := testState(t, 3)
+	reg := obs.NewRegistry()
+	s.Probe = obs.NewProbe(nil, reg, nil)
+	vals := make([]float32, part.Unit(0).Len)
+	s.Merge(0, 0, vals, 1)
+	s.Merge(1, 1, vals, 3)
+	s.CanAdvance(10) // way past the minimum: blocked under SSP-4
+	s.ObservePush(0, 1, 0.4, 0.4, true)
+
+	snap := reg.Snapshot()
+	if snap.Counters["rows_merged"] != 2 {
+		t.Fatalf("rows_merged = %d, want 2", snap.Counters["rows_merged"])
+	}
+	if snap.Histograms["staleness"].Count != 2 {
+		t.Fatalf("staleness observations = %d, want 2", snap.Histograms["staleness"].Count)
+	}
+	if snap.Counters["gate_checks"] != 1 || snap.Counters["gate_blocked"] != 1 {
+		t.Fatalf("gate counters = %d checks / %d blocked, want 1/1",
+			snap.Counters["gate_checks"], snap.Counters["gate_blocked"])
+	}
+	if snap.Floats["mta_used_seconds"] != 0.4 {
+		t.Fatalf("mta_used_seconds = %g, want 0.4", snap.Floats["mta_used_seconds"])
+	}
+}
+
+func BenchmarkMergeNilProbe(b *testing.B) {
+	proto := nn.NewClassifierMLP(4, []int{6}, 3, tensor.NewRNG(1))
+	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
+	pol, err := New("ssp", Params{Workers: 3, Threshold: 4, NumUnits: part.NumUnits()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewState(pol, part, 3, 1.0)
+	vals := make([]float32, part.Unit(0).Len)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Merge(0, 0, vals, 1)
 	}
 }

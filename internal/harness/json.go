@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rog/internal/core"
+	"rog/internal/metrics"
+	"rog/internal/simnet"
+	"rog/internal/trace"
+)
+
+// This file is the machine-readable counterpart of the report tables:
+// `rogbench -json` runs one of the end-to-end figures and serializes the
+// full per-system results — composition, energy, time/energy-to-target,
+// churn counters and the complete checkpoint series — so downstream
+// plotting and regression tooling never has to scrape the text tables.
+
+// Report is one experiment's results in JSON form.
+type Report struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	Scale      string `json:"scale"`
+	Paradigm   string `json:"paradigm"`
+	Env        string `json:"env"`
+	Faults     string `json:"faults,omitempty"`
+	// Metric names the quality axis; Increasing tells whether larger is
+	// better (accuracy) or worse (trajectory error).
+	Metric     string `json:"metric"`
+	Increasing bool   `json:"increasing"`
+	// Target is the common quality level used for the time/energy-to-target
+	// columns: the loosest best-over-series value across systems, so every
+	// system can reach it (same rule as the text tables).
+	Target  float64        `json:"quality_target"`
+	Systems []SystemReport `json:"systems"`
+}
+
+// SystemReport is one compared system's slice of a Report.
+type SystemReport struct {
+	Label          string  `json:"label"`
+	Strategy       string  `json:"strategy"`
+	Threshold      int     `json:"threshold"`
+	Iterations     int     `json:"iterations"`
+	FinalValue     float64 `json:"final_value"`
+	TotalJoules    float64 `json:"total_joules"`
+	StallFrac      float64 `json:"stall_frac"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+	StallSeconds   float64 `json:"stall_seconds"`
+	// SecondsToTarget / JoulesToTarget are nil when the system never
+	// reached the common target.
+	SecondsToTarget *float64      `json:"seconds_to_target,omitempty"`
+	JoulesToTarget  *float64      `json:"joules_to_target,omitempty"`
+	Churn           *ChurnReport  `json:"churn,omitempty"`
+	Series          []SeriesPoint `json:"series"`
+}
+
+// ChurnReport mirrors metrics.ChurnStats with stable JSON names.
+type ChurnReport struct {
+	Disconnects  int     `json:"disconnects"`
+	Reconnects   int     `json:"reconnects"`
+	RowsResynced int     `json:"rows_resynced"`
+	DetachStall  float64 `json:"detach_stall_seconds"`
+}
+
+// SeriesPoint is one quality checkpoint.
+type SeriesPoint struct {
+	Iter   int     `json:"iter"`
+	Time   float64 `json:"time_seconds"`
+	Energy float64 `json:"energy_joules"`
+	Value  float64 `json:"value"`
+}
+
+// jsonExperiments maps the JSON-exportable experiment ids to their run
+// options. Only the end-to-end comparisons export cleanly — the micro and
+// sensitivity experiments have bespoke shapes and keep their text reports.
+func jsonExperiments(id string, s Scale) (EndToEndOptions, Report, error) {
+	switch id {
+	case "fig1":
+		return EndToEndOptions{Paradigm: "cruda", Env: trace.Outdoor, Scale: s},
+			Report{Experiment: id, Title: "Fig. 1: CRUDA, outdoors",
+				Paradigm: "cruda", Env: "outdoor", Metric: "accuracy", Increasing: true}, nil
+	case "fig6":
+		return EndToEndOptions{Paradigm: "cruda", Env: trace.Indoor, Scale: s},
+			Report{Experiment: id, Title: "Fig. 6: CRUDA, indoors",
+				Paradigm: "cruda", Env: "indoor", Metric: "accuracy", Increasing: true}, nil
+	case "fig7":
+		return EndToEndOptions{Paradigm: "crimp", Env: trace.Outdoor, Scale: s},
+			Report{Experiment: id, Title: "Fig. 7: CRIMP, outdoors",
+				Paradigm: "crimp", Env: "outdoor", Metric: "trajectory error", Increasing: false}, nil
+	case "churn":
+		t := s.VirtualSeconds
+		spec := fmt.Sprintf("crash:1@%.0f+%.0f,blackout:2@%.0f+%.0f", t/4, t/4, 5*t/8, t/8)
+		faults, err := simnet.ParseFaultSchedule(spec)
+		if err != nil {
+			return EndToEndOptions{}, Report{}, err
+		}
+		return EndToEndOptions{Paradigm: "cruda", Env: trace.Outdoor, Scale: s,
+				Systems: SensitivitySystems(), Faults: faults},
+			Report{Experiment: id, Title: "Robustness: membership churn",
+				Paradigm: "cruda", Env: "outdoor", Faults: spec,
+				Metric: "accuracy", Increasing: true}, nil
+	default:
+		return EndToEndOptions{}, Report{}, fmt.Errorf(
+			"harness: experiment %q has no JSON export (want fig1, fig6, fig7 or churn)", id)
+	}
+}
+
+// RunJSONReport executes one JSON-exportable experiment at the given scale.
+func RunJSONReport(id string, s Scale) (*Report, error) {
+	opts, rep, err := jsonExperiments(id, s)
+	if err != nil {
+		return nil, err
+	}
+	results, err := RunEndToEnd(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scale = s.Name
+	fillReport(&rep, results, len(opts.Faults) > 0)
+	return &rep, nil
+}
+
+// fillReport derives the per-system entries and the common target from the
+// raw results. withChurn includes the churn counters (fault runs only —
+// all-zero counters on a fault-free run would read as "no churn happened"
+// rather than "not measured").
+func fillReport(rep *Report, results []*core.Result, withChurn bool) {
+	rep.Target = commonTarget(results, rep.Increasing)
+	for _, r := range results {
+		sr := SystemReport{
+			Label:          r.Label(),
+			Strategy:       r.Strategy.String(),
+			Threshold:      r.Threshold,
+			Iterations:     r.Iterations,
+			FinalValue:     r.FinalValue,
+			TotalJoules:    r.TotalJoules,
+			StallFrac:      r.StallFrac,
+			ComputeSeconds: r.Composition.Compute,
+			CommSeconds:    r.Composition.Comm,
+			StallSeconds:   r.Composition.Stall,
+		}
+		if sec, ok := r.Series.TimeToReach(rep.Target, rep.Increasing); ok {
+			sr.SecondsToTarget = &sec
+		}
+		if j, ok := r.Series.EnergyToReach(rep.Target, rep.Increasing); ok {
+			sr.JoulesToTarget = &j
+		}
+		if withChurn {
+			sr.Churn = &ChurnReport{
+				Disconnects:  r.Churn.Disconnects,
+				Reconnects:   r.Churn.Reconnects,
+				RowsResynced: r.Churn.RowsResynced,
+				DetachStall:  r.Churn.DetachStall,
+			}
+		}
+		sr.Series = seriesPoints(r.Series)
+		rep.Systems = append(rep.Systems, sr)
+	}
+}
+
+func seriesPoints(s metrics.Series) []SeriesPoint {
+	pts := make([]SeriesPoint, 0, len(s.Points))
+	for _, p := range s.Points {
+		pts = append(pts, SeriesPoint{Iter: p.Iter, Time: p.Time, Energy: p.Energy, Value: p.Value})
+	}
+	return pts
+}
+
+// WriteJSON serializes the report, indented for direct human inspection.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

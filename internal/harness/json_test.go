@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunJSONReportChurn runs the churn experiment at tiny scale through
+// the JSON exporter: the report must round-trip through encoding/json with
+// populated systems, series and churn counters.
+func TestRunJSONReportChurn(t *testing.T) {
+	rep, err := RunJSONReport("churn", tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "churn" || rep.Scale != "tiny" || rep.Faults == "" {
+		t.Fatalf("report header incomplete: %+v", rep)
+	}
+	if len(rep.Systems) != len(SensitivitySystems()) {
+		t.Fatalf("systems = %d, want %d", len(rep.Systems), len(SensitivitySystems()))
+	}
+	for _, s := range rep.Systems {
+		if s.Label == "" || s.Iterations == 0 || len(s.Series) == 0 {
+			t.Fatalf("system entry incomplete: %+v", s)
+		}
+		if s.Churn == nil {
+			t.Fatalf("churn run exported no churn counters for %s", s.Label)
+		}
+		if s.ComputeSeconds <= 0 {
+			t.Fatalf("%s compute = %g", s.Label, s.ComputeSeconds)
+		}
+	}
+	// The faulted worker crashed and rejoined in at least one system.
+	var reconnects int
+	for _, s := range rep.Systems {
+		reconnects += s.Churn.Reconnects
+	}
+	if reconnects == 0 {
+		t.Fatal("no system recorded the scripted rejoin")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Target != rep.Target || len(back.Systems) != len(rep.Systems) {
+		t.Fatalf("round-trip changed the report: %+v", back)
+	}
+}
+
+// TestRunJSONReportUnknownID checks the exporter refuses non-exportable
+// experiment ids instead of writing an empty file.
+func TestRunJSONReportUnknownID(t *testing.T) {
+	if _, err := RunJSONReport("fig3", tinyScale); err == nil {
+		t.Fatal("fig3 (no JSON shape) accepted")
+	}
+}

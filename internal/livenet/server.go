@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"rog/internal/compress"
 	"rog/internal/engine"
 	"rog/internal/metrics"
+	"rog/internal/obs"
 	"rog/internal/rowsync"
 	"rog/internal/transport"
 )
@@ -37,6 +39,16 @@ type ServerConfig struct {
 	// (worker, unit, stamped version) — instrumentation for the
 	// simnet↔livenet parity tests. Called under the server mutex.
 	OnMerge func(worker, unit int, iter int64)
+	// Trace, when set, receives structured events for every merge, gate
+	// stall and membership change, timestamped in seconds since NewServer.
+	Trace obs.Tracer
+	// Metrics, when set, accumulates the server-side runtime counters
+	// (rows merged, staleness histogram, gate blocks, stall seconds, …).
+	Metrics *obs.Registry
+	// DebugAddr, when non-empty, serves the Metrics snapshot as JSON over
+	// HTTP on this listen address ("127.0.0.1:0" picks a free port; see
+	// DebugAddr() for the bound address). Empty disables the endpoint.
+	DebugAddr string
 }
 
 // DisconnectReason classifies why a worker's connection ended.
@@ -83,8 +95,10 @@ func (r DisconnectReason) String() string {
 // the worker was away (the rejoin resync), so the returning robot catches
 // up without violating the staleness bound.
 type Server struct {
-	cfg  ServerConfig
-	part *rowsync.Partition
+	cfg   ServerConfig
+	part  *rowsync.Partition
+	probe *obs.Probe   // nil when tracing and metrics are both off
+	debug net.Listener // nil unless cfg.DebugAddr was set
 
 	mu          sync.Mutex
 	cond        *sync.Cond           // signals on mu; set once in NewServer
@@ -132,12 +146,39 @@ func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 		state: engine.NewState(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds),
 	}
 	s.state.OnMerge = cfg.OnMerge
+	// Event timestamps are seconds since server start: monotone (time.Since
+	// uses the monotonic clock) and comparable to the simnet's virtual-time
+	// origin, so the same aggregation reads both.
+	t0 := time.Now()
+	s.probe = obs.NewProbe(cfg.Trace, cfg.Metrics, func() float64 { return time.Since(t0).Seconds() })
+	s.state.Probe = s.probe
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		s.codecs = append(s.codecs, compress.NewCodec(part.Widths()))
 	}
 	s.pending = make([][]compress.Payload, cfg.Workers)
+	if cfg.DebugAddr != "" {
+		ln, err := net.Listen("tcp", cfg.DebugAddr)
+		if err != nil {
+			return nil, fmt.Errorf("livenet: debug endpoint: %w", err)
+		}
+		s.debug = ln
+		go func() {
+			// Serve returns when Close tears the listener down; that exit
+			// path is the expected shutdown, not an error to surface.
+			_ = http.Serve(ln, obs.DebugHandler(cfg.Metrics))
+		}()
+	}
 	return s, nil
+}
+
+// DebugAddr reports the bound address of the metrics debug endpoint, or ""
+// when cfg.DebugAddr was empty.
+func (s *Server) DebugAddr() string {
+	if s.debug == nil {
+		return ""
+	}
+	return s.debug.Addr().String()
 }
 
 // Close wakes any goroutine blocked on the staleness condition so handlers
@@ -147,6 +188,9 @@ func (s *Server) Close() {
 	s.closed = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if s.debug != nil {
+		_ = s.debug.Close() // shutting down; a close error leaves nothing to recover
+	}
 }
 
 // MaxStalenessObserved reports the largest version lead seen (for tests:
@@ -185,11 +229,11 @@ func (s *Server) HandleConn(worker int, conn net.Conn) error {
 		return fmt.Errorf("livenet: worker %d out of range [0,%d)", worker, s.cfg.Workers)
 	}
 	if err := s.attach(worker, conn); err != nil {
-		s.detach(worker)
+		s.detach(worker, "resync failure")
 		return err
 	}
 	reason, err := s.serve(worker, conn)
-	s.detach(worker)
+	s.detach(worker, reason.String())
 	if reason == DisconnectStall {
 		// Kill the stalled connection so a zombie peer cannot hold the
 		// socket (and so a late write on its end fails fast).
@@ -239,9 +283,11 @@ func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 			if !s.closed && !s.state.CanAdvance(n) {
 				epoch := s.detachEpoch
 				waitStart := time.Now()
+				s.probe.StallBegin(worker, n, "gate")
 				for !s.closed && !s.state.CanAdvance(n) {
 					s.cond.Wait()
 				}
+				s.probe.StallEnd(worker, n, "gate", time.Since(waitStart).Seconds())
 				if s.detachEpoch != epoch {
 					s.state.Churn.DetachStall += time.Since(waitStart).Seconds()
 				}
@@ -259,13 +305,16 @@ func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 
 // detach removes the worker from membership: its rows stop pinning the
 // minimum and every parked handler re-evaluates its wait. Idempotent.
-func (s *Server) detach(worker int) {
+// cause labels the Detach trace event (a DisconnectReason string or an
+// attach-failure tag).
+func (s *Server) detach(worker int, cause string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.state.Versions.IsActive(worker) {
 		return
 	}
 	s.state.Detach(worker)
+	s.probe.Detach(worker, s.state.Versions.Min(), cause)
 	s.detachEpoch++
 	// Pull rows cut off mid-flight stay in pending; fold their mass back
 	// into the accumulator so nothing is lost across the disconnect.
@@ -300,6 +349,12 @@ func (s *Server) attach(worker int, conn net.Conn) error {
 	}
 	baseline := s.state.Attach(worker)
 	s.state.Churn.RowsResynced += len(frames)
+	s.probe.Reconnect(worker, baseline)
+	var resyncBytes float64
+	for _, f := range frames {
+		resyncBytes += float64(len(f))
+	}
+	s.probe.Resync(worker, len(frames), resyncBytes)
 	budget := s.budgetLocked()
 	min := s.state.Versions.Min()
 	s.cond.Broadcast() // the rejoined rows may re-gate or release waiters

@@ -9,6 +9,7 @@ import (
 	"rog/internal/compress"
 	"rog/internal/engine"
 	"rog/internal/nn"
+	"rog/internal/obs"
 	"rog/internal/rowsync"
 	"rog/internal/transport"
 )
@@ -25,6 +26,11 @@ type WorkerConfig struct {
 	Policy   engine.Policy
 	LR       float64
 	Momentum float64
+	// Trace, when set, receives the worker-side event stream (iteration
+	// spans, push plans, rows sent), timestamped in seconds since NewWorker.
+	Trace obs.Tracer
+	// Metrics, when set, accumulates worker-side runtime counters.
+	Metrics *obs.Registry
 }
 
 // Worker is the live client (Algo. 1 over a real connection): the socket
@@ -44,6 +50,7 @@ type Worker struct {
 	codec    *compress.Codec
 	conn     net.Conn
 	rc       *transport.Receiver
+	probe    *obs.Probe // nil when tracing and metrics are both off
 
 	iter   int64
 	budget float64 // MTA-time budget from the server's last pull-done
@@ -73,9 +80,11 @@ func NewWorker(model *nn.Sequential, part *rowsync.Partition, conn net.Conn, cfg
 		}
 		cfg.Policy = pol
 	}
+	t0 := time.Now()
 	return &Worker{
 		cfg:      cfg,
 		part:     part,
+		probe:    obs.NewProbe(cfg.Trace, cfg.Metrics, func() float64 { return time.Since(t0).Seconds() }),
 		model:    model,
 		opt:      nn.NewSGD(cfg.LR, cfg.Momentum),
 		policy:   cfg.Policy,
@@ -100,18 +109,33 @@ func (w *Worker) Iterations() int64 { return w.iter }
 func (w *Worker) RunIteration(computeGradients func()) error {
 	w.iter++
 	n := w.iter
+	w.probe.IterStart(w.cfg.ID, n)
+	iterStart := time.Now()
 	computeGradients()
 	w.local.Accumulate(w.model.Grads())
 	w.model.ZeroGrads()
+	compute := time.Since(iterStart).Seconds()
 
+	commStart := time.Now()
 	skipped, err := w.push(n)
 	if err != nil {
 		return err
 	}
-	if skipped {
-		return nil
+	if !skipped {
+		if err := w.pull(); err != nil {
+			return err
+		}
 	}
-	return w.pull()
+	// The worker cannot split the server's gate wait out of the pull
+	// round-trip, so comm here includes any staleness stall spent on the
+	// server side; the stall residual only covers local scheduling slack.
+	comm := time.Since(commStart).Seconds()
+	stall := time.Since(iterStart).Seconds() - compute - comm
+	if stall < 0 {
+		stall = 0
+	}
+	w.probe.IterEnd(w.cfg.ID, n, compute, comm, stall)
+	return nil
 }
 
 // push implements Algo. 1 PushGradients: the policy plans the transmission
@@ -133,13 +157,16 @@ func (w *Worker) push(n int64) (skipped bool, err error) {
 		Budget: w.budget,
 	})
 	if plan.Skip {
+		w.probe.PushPlanned(w.cfg.ID, n, 0, 0, numUnits, 0, false, "skip")
 		return true, nil
 	}
 	must := plan.Must
 	if must > len(plan.Units) {
 		must = len(plan.Units)
 	}
-	ap := atp.NewPlan(plan.Units, func(u int) float64 { return float64(w.part.WireSize(u)) })
+	ap := atp.NewPlanObserved(plan.Units, func(u int) float64 { return float64(w.part.WireSize(u)) }, w.probe)
+	w.probe.PushPlanned(w.cfg.ID, n, len(ap.Units), must,
+		numUnits-len(ap.Units), ap.TotalBytes(), plan.Speculative, "")
 
 	frames := make([][]byte, len(plan.Units))
 	payloads := make([]compress.Payload, len(plan.Units))
@@ -169,6 +196,7 @@ func (w *Worker) push(n int64) (skipped bool, err error) {
 		}
 	}
 	elapsed := time.Since(start).Seconds()
+	w.probe.RowsSent(w.cfg.ID, n, obs.DirPush, sent, ap.Prefix[sent], elapsed, plan.Speculative)
 	mtaTime := elapsed
 	if sent > must && ap.Prefix[sent] > 0 {
 		// Everything (or more than the floor) fit in the budget: the floor's

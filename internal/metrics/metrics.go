@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -122,15 +123,14 @@ func (s *Series) Last() Point {
 
 // ValueAt returns the value of the last checkpoint at or before time t
 // (step interpolation), or NaN when t precedes the first checkpoint.
+// Points are time-sorted (Add enforces it), so this is a binary search;
+// among duplicate times it picks the last, like the scan it replaced.
 func (s *Series) ValueAt(t float64) float64 {
-	v := math.NaN()
-	for _, p := range s.Points {
-		if p.Time > t {
-			break
-		}
-		v = p.Value
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].Time > t })
+	if i == 0 {
+		return math.NaN()
 	}
-	return v
+	return s.Points[i-1].Value
 }
 
 // EnergyToReach returns the cumulative energy at the first checkpoint whose
@@ -157,16 +157,14 @@ func (s *Series) TimeToReach(target float64, increasing bool) (seconds float64, 
 }
 
 // ValueAtIter returns the value at the last checkpoint with Iter ≤ iter
-// (NaN if none) — the statistical-efficiency axis of Fig. 1b.
+// (NaN if none) — the statistical-efficiency axis of Fig. 1b. Checkpoints
+// are recorded in iteration order, so binary search applies here too.
 func (s *Series) ValueAtIter(iter int) float64 {
-	v := math.NaN()
-	for _, p := range s.Points {
-		if p.Iter > iter {
-			break
-		}
-		v = p.Value
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].Iter > iter })
+	if i == 0 {
+		return math.NaN()
 	}
-	return v
+	return s.Points[i-1].Value
 }
 
 // FormatTable renders an aligned text table with a header row.

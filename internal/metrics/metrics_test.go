@@ -126,3 +126,76 @@ func TestFormatTable(t *testing.T) {
 		t.Fatalf("misaligned:\n%s", out)
 	}
 }
+
+// TestSeriesLookupEdgeCases pins the binary-search lookups to the exact
+// semantics of the linear scans they replaced: last point at-or-before the
+// query, NaN before the first point, last-wins on duplicate keys.
+func TestSeriesLookupEdgeCases(t *testing.T) {
+	var empty Series
+	if !math.IsNaN(empty.ValueAt(10)) || !math.IsNaN(empty.ValueAtIter(10)) {
+		t.Fatal("empty series must answer NaN")
+	}
+
+	s := Series{Name: "edge"}
+	s.Add(Point{Iter: 5, Time: 10, Energy: 1, Value: 0.1})
+	s.Add(Point{Iter: 10, Time: 20, Energy: 2, Value: 0.2})
+	s.Add(Point{Iter: 12, Time: 20, Energy: 3, Value: 0.3}) // duplicate time
+	s.Add(Point{Iter: 20, Time: 35, Energy: 4, Value: 0.4})
+
+	if !math.IsNaN(s.ValueAt(9.99)) {
+		t.Fatal("t before the first checkpoint must be NaN")
+	}
+	if got := s.ValueAt(10); got != 0.1 {
+		t.Fatalf("exact first boundary: got %g, want 0.1", got)
+	}
+	if got := s.ValueAt(20); got != 0.3 {
+		t.Fatalf("duplicate time must answer the last point: got %g, want 0.3", got)
+	}
+	if got := s.ValueAt(34.9); got != 0.3 {
+		t.Fatalf("between checkpoints: got %g, want 0.3", got)
+	}
+	if got := s.ValueAt(35); got != 0.4 {
+		t.Fatalf("exact last boundary: got %g, want 0.4", got)
+	}
+	if got := s.ValueAt(1e9); got != 0.4 {
+		t.Fatalf("past the end: got %g, want 0.4", got)
+	}
+
+	if !math.IsNaN(s.ValueAtIter(4)) {
+		t.Fatal("iter before the first checkpoint must be NaN")
+	}
+	if got := s.ValueAtIter(5); got != 0.1 {
+		t.Fatalf("exact iter boundary: got %g, want 0.1", got)
+	}
+	if got := s.ValueAtIter(11); got != 0.2 {
+		t.Fatalf("between iters: got %g, want 0.2", got)
+	}
+	if got := s.ValueAtIter(100); got != 0.4 {
+		t.Fatalf("past the end: got %g, want 0.4", got)
+	}
+}
+
+// TestEnergyToReachNonMonotone checks the to-target lookups scan values,
+// not times: on a noisy series the first checkpoint reaching the target
+// wins even when a later one dips back below it.
+func TestEnergyToReachNonMonotone(t *testing.T) {
+	s := Series{Name: "noisy"}
+	s.Add(Point{Iter: 1, Time: 1, Energy: 10, Value: 0.2})
+	s.Add(Point{Iter: 2, Time: 2, Energy: 20, Value: 0.6}) // first to reach 0.5
+	s.Add(Point{Iter: 3, Time: 3, Energy: 30, Value: 0.4}) // dips back under
+	s.Add(Point{Iter: 4, Time: 4, Energy: 40, Value: 0.7})
+
+	if j, ok := s.EnergyToReach(0.5, true); !ok || j != 20 {
+		t.Fatalf("EnergyToReach = %g/%v, want 20/true", j, ok)
+	}
+	if sec, ok := s.TimeToReach(0.5, true); !ok || sec != 2 {
+		t.Fatalf("TimeToReach = %g/%v, want 2/true", sec, ok)
+	}
+	if _, ok := s.EnergyToReach(0.9, true); ok {
+		t.Fatal("unreached target reported ok")
+	}
+	// Decreasing metric (error): first checkpoint at or under the target.
+	if sec, ok := s.TimeToReach(0.4, false); !ok || sec != 1 {
+		t.Fatalf("decreasing TimeToReach = %g/%v, want 1/true", sec, ok)
+	}
+}

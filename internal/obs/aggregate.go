@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// IterRow is the aggregated composition of one iteration number across
+// workers: n IterEnd events averaged.
+type IterRow struct {
+	Iter    int64
+	Count   int // worker-iterations aggregated into this row
+	Compute float64
+	Comm    float64
+	Stall   float64
+}
+
+// UnitRow is per-row-partition staleness: merge count, mean and max lag.
+type UnitRow struct {
+	Unit    int
+	Merges  int64
+	LagSum  int64
+	MaxLag  int64
+	MeanLag float64
+}
+
+// Summary is everything Aggregate extracts from one trace.
+type Summary struct {
+	// Events counts records by kind name.
+	Events map[string]int64
+
+	// Iters counts IterEnd events; the sums divide by it to reproduce the
+	// run's average composition (metrics.Result.Composition).
+	Iters      int64
+	ComputeSum float64
+	CommSum    float64
+	StallSum   float64
+
+	// ByIter groups IterEnd events by iteration number, ascending.
+	ByIter []IterRow
+
+	// StallByCause sums StallEnd durations per cause.
+	StallByCause map[string]float64
+
+	// Transmission totals from RowsSent/PushPlanned.
+	RowsPlanned  int64
+	RowsDeferred int64
+	RowsSent     int64
+	RowsPulled   int64
+	BytesPushed  float64
+	BytesPulled  float64
+
+	// Staleness from Merge events: per-unit rows and the overall lag
+	// histogram (lag value → count).
+	Units   []UnitRow
+	LagHist map[int64]int64
+	Merges  int64
+
+	// Churn.
+	Detaches    int64
+	Reconnects  int64
+	Resyncs     int64
+	ResyncRows  int64
+	ResyncBytes float64
+
+	// PairErrors lists structural violations: a StallEnd without an open
+	// StallBegin on that worker, a Detach of an already-detached worker, or
+	// a Reconnect of an attached one. Empty for a well-formed trace.
+	PairErrors []string
+
+	// OpenStalls counts StallBegin intervals never closed (a run may
+	// legitimately halt mid-stall).
+	OpenStalls int
+}
+
+// Composition returns the average per-iteration compute/comm/stall seconds
+// — comparable to the run's metrics.Result.Composition.
+func (s *Summary) Composition() (compute, comm, stall float64) {
+	if s.Iters == 0 {
+		return 0, 0, 0
+	}
+	n := float64(s.Iters)
+	return s.ComputeSum / n, s.CommSum / n, s.StallSum / n
+}
+
+// Aggregate streams a JSONL trace into a Summary.
+func Aggregate(r io.Reader) (*Summary, error) {
+	s := &Summary{
+		Events:       make(map[string]int64),
+		StallByCause: make(map[string]float64),
+		LagHist:      make(map[int64]int64),
+	}
+	byIter := make(map[int64]*IterRow)
+	units := make(map[int]*UnitRow)
+	stallDepth := make(map[int]int)
+	detached := make(map[int]bool)
+
+	err := ReadEvents(r, func(e Event) error {
+		s.Events[e.Kind.String()]++
+		switch e.Kind {
+		case KindIterEnd:
+			s.Iters++
+			s.ComputeSum += e.Compute
+			s.CommSum += e.Comm
+			s.StallSum += e.Stall
+			row, ok := byIter[e.Iter]
+			if !ok {
+				row = &IterRow{Iter: e.Iter}
+				byIter[e.Iter] = row
+			}
+			row.Count++
+			row.Compute += e.Compute
+			row.Comm += e.Comm
+			row.Stall += e.Stall
+		case KindPushPlanned:
+			s.RowsPlanned += int64(e.Units)
+			s.RowsDeferred += int64(e.Deferred)
+		case KindRowsSent:
+			if e.Dir == DirPull {
+				s.RowsPulled += int64(e.Units)
+				s.BytesPulled += e.Bytes
+			} else {
+				s.RowsSent += int64(e.Units)
+				s.BytesPushed += e.Bytes
+			}
+		case KindStallBegin:
+			stallDepth[e.Worker]++
+		case KindStallEnd:
+			if stallDepth[e.Worker] == 0 {
+				s.PairErrors = append(s.PairErrors, fmt.Sprintf(
+					"worker %d: StallEnd without StallBegin at t=%.3f", e.Worker, e.Time))
+				break
+			}
+			stallDepth[e.Worker]--
+			s.StallByCause[e.Cause] += e.Seconds
+		case KindMerge:
+			s.Merges++
+			s.LagHist[e.Lag]++
+			u, ok := units[e.Unit]
+			if !ok {
+				u = &UnitRow{Unit: e.Unit}
+				units[e.Unit] = u
+			}
+			u.Merges++
+			u.LagSum += e.Lag
+			if e.Lag > u.MaxLag {
+				u.MaxLag = e.Lag
+			}
+		case KindDetach:
+			if detached[e.Worker] {
+				s.PairErrors = append(s.PairErrors, fmt.Sprintf(
+					"worker %d: Detach while already detached at t=%.3f", e.Worker, e.Time))
+			}
+			detached[e.Worker] = true
+			s.Detaches++
+		case KindReconnect:
+			if !detached[e.Worker] {
+				s.PairErrors = append(s.PairErrors, fmt.Sprintf(
+					"worker %d: Reconnect without a prior Detach at t=%.3f", e.Worker, e.Time))
+			}
+			detached[e.Worker] = false
+			s.Reconnects++
+		case KindResync:
+			s.Resyncs++
+			s.ResyncRows += int64(e.Units)
+			s.ResyncBytes += e.Bytes
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, d := range stallDepth {
+		s.OpenStalls += d
+	}
+	s.ByIter = make([]IterRow, 0, len(byIter))
+	for _, row := range byIter {
+		r := *row
+		if r.Count > 0 {
+			n := float64(r.Count)
+			r.Compute /= n
+			r.Comm /= n
+			r.Stall /= n
+		}
+		s.ByIter = append(s.ByIter, r)
+	}
+	sort.Slice(s.ByIter, func(i, j int) bool { return s.ByIter[i].Iter < s.ByIter[j].Iter })
+	s.Units = make([]UnitRow, 0, len(units))
+	for _, u := range units {
+		r := *u
+		if r.Merges > 0 {
+			r.MeanLag = float64(r.LagSum) / float64(r.Merges)
+		}
+		s.Units = append(s.Units, r)
+	}
+	sort.Slice(s.Units, func(i, j int) bool { return s.Units[i].Unit < s.Units[j].Unit })
+	return s, nil
+}

@@ -1,0 +1,375 @@
+// Package obs is the observability layer shared by both runtimes: a
+// low-overhead structured event tracer and an atomic counters/gauges
+// registry. The paper's claims are time-composition claims — rows must
+// move during compute, stalls must stay bounded through bandwidth fades —
+// and this package makes those properties visible per transmission rather
+// than only as post-hoc averages.
+//
+// Design constraints:
+//
+//   - Zero cost when disabled. Every emission goes through a *Probe whose
+//     methods are nil-receiver safe; a nil probe (tracing and metrics both
+//     off) is a pointer check and a return, with no allocation and no
+//     interface boxing on the hot paths.
+//   - No clock of its own. The probe's timestamps come from an injected
+//     clock closure: the simnet drivers pass the kernel's virtual clock,
+//     the socket runtime passes a monotonic wall-clock anchor. The package
+//     itself never reads wall time, so the deterministic core stays
+//     deterministic (enforced by roglint's wallclock pass, which lists
+//     internal/obs among the restricted packages).
+//   - Flat events. Event is a value struct with a fixed field set; tracers
+//     receive it by value, so emitting does not allocate unless the tracer
+//     itself does (the JSONL exporter reuses an internal buffer).
+package obs
+
+// Kind discriminates trace events.
+type Kind uint8
+
+// Event kinds, in rough lifecycle order of a worker-iteration.
+const (
+	// KindIterStart marks the beginning of a worker-iteration (compute
+	// starts now).
+	KindIterStart Kind = iota + 1
+	// KindIterEnd closes a worker-iteration and carries its time
+	// composition (compute/comm/stall seconds — the same values the run's
+	// metrics.Result averages).
+	KindIterEnd
+	// KindPushPlanned records the policy's transmission plan for one push:
+	// how many units it scheduled, the MTA floor, and how many accumulated
+	// units it deferred.
+	KindPushPlanned
+	// KindRowsSent records one completed transmission (push or pull
+	// direction): delivered units, bytes on the wire, elapsed seconds.
+	KindRowsSent
+	// KindStallBegin marks a worker blocking on the staleness gate (or
+	// another named cause).
+	KindStallBegin
+	// KindStallEnd closes the matching StallBegin and carries the stalled
+	// duration.
+	KindStallEnd
+	// KindMerge records one row merged into the server state: the stamped
+	// version and the row's staleness lag behind the global minimum.
+	KindMerge
+	// KindDetach records a worker leaving membership (crash, connection
+	// loss, silent stall).
+	KindDetach
+	// KindReconnect records a detached worker re-attaching; Version carries
+	// the re-baselined iteration.
+	KindReconnect
+	// KindResync records the rejoin resync transmission: backlog units
+	// replayed and their wire bytes.
+	KindResync
+)
+
+var kindNames = [...]string{
+	KindIterStart:   "IterStart",
+	KindIterEnd:     "IterEnd",
+	KindPushPlanned: "PushPlanned",
+	KindRowsSent:    "RowsSent",
+	KindStallBegin:  "StallBegin",
+	KindStallEnd:    "StallEnd",
+	KindMerge:       "Merge",
+	KindDetach:      "Detach",
+	KindReconnect:   "Reconnect",
+	KindResync:      "Resync",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "Unknown"
+}
+
+// KindFromString is the inverse of Kind.String; 0 for unknown names.
+func KindFromString(s string) Kind {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k)
+		}
+	}
+	return 0
+}
+
+// Dir is the transmission direction of a RowsSent event.
+type Dir uint8
+
+// Transmission directions.
+const (
+	// DirNone is the zero value (non-transmission events).
+	DirNone Dir = iota
+	// DirPush is worker → server.
+	DirPush
+	// DirPull is server → worker.
+	DirPull
+)
+
+// String names the direction ("" for DirNone).
+func (d Dir) String() string {
+	switch d {
+	case DirPush:
+		return "push"
+	case DirPull:
+		return "pull"
+	default:
+		return ""
+	}
+}
+
+// Event is one structured trace record. Only the fields meaningful for the
+// Kind are set; the rest stay zero (and the JSONL exporter omits them).
+type Event struct {
+	Kind   Kind
+	Time   float64 // seconds since run start, on the emitter's clock
+	Worker int
+	Iter   int64
+
+	Unit     int   // row-partition unit (Merge)
+	Units    int   // planned/delivered/resynced unit count
+	Must     int   // MTA-floor unit count (PushPlanned)
+	Deferred int   // accumulated units the plan left behind (PushPlanned)
+	Version  int64 // stamped row version (Merge) or rejoin baseline (Reconnect)
+	Lag      int64 // staleness lag behind the global minimum (Merge)
+
+	Bytes   float64 // wire bytes (PushPlanned, RowsSent, Resync)
+	Seconds float64 // duration: transmission (RowsSent) or stall (StallEnd)
+
+	Compute float64 // IterEnd composition
+	Comm    float64
+	Stall   float64
+
+	Dir   Dir
+	Spec  bool   // speculative transmission
+	Cause string // stall/detach cause, or "skip" for a sat-out push
+}
+
+// Tracer receives every emitted event. Implementations must be safe for
+// concurrent use when driven from the socket runtime (the simnet kernel is
+// single-threaded). The event is passed by value; a tracer that retains it
+// may copy freely.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Probe binds an optional Tracer, an optional Registry and a clock into
+// the single handle the instrumented code paths hold. All methods are safe
+// on a nil *Probe — the disabled configuration — and cost one pointer
+// check there.
+type Probe struct {
+	tracer Tracer
+	reg    *Registry
+	now    func() float64
+}
+
+// NewProbe builds a probe; it returns nil (the disabled probe) when both
+// the tracer and the registry are nil. now supplies timestamps in seconds
+// since run start; nil freezes the clock at zero.
+func NewProbe(t Tracer, r *Registry, now func() float64) *Probe {
+	if t == nil && r == nil {
+		return nil
+	}
+	if now == nil {
+		now = func() float64 { return 0 }
+	}
+	return &Probe{tracer: t, reg: r, now: now}
+}
+
+// Registry returns the probe's registry (nil when metrics are off).
+func (p *Probe) Registry() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
+}
+
+// emit stamps the event with the probe's clock and hands it to the tracer.
+func (p *Probe) emit(e Event) {
+	if p.tracer == nil {
+		return
+	}
+	e.Time = p.now()
+	p.tracer.Emit(e)
+}
+
+// IterStart marks the beginning of worker w's iteration n.
+func (p *Probe) IterStart(w int, n int64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindIterStart, Worker: w, Iter: n})
+}
+
+// IterEnd closes worker w's iteration n with its time composition.
+func (p *Probe) IterEnd(w int, n int64, compute, comm, stall float64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindIterEnd, Worker: w, Iter: n, Compute: compute, Comm: comm, Stall: stall})
+	if p.reg != nil {
+		p.reg.Counter("iters_completed").Add(1)
+		p.reg.FloatCounter("iter_compute_seconds").Add(compute)
+		p.reg.FloatCounter("iter_comm_seconds").Add(comm)
+		p.reg.FloatCounter("iter_stall_seconds").Add(stall)
+	}
+}
+
+// PushPlanned records a push plan: units scheduled, the MTA floor, units
+// deferred, total planned wire bytes. cause is "" normally and "skip" when
+// the policy sat the iteration out (units is then 0).
+func (p *Probe) PushPlanned(w int, n int64, units, must, deferred int, bytes float64, spec bool, cause string) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindPushPlanned, Worker: w, Iter: n,
+		Units: units, Must: must, Deferred: deferred, Bytes: bytes, Spec: spec, Cause: cause})
+	if p.reg != nil {
+		p.reg.Counter("rows_planned").Add(int64(units))
+		p.reg.Counter("rows_deferred").Add(int64(deferred))
+	}
+}
+
+// RowsSent records one completed transmission for worker w's iteration n.
+func (p *Probe) RowsSent(w int, n int64, dir Dir, units int, bytes, seconds float64, spec bool) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindRowsSent, Worker: w, Iter: n,
+		Units: units, Bytes: bytes, Seconds: seconds, Dir: dir, Spec: spec})
+	if p.reg != nil {
+		if dir == DirPull {
+			p.reg.Counter("rows_pulled").Add(int64(units))
+		} else {
+			p.reg.Counter("rows_sent").Add(int64(units))
+		}
+		p.reg.FloatCounter("bytes_on_wire").Add(bytes)
+	}
+}
+
+// StallBegin marks worker w blocking during iteration n for cause.
+func (p *Probe) StallBegin(w int, n int64, cause string) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindStallBegin, Worker: w, Iter: n, Cause: cause})
+}
+
+// StallEnd closes the matching StallBegin with the stalled duration.
+func (p *Probe) StallEnd(w int, n int64, cause string, seconds float64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindStallEnd, Worker: w, Iter: n, Cause: cause, Seconds: seconds})
+	if p.reg != nil {
+		p.reg.FloatCounter("stall_seconds/" + cause).Add(seconds)
+	}
+}
+
+// Merge records one row merged into the server state: unit u stamped at
+// version, lagging the global minimum by lag iterations.
+func (p *Probe) Merge(w, u int, n, version, lag int64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindMerge, Worker: w, Iter: n, Unit: u, Version: version, Lag: lag})
+	if p.reg != nil {
+		p.reg.Counter("rows_merged").Add(1)
+		p.reg.Histogram("staleness", StalenessBounds).Observe(float64(lag))
+		p.reg.Histogram("staleness/unit"+itoa(u), StalenessBounds).Observe(float64(lag))
+	}
+}
+
+// GateCheck counts one staleness-gate evaluation and whether it blocked.
+// No event is emitted — the gate is checked on every wake and would drown
+// the trace; the stall interval is what StallBegin/End record.
+func (p *Probe) GateCheck(ok bool) {
+	if p == nil || p.reg == nil {
+		return
+	}
+	p.reg.Counter("gate_checks").Add(1)
+	if !ok {
+		p.reg.Counter("gate_blocked").Add(1)
+	}
+}
+
+// BudgetUsed records one observed push against the MTA-time budget in
+// force when it was planned: utilization is elapsed/budget.
+func (p *Probe) BudgetUsed(w int, n int64, budget, elapsed float64) {
+	if p == nil || p.reg == nil {
+		return
+	}
+	p.reg.FloatCounter("mta_budget_seconds").Add(budget)
+	p.reg.FloatCounter("mta_used_seconds").Add(elapsed)
+	p.reg.Gauge("mta_budget_last").Set(budget)
+	_ = w
+	_ = n
+}
+
+// Detach records worker w leaving membership during iteration n.
+func (p *Probe) Detach(w int, n int64, cause string) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindDetach, Worker: w, Iter: n, Cause: cause})
+	if p.reg != nil {
+		p.reg.Counter("detaches").Add(1)
+	}
+}
+
+// Reconnect records worker w re-attaching, re-baselined at iteration base.
+func (p *Probe) Reconnect(w int, base int64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindReconnect, Worker: w, Iter: base, Version: base})
+	if p.reg != nil {
+		p.reg.Counter("reconnects").Add(1)
+	}
+}
+
+// Resync records the rejoin resync for worker w: units replayed and their
+// wire bytes. The resync backlog gauge reports the latest backlog depth.
+func (p *Probe) Resync(w int, units int, bytes float64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindResync, Worker: w, Units: units, Bytes: bytes})
+	if p.reg != nil {
+		p.reg.Counter("rows_resynced").Add(int64(units))
+		p.reg.Gauge("resync_backlog").Set(float64(units))
+	}
+}
+
+// ObservePlan implements the atp plan-construction observer: every built
+// transmission plan reports its size here.
+func (p *Probe) ObservePlan(units int, totalBytes float64) {
+	if p == nil || p.reg == nil {
+		return
+	}
+	p.reg.Counter("plans_built").Add(1)
+	p.reg.Counter("plan_rows").Add(int64(units))
+	p.reg.FloatCounter("plan_bytes").Add(totalBytes)
+}
+
+// StalenessBounds are the histogram bucket upper bounds for row staleness
+// lag (iterations); lags above the last bound land in the overflow bucket.
+var StalenessBounds = []float64{0, 1, 2, 4, 8, 16, 32}
+
+// itoa is a minimal non-negative integer formatter (avoids strconv for the
+// one hot-path name join).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	if v < 0 {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -41,8 +41,11 @@
 package rog
 
 import (
+	"io"
 	"rog/internal/core"
+
 	"rog/internal/metrics"
+	"rog/internal/obs"
 	"rog/internal/simnet"
 	"rog/internal/trace"
 )
@@ -135,3 +138,31 @@ type BandwidthTrace = trace.Trace
 func GenerateTrace(env Env, duration float64, seed uint64) *BandwidthTrace {
 	return trace.GenerateEnv(env, duration, seed)
 }
+
+// Tracer receives the structured event stream of a run; set Config.Trace
+// to enable tracing (nil keeps the hot paths allocation-free).
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured trace event.
+type TraceEvent = obs.Event
+
+// Registry accumulates runtime counters, gauges and histograms; set
+// Config.Metrics to enable collection.
+type Registry = obs.Registry
+
+// TraceSummary is the aggregation of a JSONL trace (what rogtrace prints).
+type TraceSummary = obs.Summary
+
+// NewJSONLTracer writes one JSON object per event to w; Close flushes.
+func NewJSONLTracer(w io.Writer) *obs.JSONLTracer { return obs.NewJSONLTracer(w) }
+
+// NewChromeTracer writes a Chrome trace_event file (chrome://tracing,
+// Perfetto) to w; Close finalizes the JSON document.
+func NewChromeTracer(w io.Writer) *obs.ChromeTracer { return obs.NewChromeTracer(w) }
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// AggregateTrace folds a JSONL event stream into per-iteration, per-unit
+// and per-cause summaries.
+func AggregateTrace(r io.Reader) (*TraceSummary, error) { return obs.Aggregate(r) }

@@ -1,11 +1,13 @@
 #!/bin/sh
 # verify.sh — the pre-merge gate, in order: formatting, build, vet,
 # roglint (the invariant analyzer — it runs before any test so a broken
-# invariant fails fast), the full test suite, and the race-sensitive
-# packages (the concurrent livenet server, the policy engine it executes,
-# the simnet drivers and version store that share engine.State with it,
-# and the wire transport) again under -race. Each stage reports its wall
-# time.
+# invariant fails fast), the full test suite, a trace smoke (a tiny
+# traced simnet run piped through rogtrace — the observability pipeline
+# must stay usable end to end, not just unit-green), and the
+# race-sensitive packages (the concurrent livenet server, the policy
+# engine it executes, the simnet drivers and version store that share
+# engine.State with it, and the wire transport) again under -race. Each
+# stage reports its wall time.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,11 +35,31 @@ run_race() {
 		./internal/rowsync/... ./internal/core/... ./internal/transport/...
 }
 
+run_trace_smoke() {
+	tmp=$(mktemp -d)
+	go run ./cmd/rogtrain -paradigm crimp -strategy rog -threshold 4 \
+		-minutes 2 -trace "$tmp/run.jsonl" >/dev/null
+	out=$(go run ./cmd/rogtrace "$tmp/run.jsonl") || {
+		rm -rf "$tmp"
+		echo "trace smoke: rogtrace failed on a fresh trace" >&2
+		return 1
+	}
+	rm -rf "$tmp"
+	case "$out" in
+	*"avg iteration"*) ;;
+	*)
+		echo "trace smoke: rogtrace aggregate missing the composition summary" >&2
+		return 1
+		;;
+	esac
+}
+
 stage fmt check_fmt
 stage build go build ./...
 stage vet go vet ./...
 stage lint sh scripts/lint.sh
 stage test go test ./...
+stage trace-smoke run_trace_smoke
 stage race run_race
 
 echo "verify: OK"
