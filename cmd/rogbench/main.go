@@ -28,7 +28,7 @@ func main() {
 		full  = flag.Bool("full", false, "run at paper scale (60 virtual minutes per system)")
 		list  = flag.Bool("list", false, "list available experiments")
 		seeds = flag.Int("seeds", 1, "replicate fig1/fig6/fig7 across N seeds and report mean±std")
-		jsonP = flag.String("json", "", "write a machine-readable report of -exp (fig1, fig6, fig7 or churn) to this file")
+		jsonP = flag.String("json", "", "write a machine-readable report of -exp (fig1, fig6, fig7, churn or loss) to this file")
 	)
 	flag.Parse()
 
@@ -56,7 +56,7 @@ func main() {
 		}
 	case *jsonP != "":
 		if *exp == "" {
-			fmt.Fprintln(os.Stderr, "rogbench: -json needs -exp (fig1, fig6, fig7 or churn)")
+			fmt.Fprintln(os.Stderr, "rogbench: -json needs -exp (fig1, fig6, fig7, churn or loss)")
 			os.Exit(2)
 		}
 		writeJSON(*exp, scale, *jsonP)

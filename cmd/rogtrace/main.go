@@ -147,6 +147,19 @@ func printSummary(s *rog.TraceSummary) {
 		fmt.Println(metrics.FormatTable([]string{"cause", "seconds"}, rows))
 	}
 
+	if s.RowsLostFolded > 0 || s.RowsRetransmitted > 0 || s.RetransmitBytes > 0 {
+		fmt.Println("\n-- loss & retransmission --")
+		fmt.Println(metrics.FormatTable(
+			[]string{"outcome", "rows", "bytes"},
+			[][]string{
+				{"folded back (best-effort)", fmt.Sprintf("%d", s.RowsLostFolded), "-"},
+				{"retransmitted (reliable)", fmt.Sprintf("%d", s.RowsRetransmitted), fmt.Sprintf("%.0f", s.RetransmitBytes)},
+			}))
+		if s.RetransmitSeconds > 0 {
+			fmt.Printf("retransmission airtime: %.2fs\n", s.RetransmitSeconds)
+		}
+	}
+
 	if s.Detaches > 0 || s.Reconnects > 0 {
 		fmt.Printf("\nchurn: %d detaches, %d reconnects, %d resyncs (%d rows, %.0f bytes)\n",
 			s.Detaches, s.Reconnects, s.Resyncs, s.ResyncRows, s.ResyncBytes)

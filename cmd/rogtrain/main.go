@@ -7,6 +7,7 @@
 //	rogtrain -strategy rog -threshold 4 -env outdoor -minutes 10
 //	rogtrain -paradigm crimp -strategy ssp -threshold 20
 //	rogtrain -strategy rog -faults "crash:1@120+60,blackout:0@300+30"
+//	rogtrain -strategy rog -loss 0.05 -loss-model ge/16 -reliability selective
 package main
 
 import (
@@ -32,6 +33,9 @@ func main() {
 		faultSpec = flag.String("faults", "", `fault script, e.g. "crash:1@120+60,blackout:0@300+30,flap:2@60+90/5"`)
 		tracePath = flag.String("trace", "", "write a structured event trace to this file (see rogtrace)")
 		traceFmt  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (chrome://tracing / Perfetto)")
+		lossRate  = flag.Float64("loss", 0, "mean packet-loss rate on every link (0 disables the loss channel)")
+		lossModel = flag.String("loss-model", "ge", `loss model: "ge" (bursty, optionally "ge/16" for a 16-packet mean burst) or "iid"`)
+		relMode   = flag.String("reliability", "selective", "lost-row recovery: selective (only the Must prefix retransmits) or all")
 	)
 	flag.StringVar(faultSpec, "fault", "", "alias for -faults")
 	flag.Parse()
@@ -69,6 +73,38 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
 		os.Exit(2)
+	}
+	reliability, err := rog.ParseLossReliability(*relMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
+		os.Exit(2)
+	}
+	var loss rog.LossSpec
+	if *lossRate > 0 {
+		kind, burst, _ := strings.Cut(*lossModel, "/")
+		spec := fmt.Sprintf("%s:%g", kind, *lossRate)
+		if burst != "" {
+			spec += "/" + burst
+		}
+		if loss, err = rog.ParseLossSpec(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
+			os.Exit(2)
+		}
+		if loss.Kind == "trace" {
+			// The simnet generates its bandwidth traces internally, so there
+			// is no recorded loss column to replay here.
+			fmt.Fprintln(os.Stderr, "rogtrain: -loss-model trace needs recorded traces; use ge or iid")
+			os.Exit(2)
+		}
+	} else {
+		// An explicit -loss-model or -reliability without -loss would
+		// silently train losslessly; refuse rather than ignore.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "loss-model" || f.Name == "reliability" {
+				fmt.Fprintf(os.Stderr, "rogtrain: -%s needs -loss\n", f.Name)
+				os.Exit(2)
+			}
+		})
 	}
 	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
 		fmt.Fprintf(os.Stderr, "rogtrain: unknown trace format %q (want jsonl or chrome)\n", *traceFmt)
@@ -157,6 +193,8 @@ func main() {
 		MaxVirtualSeconds: *minutes * 60,
 		CheckpointEvery:   10,
 		Faults:            faults,
+		Loss:              loss,
+		Reliability:       reliability,
 	}
 	if tracer != nil {
 		cfg.Trace = tracer
@@ -186,6 +224,9 @@ func main() {
 	fmt.Printf("completed %d iterations, %.0fJ total\n", res.Iterations, res.TotalJoules)
 	if len(faults) > 0 {
 		fmt.Printf("churn: %s\n", res.Churn.String())
+	}
+	if loss.Enabled() {
+		fmt.Printf("loss channel %s, %s reliability: %s\n", loss, reliability, res.Loss.String())
 	}
 
 	if *csvPath != "" {

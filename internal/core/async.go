@@ -43,6 +43,18 @@ func (c *cluster) transmitPush(w int, n int64, plan engine.Plan, done func(deliv
 		c.probe.RowsSent(w, n, obs.DirPush, delivered, ap.Prefix[delivered], elapsed, plan.Speculative)
 		done(delivered, mtaTime, elapsed)
 	}
+	if f := c.newLossFilter(w, n, obs.DirPush, plan, deliver); f != nil {
+		deliver = f.filterDeliver
+		inner := finish
+		finish = func(delivered int, mtaTime, elapsed float64) {
+			f.drain(func(retrans float64) {
+				// Retransmission rounds extend the transmission: the MTA
+				// report (what the straggler tracker sees) and the comm time
+				// both include them — loss slows the link, visibly.
+				inner(delivered, mtaTime+retrans, elapsed+retrans)
+			})
+		}
+	}
 	if plan.Speculative {
 		c.sendPlan(w, ap, plan.Must, c.state.Tracker.Budget(), deliver, finish)
 		return
@@ -61,22 +73,29 @@ func (c *cluster) transmitPush(w int, n int64, plan engine.Plan, done func(deliv
 // the elapsed transmission time.
 func (c *cluster) transmitPull(w int, n int64, plan engine.Plan, done func(elapsed float64)) {
 	ap := atp.NewPlanObserved(plan.Units, c.wireSize, c.probe)
+	deliver := func(u int) { c.deliverPull(w, u) }
 	finish := func(delivered int, elapsed float64) {
 		c.probe.RowsSent(w, n, obs.DirPull, delivered, ap.Prefix[delivered], elapsed, plan.Speculative)
 		done(elapsed)
 	}
+	if f := c.newLossFilter(w, n, obs.DirPull, plan, deliver); f != nil {
+		deliver = f.filterDeliver
+		inner := finish
+		finish = func(delivered int, elapsed float64) {
+			f.drain(func(retrans float64) { inner(delivered, elapsed+retrans) })
+		}
+	}
 	if plan.Speculative {
-		c.sendPlan(w, ap, plan.Must, c.state.Tracker.Budget(), func(u int) {
-			c.deliverPull(w, u)
-		}, func(delivered int, _, elapsed float64) {
-			finish(delivered, elapsed)
-		})
+		c.sendPlan(w, ap, plan.Must, c.state.Tracker.Budget(), deliver,
+			func(delivered int, _, elapsed float64) {
+				finish(delivered, elapsed)
+			})
 		return
 	}
 	start := c.k.Now()
 	c.ch.StartFlow(w, ap.TotalBytes(), func() {
 		for _, u := range plan.Units {
-			c.deliverPull(w, u)
+			deliver(u)
 		}
 		finish(len(plan.Units), c.k.Now()-start)
 	})

@@ -18,6 +18,7 @@ import (
 	"rog/internal/compress"
 	"rog/internal/energy"
 	"rog/internal/engine"
+	"rog/internal/lossnet"
 	"rog/internal/metrics"
 	"rog/internal/nn"
 	"rog/internal/obs"
@@ -168,6 +169,16 @@ type Config struct {
 	// seconds of dead air. 0 = speculative transmission (the default).
 	PerUnitCheckSeconds float64
 
+	// Loss injects a packet-loss channel model on every worker link
+	// (internal/lossnet grammar: "iid:0.05", "ge:0.05/16", "trace", "none").
+	// The zero value disables loss and leaves the transmit paths untouched.
+	Loss lossnet.Spec
+	// Reliability selects how lost rows settle: Selective (default)
+	// retransmits only a speculative plan's Must prefix and folds the rest
+	// back into the sender's accumulator; AllReliable retransmits
+	// everything.
+	Reliability lossnet.Reliability
+
 	// Faults is the injected fault schedule: worker crashes (with optional
 	// rejoin), link blackouts and flapping links, all in virtual time —
 	// parsed from the CLI/config grammar by simnet.ParseFaultSchedule. Empty
@@ -231,6 +242,19 @@ func (c *Config) Validate() error {
 	if err := c.Faults.Validate(c.Workers); err != nil {
 		return err
 	}
+	if err := c.Loss.Validate(); err != nil {
+		return err
+	}
+	if c.Loss.Kind == "trace" {
+		if c.Traces == nil {
+			return fmt.Errorf("core: loss model %q needs replay Traces with a loss column", c.Loss.Kind)
+		}
+		for w, tr := range c.Traces {
+			if len(tr.Loss) == 0 {
+				return fmt.Errorf("core: loss model %q: trace for worker %d has no loss column", c.Loss.Kind, w)
+			}
+		}
+	}
 	if c.MaxIterations <= 0 && c.MaxVirtualSeconds <= 0 {
 		return fmt.Errorf("core: no termination condition configured")
 	}
@@ -264,6 +288,7 @@ type Result struct {
 	Micro       []MicroSample
 	FinalValue  float64
 	Churn       metrics.ChurnStats // membership-churn counters (fault runs)
+	Loss        metrics.LossStats  // packet-loss counters (lossy runs)
 }
 
 // Label renders "BSP", "SSP-4", "ROG-20", …
@@ -317,6 +342,10 @@ type cluster struct {
 	waiters  *engine.WaitList
 	resumeFn func(w int)
 
+	// loss holds the per-worker packet-loss models (nil = lossless run,
+	// the transmit paths then take their original branches untouched).
+	loss []lossnet.Model
+
 	// probe is the observability handle (nil when tracing and metrics are
 	// both off — every emit site is then a pointer check).
 	probe *obs.Probe
@@ -368,6 +397,19 @@ func newCluster(cfg Config, wl Workload) *cluster {
 		scratch: make([]float32, maxUnitLen(part)),
 		crashed: make([]bool, cfg.Workers),
 		waiters: engine.NewWaitList(),
+	}
+	if cfg.Loss.Enabled() {
+		c.loss = make([]lossnet.Model, cfg.Workers)
+		for w := range c.loss {
+			// Distinct seed stream from the trace generator's so loss and
+			// bandwidth schedules stay independent draws.
+			m, err := cfg.Loss.Model(cfg.Seed*6151+uint64(w)+1, links[w])
+			if err != nil {
+				// Validate pinned the trace-column requirement already.
+				panic(err)
+			}
+			c.loss[w] = m
+		}
 	}
 	c.state.OnMerge = cfg.OnMerge
 	c.probe = obs.NewProbe(cfg.Trace, cfg.Metrics, k.Now)
@@ -565,6 +607,7 @@ func (c *cluster) result() *Result {
 		Micro:       c.micro,
 		FinalValue:  c.series.Last().Value,
 		Churn:       c.state.Churn,
+		Loss:        c.state.Loss,
 	}
 	return r
 }

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"rog/internal/lossnet"
+	"rog/internal/obs"
+)
+
+// lossConfig is testConfig plus a 5% Gilbert–Elliott loss channel — the
+// acceptance schedule of the loss-tolerant transport.
+func lossConfig(s Strategy, threshold int, rel lossnet.Reliability) Config {
+	cfg := testConfig(s, threshold)
+	cfg.Loss = lossnet.Spec{Kind: "ge", Rate: 0.05, Burst: 8}
+	cfg.Reliability = rel
+	return cfg
+}
+
+// TestROGSelectiveRSPBoundUnderLoss is the correctness half of the
+// acceptance criteria: with 5% bursty loss and selective reliability, the
+// RSP staleness bound must hold at every kernel event, no row may starve
+// (the Must prefix — which carries RSP-forced rows — is the reliable
+// class, so loss can delay but never skip them), and the workload must
+// still complete.
+func TestROGSelectiveRSPBoundUnderLoss(t *testing.T) {
+	cfg := lossConfig(ROG, 4, lossnet.Selective)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wl := newTestWorkload(3, 6)
+	c := newCluster(cfg, wl)
+	c.checkpoint()
+	c.start()
+	for c.k.Step() {
+		if ahead := c.versions.MaxAhead(); ahead > int64(cfg.Threshold) {
+			t.Fatalf("RSP bound violated under loss: %d > %d", ahead, cfg.Threshold)
+		}
+	}
+	if c.iter[0] != int64(cfg.MaxIterations) {
+		t.Fatalf("worker0 completed %d of %d iterations under loss", c.iter[0], cfg.MaxIterations)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		for u := 0; u < c.part.NumUnits(); u++ {
+			if lag := c.iter[w] - c.pushIter[w][u]; lag >= int64(cfg.Threshold) {
+				t.Fatalf("worker %d unit %d starved under loss: lag %d", w, u, lag)
+			}
+		}
+	}
+	if !c.state.Loss.Enabled() {
+		t.Fatal("5% loss schedule left no trace in the loss stats")
+	}
+	if c.state.Loss.RowsLostFolded == 0 {
+		t.Fatal("selective reliability never folded a best-effort row at 5% loss")
+	}
+}
+
+// TestSelectiveBeatsAllReliable is the performance half: same workload,
+// same seed, same loss schedule — selective reliability must spend
+// strictly fewer retransmitted bytes than all-reliable mode, because only
+// the Must prefix retransmits.
+func TestSelectiveBeatsAllReliable(t *testing.T) {
+	sel, err := Run(lossConfig(ROG, 4, lossnet.Selective), newTestWorkload(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Run(lossConfig(ROG, 4, lossnet.AllReliable), newTestWorkload(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Iterations != all.Iterations {
+		t.Fatalf("modes completed different workloads: %d vs %d iterations", sel.Iterations, all.Iterations)
+	}
+	if all.Loss.RetransmitBytes == 0 {
+		t.Fatal("all-reliable mode retransmitted nothing at 5% loss")
+	}
+	if sel.Loss.RetransmitBytes >= all.Loss.RetransmitBytes {
+		t.Fatalf("selective retransmitted %.0f bytes, all-reliable %.0f — selective must be strictly cheaper",
+			sel.Loss.RetransmitBytes, all.Loss.RetransmitBytes)
+	}
+	if sel.Loss.RowsLostFolded == 0 {
+		t.Fatal("selective mode folded no rows")
+	}
+	if all.Loss.RowsLostFolded != 0 {
+		t.Fatalf("all-reliable mode folded %d rows — everything should retransmit", all.Loss.RowsLostFolded)
+	}
+}
+
+// TestBSPAllReliableUnderLoss pins the baseline behaviour the harness
+// experiment contrasts against: BSP's whole-model plans have no
+// best-effort class, so every lost row costs a retransmission round and
+// nothing folds back.
+func TestBSPUnderLoss(t *testing.T) {
+	res, err := Run(lossConfig(BSP, 0, lossnet.Selective), newTestWorkload(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 30 {
+		t.Fatalf("BSP under loss completed %d iterations", res.Iterations)
+	}
+	if res.Loss.RowsRetransmitted == 0 {
+		t.Fatal("BSP retransmitted nothing at 5% loss")
+	}
+	if res.Loss.RowsLostFolded != 0 {
+		t.Fatalf("BSP folded %d rows — whole-model plans are fully reliable", res.Loss.RowsLostFolded)
+	}
+}
+
+// TestLosslessPathUntouched guards the baseline: a zero Loss spec must
+// leave results bit-identical to a build without any loss machinery, which
+// the shared RNG streams guarantee only if no extra draws happen.
+func TestLosslessPathUntouched(t *testing.T) {
+	a, err := Run(testConfig(ROG, 4), newTestWorkload(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Loss.Enabled() {
+		t.Fatalf("lossless run recorded loss stats: %+v", a.Loss)
+	}
+}
+
+// traceLossyRun executes one seeded lossy run with the JSONL tracer
+// attached and returns the raw trace bytes.
+func traceLossyRun(t *testing.T, rel lossnet.Reliability) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	cfg := lossConfig(ROG, 4, rel)
+	cfg.Trace = tr
+	if _, err := Run(cfg, newTestWorkload(3, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLossyRunDeterministic is the reproducibility acceptance criterion:
+// same seed + same loss schedule ⇒ bit-identical runs, asserted on the
+// full event trace.
+func TestLossyRunDeterministic(t *testing.T) {
+	a := traceLossyRun(t, lossnet.Selective)
+	b := traceLossyRun(t, lossnet.Selective)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("seeded lossy runs diverged: %d vs %d trace bytes", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestLossTracePairing runs the aggregation over a lossy trace and checks
+// the structural invariant: every best-effort gap folded back, every
+// reliable loss retransmitted — and the trace totals agree with the
+// Result counters.
+func TestLossTracePairing(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	cfg := lossConfig(ROG, 4, lossnet.Selective)
+	cfg.Trace = tr
+	res, err := Run(cfg, newTestWorkload(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.Aggregate(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pe := range sum.PairErrors {
+		t.Errorf("pair error: %s", pe)
+	}
+	if sum.RowsLostFolded != int64(res.Loss.RowsLostFolded) {
+		t.Fatalf("trace folded %d, result %d", sum.RowsLostFolded, res.Loss.RowsLostFolded)
+	}
+	if sum.RowsRetransmitted != int64(res.Loss.RowsRetransmitted) {
+		t.Fatalf("trace retransmitted %d, result %d", sum.RowsRetransmitted, res.Loss.RowsRetransmitted)
+	}
+	if sum.RetransmitBytes != res.Loss.RetransmitBytes {
+		t.Fatalf("trace retransmit bytes %.0f, result %.0f", sum.RetransmitBytes, res.Loss.RetransmitBytes)
+	}
+}
+
+// TestLossConfigValidate pins the config-surface error paths.
+func TestLossConfigValidate(t *testing.T) {
+	cfg := testConfig(ROG, 4)
+	cfg.Loss = lossnet.Spec{Kind: "ge", Rate: 0.9}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("rate 0.9 accepted")
+	}
+	cfg = testConfig(ROG, 4)
+	cfg.Loss = lossnet.Spec{Kind: "trace"}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("trace loss without traces accepted")
+	}
+}

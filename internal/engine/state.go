@@ -28,6 +28,7 @@ type State struct {
 	RowIter []int64
 	Tracker *atp.TimeTracker
 	Churn   metrics.ChurnStats
+	Loss    metrics.LossStats
 
 	// OnMerge, when set, observes every merged row (worker, unit, stamped
 	// version) — the hook the simnet↔livenet parity tests record with.
@@ -135,6 +136,16 @@ func (s *State) ObservePush(worker int, iter int64, mtaTime, elapsed float64, sp
 		s.Tracker.Observe(worker, elapsed)
 	}
 	s.policy.ObservePush(worker, iter, elapsed)
+}
+
+// ObserveLoss records one transmission's loss outcome: folded best-effort
+// rows (treated as never sent — their gradients stay in the sender's local
+// accumulator and RSP's staleness accounting is untouched) and reliable
+// rows that had to be retransmitted, with the repeat bytes they cost.
+func (s *State) ObserveLoss(folded, retransmitted int, retransmitBytes float64) {
+	s.Loss.RowsLostFolded += folded
+	s.Loss.RowsRetransmitted += retransmitted
+	s.Loss.RetransmitBytes += retransmitBytes
 }
 
 // Detach removes the worker from membership: its rows stop pinning the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rog/internal/core"
+	"rog/internal/lossnet"
 	"rog/internal/simnet"
 	"rog/internal/trace"
 )
@@ -94,6 +95,11 @@ type EndToEndOptions struct {
 	// Faults injects the same virtual-time fault schedule (worker crashes,
 	// link blackouts, flaps) into every compared system's run.
 	Faults simnet.FaultSchedule
+	// Loss injects the same packet-loss channel model into every compared
+	// system's run; Reliability selects how lost rows are recovered
+	// (selective: only the Must prefix retransmits; all: everything does).
+	Loss        lossnet.Spec
+	Reliability lossnet.Reliability
 }
 
 // paradigmConfig returns the per-paradigm timing constants: compute time
@@ -162,6 +168,8 @@ func RunEndToEnd(o EndToEndOptions) ([]*core.Result, error) {
 			CheckpointEvery:   o.Scale.CheckpointEvery,
 			RecordMicro:       o.RecordMicro,
 			Faults:            o.Faults,
+			Loss:              o.Loss,
+			Reliability:       o.Reliability,
 		}
 		res, err := core.Run(cfg, wl)
 		if err != nil {

@@ -155,9 +155,12 @@ func TestRegistryCompleteness(t *testing.T) {
 		"ablation-granularity", "ablation-importance", "ablation-speculative",
 		"churn",
 	}
-	// +4: ext-pipeline, ext-dssp, ext-convmlp, ext-gridmap
-	if len(reg) != len(want)+4 {
-		t.Fatalf("registry has %d entries, want %d", len(reg), len(want)+4)
+	// +5: ext-pipeline, ext-dssp, ext-convmlp, ext-gridmap, ext-loss
+	if len(reg) != len(want)+5 {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want)+5)
+	}
+	if _, ok := Find("ext-loss"); !ok {
+		t.Fatal("experiment \"ext-loss\" missing")
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

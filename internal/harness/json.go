@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"rog/internal/core"
+	"rog/internal/lossnet"
 	"rog/internal/metrics"
 	"rog/internal/simnet"
 	"rog/internal/trace"
@@ -25,6 +26,10 @@ type Report struct {
 	Paradigm   string `json:"paradigm"`
 	Env        string `json:"env"`
 	Faults     string `json:"faults,omitempty"`
+	// Loss names the injected packet-loss channel ("ge:0.05" style) and
+	// Reliability the recovery mode, for runs over a lossy channel.
+	Loss        string `json:"loss,omitempty"`
+	Reliability string `json:"reliability,omitempty"`
 	// Metric names the quality axis; Increasing tells whether larger is
 	// better (accuracy) or worse (trajectory error).
 	Metric     string `json:"metric"`
@@ -53,6 +58,7 @@ type SystemReport struct {
 	SecondsToTarget *float64      `json:"seconds_to_target,omitempty"`
 	JoulesToTarget  *float64      `json:"joules_to_target,omitempty"`
 	Churn           *ChurnReport  `json:"churn,omitempty"`
+	Loss            *LossReport   `json:"loss,omitempty"`
 	Series          []SeriesPoint `json:"series"`
 }
 
@@ -62,6 +68,13 @@ type ChurnReport struct {
 	Reconnects   int     `json:"reconnects"`
 	RowsResynced int     `json:"rows_resynced"`
 	DetachStall  float64 `json:"detach_stall_seconds"`
+}
+
+// LossReport mirrors metrics.LossStats with stable JSON names.
+type LossReport struct {
+	RowsLostFolded    int     `json:"rows_lost_folded"`
+	RowsRetransmitted int     `json:"rows_retransmitted"`
+	RetransmitBytes   float64 `json:"retransmit_bytes"`
 }
 
 // SeriesPoint is one quality checkpoint.
@@ -101,9 +114,17 @@ func jsonExperiments(id string, s Scale) (EndToEndOptions, Report, error) {
 			Report{Experiment: id, Title: "Robustness: membership churn",
 				Paradigm: "cruda", Env: "outdoor", Faults: spec,
 				Metric: "accuracy", Increasing: true}, nil
+	case "loss":
+		spec := lossnet.Spec{Kind: "ge", Rate: 0.05}
+		return EndToEndOptions{Paradigm: "cruda", Env: trace.Outdoor, Scale: s,
+				Systems: SensitivitySystems(), Loss: spec, Reliability: lossnet.Selective},
+			Report{Experiment: id, Title: "Loss tolerance: bursty packet loss, selective reliability",
+				Paradigm: "cruda", Env: "outdoor",
+				Loss: spec.String(), Reliability: lossnet.Selective.String(),
+				Metric: "accuracy", Increasing: true}, nil
 	default:
 		return EndToEndOptions{}, Report{}, fmt.Errorf(
-			"harness: experiment %q has no JSON export (want fig1, fig6, fig7 or churn)", id)
+			"harness: experiment %q has no JSON export (want fig1, fig6, fig7, churn or loss)", id)
 	}
 }
 
@@ -118,15 +139,16 @@ func RunJSONReport(id string, s Scale) (*Report, error) {
 		return nil, err
 	}
 	rep.Scale = s.Name
-	fillReport(&rep, results, len(opts.Faults) > 0)
+	fillReport(&rep, results, len(opts.Faults) > 0, opts.Loss.Enabled())
 	return &rep, nil
 }
 
 // fillReport derives the per-system entries and the common target from the
 // raw results. withChurn includes the churn counters (fault runs only —
 // all-zero counters on a fault-free run would read as "no churn happened"
-// rather than "not measured").
-func fillReport(rep *Report, results []*core.Result, withChurn bool) {
+// rather than "not measured"); withLoss likewise includes the loss-channel
+// counters only when a loss model was injected.
+func fillReport(rep *Report, results []*core.Result, withChurn, withLoss bool) {
 	rep.Target = commonTarget(results, rep.Increasing)
 	for _, r := range results {
 		sr := SystemReport{
@@ -153,6 +175,13 @@ func fillReport(rep *Report, results []*core.Result, withChurn bool) {
 				Reconnects:   r.Churn.Reconnects,
 				RowsResynced: r.Churn.RowsResynced,
 				DetachStall:  r.Churn.DetachStall,
+			}
+		}
+		if withLoss {
+			sr.Loss = &LossReport{
+				RowsLostFolded:    r.Loss.RowsLostFolded,
+				RowsRetransmitted: r.Loss.RowsRetransmitted,
+				RetransmitBytes:   r.Loss.RetransmitBytes,
 			}
 		}
 		sr.Series = seriesPoints(r.Series)

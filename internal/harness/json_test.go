@@ -53,6 +53,50 @@ func TestRunJSONReportChurn(t *testing.T) {
 	}
 }
 
+// TestRunJSONReportLoss runs the loss experiment at tiny scale through the
+// JSON exporter: the header must name the injected channel and every system
+// must carry loss counters.
+func TestRunJSONReportLoss(t *testing.T) {
+	rep, err := RunJSONReport("loss", tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loss != "ge:0.05" || rep.Reliability != "selective" {
+		t.Fatalf("loss header incomplete: loss=%q reliability=%q", rep.Loss, rep.Reliability)
+	}
+	if len(rep.Systems) != len(SensitivitySystems()) {
+		t.Fatalf("systems = %d, want %d", len(rep.Systems), len(SensitivitySystems()))
+	}
+	var retransmitted int
+	for _, s := range rep.Systems {
+		if s.Loss == nil {
+			t.Fatalf("loss run exported no loss counters for %s", s.Label)
+		}
+		retransmitted += s.Loss.RowsRetransmitted
+		if s.Strategy == "ROG" && s.Loss.RowsLostFolded == 0 {
+			t.Errorf("%s folded no best-effort rows at 5%% loss", s.Label)
+		}
+		if s.Strategy == "BSP" && s.Loss.RowsLostFolded != 0 {
+			t.Errorf("BSP folded %d rows — whole-model plans are fully reliable", s.Loss.RowsLostFolded)
+		}
+	}
+	if retransmitted == 0 {
+		t.Fatal("no system retransmitted anything at 5% loss")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Loss != rep.Loss || back.Systems[0].Loss == nil {
+		t.Fatalf("round-trip dropped the loss fields: %+v", back)
+	}
+}
+
 // TestRunJSONReportUnknownID checks the exporter refuses non-exportable
 // experiment ids instead of writing an empty file.
 func TestRunJSONReportUnknownID(t *testing.T) {

@@ -194,6 +194,30 @@ func ChurnTable(results []*core.Result) string {
 	)
 }
 
+// LossTable summarizes loss-channel outcomes per system: best-effort rows
+// folded back into local accumulators, reliable rows retransmitted and the
+// repeat bytes they cost, against what the run still achieved. labels names
+// each result (the same strategy can appear under different reliability
+// modes).
+func LossTable(labels []string, results []*core.Result) string {
+	rows := make([][]string, 0, len(results))
+	for i, r := range results {
+		l := r.Loss
+		rows = append(rows, []string{
+			labels[i],
+			fmt.Sprintf("%d", l.RowsLostFolded),
+			fmt.Sprintf("%d", l.RowsRetransmitted),
+			fmt.Sprintf("%.0f", l.RetransmitBytes),
+			fmt.Sprintf("%d", r.Iterations),
+			fmt.Sprintf("%.4f", r.FinalValue),
+		})
+	}
+	return metrics.FormatTable(
+		[]string{"system", "rows folded", "rows retransmitted", "retransmit bytes", "iterations", "final"},
+		rows,
+	)
+}
+
 // Summary is the one-line comparative verdict printed under each figure.
 func Summary(results []*core.Result, increasing bool) string {
 	var rog, best *core.Result

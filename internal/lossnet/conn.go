@@ -1,0 +1,61 @@
+package lossnet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn and drops whole Write calls according to a loss
+// model — the stream-transport injection point. transport.WriteFrame emits
+// each frame as a single Write, so one dropped Write is one cleanly lost
+// frame: the receiver's marker scan never sees it and the stream stays
+// parseable (a dropped *fragment* would instead be resynced past as
+// garbage, which Receiver also survives, but frame-granular loss is the
+// channel model being reproduced here).
+//
+// A dropped Write still reports full success to the caller, exactly like a
+// datagram swallowed by the air: the sender learns nothing unless a higher
+// layer acks.
+type Conn struct {
+	net.Conn
+
+	mu    sync.Mutex
+	model Model
+	// Droppable gates which writes may be lost (nil = all). The livenet
+	// chaos tests use it to confine loss to row frames: control frames
+	// model the reliable side channel a real deployment acks explicitly.
+	droppable func(b []byte) bool
+	start     time.Time
+
+	dropped      int64
+	droppedBytes int64
+}
+
+// WrapConn wraps c so that writes accepted by droppable (nil = all) are
+// dropped whenever model says so.
+func WrapConn(c net.Conn, model Model, droppable func(b []byte) bool) *Conn {
+	return &Conn{Conn: c, model: model, droppable: droppable, start: time.Now()}
+}
+
+// Write implements net.Conn, consulting the loss model per call.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	lose := (c.droppable == nil || c.droppable(b)) && c.model.Lost(time.Since(c.start).Seconds())
+	if lose {
+		c.dropped++
+		c.droppedBytes += int64(len(b))
+	}
+	c.mu.Unlock()
+	if lose {
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}
+
+// Dropped reports how many writes (and bytes) the model swallowed.
+func (c *Conn) Dropped() (writes, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped, c.droppedBytes
+}

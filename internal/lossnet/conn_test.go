@@ -1,0 +1,142 @@
+package lossnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"rog/internal/transport"
+)
+
+// recvAll drains framed payloads from r until EOF.
+func recvAll(t *testing.T, r io.Reader, out chan<- []byte) {
+	t.Helper()
+	rc := transport.NewReceiver(r)
+	for {
+		p, err := rc.Recv()
+		if err == io.EOF {
+			close(out)
+			return
+		}
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			close(out)
+			return
+		}
+		out <- p
+	}
+}
+
+func TestConnDropsWholeFrames(t *testing.T) {
+	a, b := net.Pipe()
+	lossy := WrapConn(a, NewBernoulli(0.3, 11), nil)
+	got := make(chan []byte, 256)
+	go recvAll(t, b, got)
+
+	const frames = 200
+	for i := 0; i < frames; i++ {
+		payload := []byte(fmt.Sprintf("frame-%03d", i))
+		if err := transport.WriteFrame(lossy, payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	lossy.Close()
+
+	var received []string
+	for p := range got {
+		received = append(received, string(p))
+	}
+	drops, dropBytes := lossy.Dropped()
+	if int(drops)+len(received) != frames {
+		t.Fatalf("drops %d + received %d != %d sent", drops, len(received), frames)
+	}
+	if drops == 0 {
+		t.Fatal("bernoulli(0.3) dropped nothing in 200 frames")
+	}
+	if dropBytes == 0 {
+		t.Fatal("dropped frames counted no bytes")
+	}
+	// Survivors arrive intact and in order: frame indices strictly increase.
+	last := -1
+	for _, s := range received {
+		var idx int
+		if _, err := fmt.Sscanf(s, "frame-%d", &idx); err != nil {
+			t.Fatalf("corrupt surviving frame %q", s)
+		}
+		if idx <= last {
+			t.Fatalf("frame order violated: %d after %d", idx, last)
+		}
+		last = idx
+	}
+}
+
+func TestConnDroppableFilter(t *testing.T) {
+	a, b := net.Pipe()
+	// Drop everything the filter admits: only payloads starting with 'R'
+	// (after the 12-byte frame header) are droppable, mirroring how livenet
+	// confines loss to row frames.
+	rowOnly := func(frame []byte) bool { return len(frame) > 12 && frame[12] == 'R' }
+	lossy := WrapConn(a, NewBernoulli(1.0, 1), rowOnly)
+	got := make(chan []byte, 64)
+	go recvAll(t, b, got)
+
+	for i := 0; i < 10; i++ {
+		if err := transport.WriteFrame(lossy, []byte("Rrow")); err != nil {
+			t.Fatal(err)
+		}
+		if err := transport.WriteFrame(lossy, []byte("Cctl")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lossy.Close()
+
+	var ctl, row int
+	for p := range got {
+		switch p[0] {
+		case 'R':
+			row++
+		case 'C':
+			ctl++
+		}
+	}
+	if row != 0 {
+		t.Fatalf("%d row frames leaked through a rate-1.0 model", row)
+	}
+	if ctl != 10 {
+		t.Fatalf("control frames dropped: got %d of 10", ctl)
+	}
+	if drops, _ := lossy.Dropped(); drops != 10 {
+		t.Fatalf("Dropped() = %d, want 10", drops)
+	}
+}
+
+func TestConnZeroModelPassesEverything(t *testing.T) {
+	a, b := net.Pipe()
+	lossy := WrapConn(a, NewBernoulli(0, 1), nil)
+	got := make(chan []byte, 16)
+	go recvAll(t, b, got)
+	for i := 0; i < 5; i++ {
+		if err := transport.WriteFrame(lossy, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lossy.Close()
+	n := 0
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-got:
+			if !ok {
+				if n != 5 {
+					t.Fatalf("received %d of 5 frames", n)
+				}
+				return
+			}
+			n++
+		case <-deadline:
+			t.Fatal("timed out")
+		}
+	}
+}

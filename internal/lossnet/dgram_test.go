@@ -1,0 +1,254 @@
+package lossnet
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// burstPayloads builds n distinguishable payloads.
+func burstPayloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("payload-%04d", i))
+	}
+	return out
+}
+
+// runBurst ships payloads from a fresh sender to a fresh receiver over the
+// given conns and returns (delivered flags, received payloads, lost count).
+func runBurst(t *testing.T, sc, rc net.PacketConn, payloads [][]byte, reliable func(int) bool) ([]bool, [][]byte, int) {
+	t.Helper()
+	s := NewBurstSender(sc, rc.LocalAddr())
+	r := NewBurstReceiver(rc)
+	type recvResult struct {
+		got  [][]byte
+		lost int
+		err  error
+	}
+	done := make(chan recvResult, 1)
+	go func() {
+		var got [][]byte
+		lost, err := r.RecvBurst(time.Now().Add(20*time.Second), func(p []byte) {
+			cp := make([]byte, len(p))
+			copy(cp, p)
+			got = append(got, cp)
+		})
+		done <- recvResult{got, lost, err}
+	}()
+	delivered, err := s.SendBurst(payloads, reliable, time.Now().Add(20*time.Second))
+	if err != nil {
+		t.Fatalf("SendBurst: %v", err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("RecvBurst: %v", res.err)
+	}
+	return delivered, res.got, res.lost
+}
+
+func TestBurstLossless(t *testing.T) {
+	a, b := PacketPipe(nil, nil)
+	defer a.Close()
+	defer b.Close()
+	payloads := burstPayloads(50)
+	delivered, got, lost := runBurst(t, a, b, payloads, nil)
+	if lost != 0 {
+		t.Fatalf("lossless burst reported %d lost", lost)
+	}
+	for i, d := range delivered {
+		if !d {
+			t.Fatalf("payload %d not delivered on lossless pipe", i)
+		}
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("received %d of %d payloads", len(got), len(payloads))
+	}
+	for i, p := range got {
+		if string(p) != string(payloads[i]) {
+			t.Fatalf("payload %d corrupted or reordered: %q", i, p)
+		}
+	}
+}
+
+func TestBurstSelectiveReliabilityUnderLoss(t *testing.T) {
+	// Bursty loss on the data direction only; acks travel clean so the
+	// protocol's loss accounting — not ack luck — is what's under test.
+	a, b := PacketPipe(NewGilbertElliott(0.25, 4, 42), nil)
+	defer a.Close()
+	defer b.Close()
+	payloads := burstPayloads(120)
+	reliable := func(i int) bool { return i < 40 } // importance prefix
+	delivered, got, lost := runBurst(t, a, b, payloads, reliable)
+
+	// Every reliable payload must have been delivered, whatever the channel did.
+	for i := 0; i < 40; i++ {
+		if !delivered[i] {
+			t.Fatalf("reliable payload %d reported lost", i)
+		}
+	}
+	// Sender and receiver must agree exactly: delivered flags vs payloads
+	// handed over, lost flags vs gap count.
+	wantLost := 0
+	deliveredSet := make(map[string]bool)
+	for i, d := range delivered {
+		if d {
+			deliveredSet[string(payloads[i])] = true
+		} else {
+			wantLost++
+		}
+	}
+	if lost != wantLost {
+		t.Fatalf("receiver counted %d lost, sender abandoned %d", lost, wantLost)
+	}
+	if len(got) != len(payloads)-wantLost {
+		t.Fatalf("received %d payloads, want %d", len(got), len(payloads)-wantLost)
+	}
+	for _, p := range got {
+		if !deliveredSet[string(p)] {
+			t.Fatalf("receiver got %q which the sender thinks was lost", p)
+		}
+	}
+	// In-order delivery of what survived.
+	last := -1
+	for _, p := range got {
+		var idx int
+		fmt.Sscanf(string(p), "payload-%d", &idx)
+		if idx <= last {
+			t.Fatalf("delivery order violated: %d after %d", idx, last)
+		}
+		last = idx
+	}
+}
+
+func TestBurstAllReliableUnderLoss(t *testing.T) {
+	a, b := PacketPipe(NewGilbertElliott(0.3, 4, 7), nil)
+	defer a.Close()
+	defer b.Close()
+	payloads := burstPayloads(60)
+	delivered, got, lost := runBurst(t, a, b, payloads, func(int) bool { return true })
+	if lost != 0 {
+		t.Fatalf("all-reliable burst lost %d payloads", lost)
+	}
+	for i, d := range delivered {
+		if !d {
+			t.Fatalf("payload %d undelivered in all-reliable mode", i)
+		}
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("received %d of %d", len(got), len(payloads))
+	}
+}
+
+func TestBurstSequencePersistsAcrossBursts(t *testing.T) {
+	// Loss on both directions: dropped acks force retransmissions and
+	// duplicate handling across burst boundaries. The receiver loops
+	// RecvBurst so late retransmits of a finished burst get re-acked.
+	a, b := PacketPipe(NewBernoulli(0.15, 3), NewBernoulli(0.15, 4))
+	defer a.Close()
+	defer b.Close()
+	s := NewBurstSender(a, b.LocalAddr())
+	r := NewBurstReceiver(b)
+
+	type result struct {
+		got  int
+		lost int
+	}
+	results := make(chan result, 16)
+	stop := make(chan struct{})
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for {
+			got := 0
+			lost, err := r.RecvBurst(time.Now().Add(500*time.Millisecond), func([]byte) { got++ })
+			if err == nil {
+				results <- result{got, lost}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	totalFolded := 0
+	const bursts, per = 5, 30
+	for i := 0; i < bursts; i++ {
+		delivered, err := s.SendBurst(burstPayloads(per), func(j int) bool { return j < 10 }, time.Now().Add(20*time.Second))
+		if err != nil {
+			t.Fatalf("burst %d: %v", i, err)
+		}
+		res := <-results
+		wantLost := 0
+		for _, d := range delivered {
+			if !d {
+				wantLost++
+			}
+		}
+		if res.lost != wantLost || res.got != per-wantLost {
+			t.Fatalf("burst %d: receiver saw got=%d lost=%d, sender delivered=%d lost=%d",
+				i, res.got, res.lost, per-wantLost, wantLost)
+		}
+		totalFolded += wantLost
+	}
+	close(stop)
+	<-recvDone
+	if s.Stats.Retransmits == 0 {
+		t.Fatal("15% loss over 5 bursts triggered no retransmissions")
+	}
+	t.Logf("stats: sender %+v receiver %+v folded=%d", s.Stats, r.Stats, totalFolded)
+}
+
+func TestBurstOverRealUDP(t *testing.T) {
+	sc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP on this host: %v", err)
+	}
+	defer sc.Close()
+	rc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP on this host: %v", err)
+	}
+	defer rc.Close()
+	payloads := burstPayloads(40)
+	delivered, got, _ := runBurst(t, sc, rc, payloads, func(i int) bool { return i%2 == 0 })
+	// Loopback UDP is effectively lossless; everything should arrive, via
+	// first transmission or recovery.
+	for i, d := range delivered {
+		if !d {
+			t.Fatalf("payload %d lost on loopback UDP", i)
+		}
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("received %d of %d on loopback UDP", len(got), len(payloads))
+	}
+}
+
+func TestBurstDeadline(t *testing.T) {
+	// A silent peer (no receiver at all) must produce ErrBurstTimeout, not a
+	// hang.
+	a, b := PacketPipe(nil, nil)
+	defer a.Close()
+	defer b.Close()
+	s := NewBurstSender(a, b.LocalAddr())
+	_, err := s.SendBurst(burstPayloads(3), nil, time.Now().Add(200*time.Millisecond))
+	if err != ErrBurstTimeout {
+		t.Fatalf("err = %v, want ErrBurstTimeout", err)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := dgramHeader{Kind: dgramAck, Flags: dgramFlagReliable, Seq: 0xDEADBEEF, Ack: 42, NackCount: 3, LostCount: 7}
+	var buf [dgramHeaderSize]byte
+	h.encode(buf[:])
+	back, ok := decodeHeader(buf[:])
+	if !ok || back != h {
+		t.Fatalf("round trip: %+v → %+v (ok=%v)", h, back, ok)
+	}
+	if _, ok := decodeHeader(buf[:dgramHeaderSize-1]); ok {
+		t.Fatal("truncated header decoded")
+	}
+}

@@ -1,0 +1,142 @@
+package lossnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the datagram-transport test substrate: an in-memory pair of
+// net.PacketConn endpoints whose two directions drop datagrams according
+// to independent loss models. Real UDP on localhost essentially never
+// loses, so deterministic loss injection has to happen in the pipe — the
+// same transport code then runs unchanged over genuine UDP sockets.
+
+// pipeAddr is the stub address of a pipe endpoint.
+type pipeAddr string
+
+func (a pipeAddr) Network() string { return "lossnet" }
+func (a pipeAddr) String() string  { return string(a) }
+
+// ErrPipeClosed is returned by operations on a closed pipe endpoint.
+var ErrPipeClosed = errors.New("lossnet: pipe closed")
+
+// pipeEnd is one endpoint of a lossy in-memory packet pipe.
+type pipeEnd struct {
+	addr pipeAddr
+	peer *pipeEnd
+
+	mu           sync.Mutex
+	model        Model // applied to datagrams leaving this end (nil = lossless)
+	start        time.Time
+	dropped      int64
+	inbox        chan []byte
+	closed       chan struct{}
+	onceClose    sync.Once
+	readDeadline time.Time
+}
+
+// PacketPipe returns two connected net.PacketConn endpoints, "a" and "b".
+// aLoss drops datagrams sent from a, bLoss those sent from b (nil = no
+// loss on that direction). A full inbox (1024 datagrams) also drops — the
+// queue-overflow behaviour of a real interface.
+func PacketPipe(aLoss, bLoss Model) (a, b net.PacketConn) {
+	ea := &pipeEnd{addr: "pipe-a", model: aLoss, inbox: make(chan []byte, 1024), closed: make(chan struct{}), start: time.Now()}
+	eb := &pipeEnd{addr: "pipe-b", model: bLoss, inbox: make(chan []byte, 1024), closed: make(chan struct{}), start: time.Now()}
+	ea.peer, eb.peer = eb, ea
+	return ea, eb
+}
+
+// WriteTo implements net.PacketConn; the destination address is ignored
+// (the pipe has exactly one peer).
+func (e *pipeEnd) WriteTo(p []byte, _ net.Addr) (int, error) {
+	select {
+	case <-e.closed:
+		return 0, ErrPipeClosed
+	case <-e.peer.closed:
+		return 0, ErrPipeClosed
+	default:
+	}
+	e.mu.Lock()
+	lose := e.model != nil && e.model.Lost(time.Since(e.start).Seconds())
+	if lose {
+		e.dropped++
+	}
+	e.mu.Unlock()
+	if lose {
+		return len(p), nil
+	}
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	select {
+	case e.peer.inbox <- buf:
+	default:
+		// Queue overflow: the datagram dies like on a saturated NIC.
+		e.mu.Lock()
+		e.dropped++
+		e.mu.Unlock()
+	}
+	return len(p), nil
+}
+
+// ReadFrom implements net.PacketConn, honoring the read deadline.
+func (e *pipeEnd) ReadFrom(p []byte) (int, net.Addr, error) {
+	e.mu.Lock()
+	deadline := e.readDeadline
+	e.mu.Unlock()
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			// Drain anything already queued before declaring timeout.
+			select {
+			case buf := <-e.inbox:
+				return copy(p, buf), e.peer.addr, nil
+			default:
+				return 0, nil, timeoutError{}
+			}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case buf := <-e.inbox:
+		return copy(p, buf), e.peer.addr, nil
+	case <-timeout:
+		return 0, nil, timeoutError{}
+	case <-e.closed:
+		return 0, nil, ErrPipeClosed
+	}
+}
+
+// Close implements net.PacketConn.
+func (e *pipeEnd) Close() error {
+	e.onceClose.Do(func() { close(e.closed) })
+	return nil
+}
+
+// LocalAddr implements net.PacketConn.
+func (e *pipeEnd) LocalAddr() net.Addr { return e.addr }
+
+// SetDeadline implements net.PacketConn (reads only — writes never block).
+func (e *pipeEnd) SetDeadline(t time.Time) error { return e.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (e *pipeEnd) SetReadDeadline(t time.Time) error {
+	e.mu.Lock()
+	e.readDeadline = t
+	e.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn (writes never block).
+func (e *pipeEnd) SetWriteDeadline(time.Time) error { return nil }
+
+// timeoutError satisfies net.Error with Timeout() == true.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "lossnet: read deadline reached" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }

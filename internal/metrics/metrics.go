@@ -90,6 +90,35 @@ func (c ChurnStats) String() string {
 		c.Disconnects, c.Reconnects, c.RowsResynced, c.DetachStall)
 }
 
+// LossStats counts what the packet-loss channel did to a run and what the
+// selective-reliability protocol paid to survive it: best-effort rows lost
+// and folded back into their sender's local accumulator (RSP counts them
+// as never sent), reliable rows retransmitted until delivered, and the
+// extra bytes those repeats put on the wire.
+type LossStats struct {
+	RowsLostFolded    int     // best-effort rows lost, gradients folded back
+	RowsRetransmitted int     // reliable rows sent again after loss
+	RetransmitBytes   float64 // wire bytes spent on retransmissions
+}
+
+// Add accumulates another stats snapshot.
+func (l *LossStats) Add(o LossStats) {
+	l.RowsLostFolded += o.RowsLostFolded
+	l.RowsRetransmitted += o.RowsRetransmitted
+	l.RetransmitBytes += o.RetransmitBytes
+}
+
+// Enabled reports whether any loss activity was recorded.
+func (l LossStats) Enabled() bool {
+	return l.RowsLostFolded != 0 || l.RowsRetransmitted != 0 || l.RetransmitBytes != 0
+}
+
+// String renders the counters compactly.
+func (l LossStats) String() string {
+	return fmt.Sprintf("rows folded %d retransmitted %d retransmit-bytes %.0f",
+		l.RowsLostFolded, l.RowsRetransmitted, l.RetransmitBytes)
+}
+
 // Point is one checkpoint: training quality at a moment of the run.
 type Point struct {
 	Iter   int     // training iteration (per-worker count)

@@ -64,6 +64,16 @@ type Summary struct {
 	ResyncRows  int64
 	ResyncBytes float64
 
+	// Loss/retransmission totals from RowsLost/Retransmit events. Every
+	// lost row is settled exactly one way: folded back into the sender's
+	// local accumulator (best-effort) or retransmitted (reliable) — the
+	// pairing check below enforces RowsLostRetransmit == RowsRetransmitted.
+	RowsLostFolded    int64
+	RowsLostRetrans   int64
+	RowsRetransmitted int64
+	RetransmitBytes   float64
+	RetransmitSeconds float64
+
 	// PairErrors lists structural violations: a StallEnd without an open
 	// StallBegin on that worker, a Detach of an already-detached worker, or
 	// a Reconnect of an attached one. Empty for a well-formed trace.
@@ -165,6 +175,20 @@ func Aggregate(r io.Reader) (*Summary, error) {
 			s.Resyncs++
 			s.ResyncRows += int64(e.Units)
 			s.ResyncBytes += e.Bytes
+		case KindRowsLost:
+			switch e.Cause {
+			case "fold":
+				s.RowsLostFolded += int64(e.Units)
+			case "retransmit":
+				s.RowsLostRetrans += int64(e.Units)
+			default:
+				s.PairErrors = append(s.PairErrors, fmt.Sprintf(
+					"worker %d: RowsLost with unknown cause %q at t=%.3f", e.Worker, e.Cause, e.Time))
+			}
+		case KindRetransmit:
+			s.RowsRetransmitted += int64(e.Units)
+			s.RetransmitBytes += e.Bytes
+			s.RetransmitSeconds += e.Seconds
 		}
 		return nil
 	})
@@ -174,6 +198,14 @@ func Aggregate(r io.Reader) (*Summary, error) {
 
 	for _, d := range stallDepth {
 		s.OpenStalls += d
+	}
+	// Every best-effort gap must be folded back and every reliable loss
+	// retransmitted: a RowsLost(retransmit) count that diverges from the
+	// Retransmit unit total means a row was dropped and never settled.
+	if s.RowsLostRetrans != s.RowsRetransmitted {
+		s.PairErrors = append(s.PairErrors, fmt.Sprintf(
+			"loss accounting: %d rows lost to retransmission but %d retransmitted",
+			s.RowsLostRetrans, s.RowsRetransmitted))
 	}
 	s.ByIter = make([]IterRow, 0, len(byIter))
 	for _, row := range byIter {

@@ -59,6 +59,13 @@ const (
 	// KindResync records the rejoin resync transmission: backlog units
 	// replayed and their wire bytes.
 	KindResync
+	// KindRowsLost records rows the loss channel dropped and how they were
+	// settled: Cause "fold" for best-effort rows folded back into the local
+	// accumulator, "retransmit" for reliable rows queued for retransmission.
+	KindRowsLost
+	// KindRetransmit records one retransmission flow: reliable units sent
+	// again after loss, with their wire bytes and elapsed seconds.
+	KindRetransmit
 )
 
 var kindNames = [...]string{
@@ -72,6 +79,8 @@ var kindNames = [...]string{
 	KindDetach:      "Detach",
 	KindReconnect:   "Reconnect",
 	KindResync:      "Resync",
+	KindRowsLost:    "RowsLost",
+	KindRetransmit:  "Retransmit",
 }
 
 // String names the kind.
@@ -337,6 +346,34 @@ func (p *Probe) Resync(w int, units int, bytes float64) {
 	if p.reg != nil {
 		p.reg.Counter("rows_resynced").Add(int64(units))
 		p.reg.Gauge("resync_backlog").Set(float64(units))
+	}
+}
+
+// RowsLost records units the loss channel dropped from worker w's
+// iteration-n transmission, settled per cause: "fold" means best-effort
+// rows folded back into the local accumulator (never sent, by RSP
+// accounting), "retransmit" means reliable rows queued to go again.
+func (p *Probe) RowsLost(w int, n int64, dir Dir, units int, cause string) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindRowsLost, Worker: w, Iter: n, Dir: dir, Units: units, Cause: cause})
+	if p.reg != nil {
+		p.reg.Counter("rows_lost/" + cause).Add(int64(units))
+	}
+}
+
+// Retransmit records one completed retransmission flow: units delivered on
+// a repeat attempt, their wire bytes and the elapsed seconds the repeat
+// cost.
+func (p *Probe) Retransmit(w int, n int64, dir Dir, units int, bytes, seconds float64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindRetransmit, Worker: w, Iter: n, Dir: dir, Units: units, Bytes: bytes, Seconds: seconds})
+	if p.reg != nil {
+		p.reg.Counter("rows_retransmitted").Add(int64(units))
+		p.reg.FloatCounter("retransmit_bytes").Add(bytes)
 	}
 }
 

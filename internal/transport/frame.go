@@ -41,21 +41,19 @@ var ErrTimeout = errors.New("transport: send deadline reached")
 // the 4-byte length prefix.
 const FrameOverhead = 8 + 4 + 8
 
-// WriteFrame writes one framed payload to w.
+// WriteFrame writes one framed payload to w as a single Write call, so a
+// per-Write loss injector (lossnet.Conn) drops whole frames — the
+// frame-granular channel model — rather than leaving marker-less fragments.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("transport: payload %d exceeds max frame size", len(payload))
 	}
-	var hdr [12]byte
-	copy(hdr[:8], startMarker)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	_, err := w.Write(endMarker)
+	buf := make([]byte, 0, FrameOverhead+len(payload))
+	buf = append(buf, startMarker...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = append(buf, endMarker...)
+	_, err := w.Write(buf)
 	return err
 }
 

@@ -44,6 +44,7 @@ import (
 	"io"
 	"rog/internal/core"
 
+	"rog/internal/lossnet"
 	"rog/internal/metrics"
 	"rog/internal/obs"
 	"rog/internal/simnet"
@@ -129,6 +130,37 @@ func ParseFaultSchedule(spec string) (FaultSchedule, error) {
 // ChurnStats counts membership-churn events observed during a run; see
 // Result.Churn.
 type ChurnStats = metrics.ChurnStats
+
+// LossSpec names a packet-loss channel model injected via Config.Loss:
+// i.i.d. Bernoulli ("iid:0.05"), bursty Gilbert–Elliott ("ge:0.05" or
+// "ge:0.05/16" with a mean burst length), or the loss-rate column of a
+// recorded trace ("trace").
+type LossSpec = lossnet.Spec
+
+// ParseLossSpec parses the "kind:rate[/burst]" loss-model grammar.
+func ParseLossSpec(spec string) (LossSpec, error) { return lossnet.ParseSpec(spec) }
+
+// LossReliability selects how rows lost on the channel are recovered; see
+// Config.Reliability.
+type LossReliability = lossnet.Reliability
+
+// Reliability modes.
+const (
+	// SelectiveReliability retransmits only a push plan's Must prefix (the
+	// MTA floor plus RSP-forced rows); lost best-effort rows fold their
+	// gradients back into the local accumulator and ride the next push.
+	SelectiveReliability = lossnet.Selective
+	// AllReliable retransmits every lost row until delivered.
+	AllReliable = lossnet.AllReliable
+)
+
+// ParseLossReliability parses "selective" or "all".
+func ParseLossReliability(s string) (LossReliability, error) {
+	return lossnet.ParseReliability(s)
+}
+
+// LossStats counts loss-channel outcomes of a run; see Result.Loss.
+type LossStats = metrics.LossStats
 
 // BandwidthTrace is a piecewise-constant bandwidth series in Mbps.
 type BandwidthTrace = trace.Trace

@@ -6,8 +6,8 @@
 # must stay usable end to end, not just unit-green), and the
 # race-sensitive packages (the concurrent livenet server, the policy
 # engine it executes, the simnet drivers and version store that share
-# engine.State with it, and the wire transport) again under -race. Each
-# stage reports its wall time.
+# engine.State with it, the wire transport and the lossnet datagram
+# transport) again under -race. Each stage reports its wall time.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,7 +32,8 @@ check_fmt() {
 
 run_race() {
 	go test -race ./internal/livenet/... ./internal/engine/... \
-		./internal/rowsync/... ./internal/core/... ./internal/transport/...
+		./internal/rowsync/... ./internal/core/... ./internal/transport/... \
+		./internal/lossnet/...
 }
 
 run_trace_smoke() {
