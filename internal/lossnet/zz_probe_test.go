@@ -1,0 +1,72 @@
+package lossnet
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// Probe: after a completed burst, maxSeen goes stale below the frontier.
+// In the next burst a gap should produce exactly the gap NACKs, not 128
+// bogus NACKs for never-sent sequences.
+func TestProbeStaleMaxSeenNacks(t *testing.T) {
+	a, b := PacketPipe(nil, nil)
+	defer a.Close()
+	defer b.Close()
+	r := NewBurstReceiver(b)
+
+	send := func(kind uint8, seq uint32, payload []byte) {
+		buf := make([]byte, dgramHeaderSize+len(payload))
+		dgramHeader{Kind: kind, Seq: seq}.encode(buf)
+		copy(buf[dgramHeaderSize:], payload)
+		if _, err := a.WriteTo(buf, b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readAck := func() dgramHeader {
+		buf := make([]byte, 65536)
+		a.SetReadDeadline(time.Now().Add(time.Second))
+		n, _, err := a.ReadFrom(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, ok := decodeHeader(buf[:n])
+		if !ok {
+			t.Fatal("bad ack")
+		}
+		_ = n
+		_ = binary.LittleEndian
+		return h
+	}
+
+	// Burst 1: seqs 1,2 data + 3 end, all in order.
+	go func() {
+		send(dgramData, 1, []byte("p1"))
+		send(dgramData, 2, []byte("p2"))
+		send(dgramEnd, 3, nil)
+	}()
+	if _, err := r.RecvBurst(time.Now().Add(2*time.Second), func([]byte) {}); err != nil {
+		t.Fatalf("burst 1: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		readAck()
+	}
+	t.Logf("after burst 1: frontier=%d maxSeen=%d", r.frontier, r.maxSeen)
+
+	// Burst 2: seq 4 arrives, seq 5 is "lost", seq 6 arrives -> gap {5}.
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RecvBurst(time.Now().Add(500*time.Millisecond), func([]byte) {})
+		done <- err
+	}()
+	send(dgramData, 4, []byte("p4"))
+	h1 := readAck()
+	send(dgramData, 6, []byte("p6"))
+	h2 := readAck()
+	t.Logf("ack after seq4: ack=%d nacks=%d lost=%d", h1.Ack, h1.NackCount, h1.LostCount)
+	t.Logf("ack after seq6: ack=%d nacks=%d lost=%d (want 1 nack for seq 5)", h2.Ack, h2.NackCount, h2.LostCount)
+	<-done
+	if h2.NackCount != 1 {
+		t.Fatalf("expected exactly 1 NACK (seq 5), got %d", h2.NackCount)
+	}
+}
