@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt vet lint test race verify bench bench-json
+.PHONY: build fmt vet lint test race verify bench bench-json recover-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/livenet/... ./internal/engine/... ./internal/rowsync/... ./internal/core/... ./internal/transport/... ./internal/lossnet/...
+	$(GO) test -race ./internal/livenet/... ./internal/engine/... ./internal/rowsync/... ./internal/core/... ./internal/transport/... ./internal/lossnet/... ./internal/durable/...
+
+recover-smoke:
+	tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/rogtrain -strategy rog -threshold 4 -minutes 2 \
+		-checkpoint-dir "$$tmp/ckpt" -checkpoint-every 20 \
+		-faults "servercrash@45+10" && \
+	$(GO) run ./cmd/rogtrain -strategy rog -threshold 4 -minutes 3 \
+		-checkpoint-dir "$$tmp/ckpt" -resume; \
+	rc=$$?; rm -rf "$$tmp"; exit $$rc
 
 verify:
 	sh scripts/verify.sh

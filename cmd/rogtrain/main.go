@@ -8,6 +8,8 @@
 //	rogtrain -paradigm crimp -strategy ssp -threshold 20
 //	rogtrain -strategy rog -faults "crash:1@120+60,blackout:0@300+30"
 //	rogtrain -strategy rog -loss 0.05 -loss-model ge/16 -reliability selective
+//	rogtrain -strategy rog -checkpoint-dir ckpt -checkpoint-every 60
+//	rogtrain -strategy rog -checkpoint-dir ckpt -resume
 package main
 
 import (
@@ -36,6 +38,9 @@ func main() {
 		lossRate  = flag.Float64("loss", 0, "mean packet-loss rate on every link (0 disables the loss channel)")
 		lossModel = flag.String("loss-model", "ge", `loss model: "ge" (bursty, optionally "ge/16" for a 16-packet mean burst) or "iid"`)
 		relMode   = flag.String("reliability", "selective", "lost-row recovery: selective (only the Must prefix retransmits) or all")
+		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint store directory (created if missing)")
+		ckptEvery = flag.Float64("checkpoint-every", 60, "snapshot interval in virtual seconds")
+		resume    = flag.Bool("resume", false, "resume the run recorded in -checkpoint-dir instead of starting fresh")
 	)
 	flag.StringVar(faultSpec, "fault", "", "alias for -faults")
 	flag.Parse()
@@ -72,6 +77,25 @@ func main() {
 	faults, err := rog.ParseFaultSchedule(*faultSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
+		os.Exit(2)
+	}
+	if *ckptDir == "" {
+		// An explicit -checkpoint-every or -resume without a store directory
+		// would silently checkpoint nothing; refuse rather than ignore.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "checkpoint-every" || f.Name == "resume" {
+				fmt.Fprintf(os.Stderr, "rogtrain: -%s needs -checkpoint-dir\n", f.Name)
+				os.Exit(2)
+			}
+		})
+		for _, ev := range faults {
+			if ev.Kind == rog.FaultServerCrash {
+				fmt.Fprintln(os.Stderr, "rogtrain: servercrash faults need -checkpoint-dir to recover from")
+				os.Exit(2)
+			}
+		}
+	} else if *ckptEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "rogtrain: checkpoint-every must be > 0, got %g\n", *ckptEvery)
 		os.Exit(2)
 	}
 	reliability, err := rog.ParseLossReliability(*relMode)
@@ -196,6 +220,16 @@ func main() {
 		Loss:              loss,
 		Reliability:       reliability,
 	}
+	if *ckptDir != "" {
+		st, err := rog.OpenCheckpoints(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rogtrain: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Durable = st
+		cfg.SnapshotEverySeconds = *ckptEvery
+		cfg.Resume = *resume
+	}
 	if tracer != nil {
 		cfg.Trace = tracer
 	}
@@ -224,6 +258,9 @@ func main() {
 	fmt.Printf("completed %d iterations, %.0fJ total\n", res.Iterations, res.TotalJoules)
 	if len(faults) > 0 {
 		fmt.Printf("churn: %s\n", res.Churn.String())
+	}
+	if res.Recovery.Enabled() {
+		fmt.Printf("recovery: %s\n", res.Recovery.String())
 	}
 	if loss.Enabled() {
 		fmt.Printf("loss channel %s, %s reliability: %s\n", loss, reliability, res.Loss.String())

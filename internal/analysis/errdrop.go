@@ -6,15 +6,18 @@ import (
 	"go/types"
 )
 
-// Errdrop flags dropped error returns on the wire hot paths. A swallowed
-// net.Conn write error turns a dead connection into silent gradient loss
-// (the push "succeeds" but nothing reaches the server), an unchecked
-// deadline setter disables the speculative-transmission cutoff, and an
-// ignored Close can leak the descriptor a rejoining worker needs. The
-// pass applies to the socket packages only and flags statement- or
-// defer-position calls of the risky methods whose final result is an
-// error; assigning the error away explicitly (_ = conn.Close()) is a
-// visible decision and passes.
+// Errdrop flags dropped error returns on the wire and durability hot
+// paths. A swallowed net.Conn write error turns a dead connection into
+// silent gradient loss (the push "succeeds" but nothing reaches the
+// server), an unchecked deadline setter disables the
+// speculative-transmission cutoff, an ignored Close can leak the
+// descriptor a rejoining worker needs — and on the checkpoint path, a
+// dropped Sync or Rename error is the classic torn-checkpoint bug: the
+// snapshot "publishes" without ever being durable, and the crash it
+// existed for destroys it. The pass applies to the socket and checkpoint
+// packages only and flags statement- or defer-position calls of the risky
+// methods whose final result is an error; assigning the error away
+// explicitly (_ = conn.Close()) is a visible decision and passes.
 type Errdrop struct {
 	// Scoped lists package-path suffixes the pass applies to.
 	Scoped []string
@@ -22,13 +25,14 @@ type Errdrop struct {
 	Methods map[string]bool
 }
 
-// NewErrdrop returns the pass scoped to the wire packages.
+// NewErrdrop returns the pass scoped to the wire and checkpoint packages.
 func NewErrdrop() *Errdrop {
 	return &Errdrop{
-		Scoped: []string{"internal/livenet", "internal/transport"},
+		Scoped: []string{"internal/livenet", "internal/transport", "internal/durable"},
 		Methods: map[string]bool{
 			"Close": true, "Write": true, "Encode": true, "Flush": true,
 			"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+			"Sync": true, "Rename": true,
 		},
 	}
 }

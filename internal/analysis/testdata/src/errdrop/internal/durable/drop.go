@@ -1,0 +1,37 @@
+// Package durable is a fixture for the errdrop pass on the checkpoint
+// path: a dropped Sync or Rename error is the torn-checkpoint bug the
+// subsystem exists to prevent.
+package durable
+
+// File mirrors the durable.File surface the pass must police.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS mirrors the durable.FS surface.
+type FS interface {
+	Rename(oldpath, newpath string) error
+}
+
+func Bad(fs FS, f File, buf []byte) {
+	f.Write(buf)                  // want "dropped"
+	f.Sync()                      // want "dropped"
+	fs.Rename("snap.tmp", "snap") // want "dropped"
+	defer f.Close()               // want "dropped"
+}
+
+func Good(fs FS, f File, buf []byte) error {
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := fs.Rename("snap.tmp", "snap"); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit discard is a decision
+	return nil
+}

@@ -1,0 +1,44 @@
+// Package durable is a fixture for the wireframe pass over the
+// checkpoint formats: WAL records and snapshot headers are on-disk wire
+// frames — a platform-width field would make a checkpoint written on the
+// server unreadable on a robot's 32-bit SoC.
+package durable
+
+// walRecord mirrors the real WAL record header: marker-detected, every
+// field fixed-width, so it produces no findings.
+//
+//roglint:wire
+type walRecord struct {
+	Seq    uint64
+	Worker int32
+	Unit   int32
+	Iter   int64
+	Len    uint32
+	CRC    uint32
+}
+
+// badRecord drifts the length to a platform-width integer — the on-disk
+// layout would differ between the writer and a 32-bit reader.
+//
+//roglint:wire
+type badRecord struct {
+	Seq uint64
+	Len int // want "platform-width"
+}
+
+// snapshotMsg is detected by its name suffix.
+type snapshotMsg struct {
+	Epoch uint64
+	Rows  []uint // want "platform-width"
+}
+
+func build() []walRecord {
+	return []walRecord{
+		{Seq: 1, Worker: 0, Unit: 2, Iter: 7, Len: 64, CRC: 0xdeadbeef},
+		{2, 1, 0, 8, 64, 0}, // want "keyed"
+	}
+}
+
+func use(r walRecord, b badRecord, s snapshotMsg) (uint64, int, int) {
+	return r.Seq, b.Len, len(s.Rows)
+}

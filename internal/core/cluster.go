@@ -16,6 +16,7 @@ import (
 
 	"rog/internal/atp"
 	"rog/internal/compress"
+	"rog/internal/durable"
 	"rog/internal/energy"
 	"rog/internal/engine"
 	"rog/internal/lossnet"
@@ -180,10 +181,28 @@ type Config struct {
 	Reliability lossnet.Reliability
 
 	// Faults is the injected fault schedule: worker crashes (with optional
-	// rejoin), link blackouts and flapping links, all in virtual time —
-	// parsed from the CLI/config grammar by simnet.ParseFaultSchedule. Empty
-	// means a fault-free run.
+	// rejoin), link blackouts, flapping links and parameter-server crashes,
+	// all in virtual time — parsed from the CLI/config grammar by
+	// simnet.ParseFaultSchedule. Empty means a fault-free run.
 	Faults simnet.FaultSchedule
+
+	// Durable, when set, makes the parameter-server state crash-consistent:
+	// every merge/drain/membership transition is journaled to the store's
+	// WAL and a full snapshot is rotated in every SnapshotEverySeconds of
+	// virtual time. Required for servercrash faults and for Resume.
+	Durable *durable.Store
+	// SnapshotEverySeconds is the checkpoint rotation interval in virtual
+	// seconds (default 60 when Durable is set).
+	SnapshotEverySeconds float64
+	// Resume continues a previous run from Durable's latest valid
+	// snapshot + WAL instead of starting fresh: server state is recovered,
+	// worker replicas and iteration counters are restored from the
+	// checkpoint payload.
+	Resume bool
+	// RecoverySecondsPerMB converts recovered bytes (snapshot + replayed
+	// WAL) into virtual restart latency after a servercrash fault. 0 makes
+	// recovery instantaneous — useful for bit-exactness tests.
+	RecoverySecondsPerMB float64
 
 	MaxIterations     int     // stop after worker 0 completes this many
 	MaxVirtualSeconds float64 // and/or after this much virtual time
@@ -242,6 +261,20 @@ func (c *Config) Validate() error {
 	if err := c.Faults.Validate(c.Workers); err != nil {
 		return err
 	}
+	for _, e := range c.Faults {
+		if e.Kind == simnet.FaultServerCrash && c.Durable == nil {
+			return fmt.Errorf("core: servercrash fault %q needs a Durable checkpoint store to recover from", e)
+		}
+	}
+	if c.Resume && c.Durable == nil {
+		return fmt.Errorf("core: Resume needs a Durable checkpoint store")
+	}
+	if c.RecoverySecondsPerMB < 0 {
+		return fmt.Errorf("core: negative RecoverySecondsPerMB")
+	}
+	if c.Durable != nil && c.SnapshotEverySeconds <= 0 {
+		c.SnapshotEverySeconds = 60
+	}
 	if err := c.Loss.Validate(); err != nil {
 		return err
 	}
@@ -287,8 +320,9 @@ type Result struct {
 	StallFrac   float64             // stall share of the average iteration
 	Micro       []MicroSample
 	FinalValue  float64
-	Churn       metrics.ChurnStats // membership-churn counters (fault runs)
-	Loss        metrics.LossStats  // packet-loss counters (lossy runs)
+	Churn       metrics.ChurnStats    // membership-churn counters (fault runs)
+	Loss        metrics.LossStats     // packet-loss counters (lossy runs)
+	Recovery    metrics.RecoveryStats // checkpoint/recovery counters (durable runs)
 }
 
 // Label renders "BSP", "SSP-4", "ROG-20", …
@@ -345,6 +379,15 @@ type cluster struct {
 	// loss holds the per-worker packet-loss models (nil = lossless run,
 	// the transmit paths then take their original branches untouched).
 	loss []lossnet.Model
+
+	// Durable-server state: the checkpoint store (nil = volatile server),
+	// whether the server is currently down, when it crashed, accumulated
+	// recovery counters, and the first unrecoverable error (surfaced by Run).
+	store      *durable.Store
+	serverDown bool
+	crashTime  float64
+	recovery   metrics.RecoveryStats
+	fatalErr   error
 
 	// probe is the observability handle (nil when tracing and metrics are
 	// both off — every emit site is then a pointer check).
@@ -493,7 +536,10 @@ func (c *cluster) deliverPull(w, u int) {
 	vals := c.scratch[:len(acc)]
 	compress.Decode(payload, vals)
 	c.applyUnit(w, u, vals)
-	c.serverAcc[w].ZeroUnit(u)
+	// Drain through the engine so the transition reaches the WAL: a pulled
+	// copy must stay drained across a server crash, or recovery would
+	// double-apply it on the next pull.
+	c.state.DrainUnit(w, u)
 }
 
 // applyUnit runs the SGD row update on one unit of worker w's replica.
@@ -608,6 +654,7 @@ func (c *cluster) result() *Result {
 		FinalValue:  c.series.Last().Value,
 		Churn:       c.state.Churn,
 		Loss:        c.state.Loss,
+		Recovery:    c.recovery,
 	}
 	return r
 }
@@ -633,6 +680,9 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		return nil, err
 	}
 	c := newCluster(cfg, wl)
+	if err := c.setupDurable(); err != nil {
+		return nil, err
+	}
 	c.checkpoint() // baseline point at t=0
 	c.start()
 	if len(cfg.Faults) > 0 {
@@ -641,6 +691,21 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		}
 	}
 	c.k.RunUntilIdle(200_000_000)
+	if c.fatalErr != nil {
+		return nil, c.fatalErr
+	}
+	if c.store != nil {
+		// One last checkpoint so a later -resume continues from the end of
+		// this run, not the last rotation tick.
+		if !c.serverDown {
+			if err := c.store.Checkpoint(c.state, c.resumePayload()); err != nil {
+				return nil, fmt.Errorf("core: final checkpoint: %w", err)
+			}
+		}
+		if err := c.store.Err(); err != nil {
+			return nil, fmt.Errorf("core: checkpoint store failed mid-run: %w", err)
+		}
+	}
 	c.checkpoint() // final point
 	return c.result(), nil
 }

@@ -35,6 +35,8 @@ func (c *cluster) installFaults() error {
 	inj := simnet.NewInjector(c.k, c.ch)
 	inj.OnCrash = c.crashWorker
 	inj.OnRejoin = c.rejoinWorker
+	inj.OnServerCrash = c.crashServer
+	inj.OnServerRestart = c.restartServer
 	return inj.Install(c.cfg.Faults)
 }
 

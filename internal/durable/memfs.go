@@ -1,0 +1,184 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS with the crash semantics that matter for
+// durability testing: every file tracks how many of its bytes have been
+// synced, and Crash reverts each file to that synced prefix — written but
+// unsynced data is lost, exactly as a power cut loses the page cache.
+// Rename is atomic and durable (the rename itself survives the crash, but
+// it publishes whatever of the source was synced).
+//
+// MemFS is safe for concurrent use: the livenet server journals from
+// handler goroutines while a test thread snapshots or crashes it.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	data   []byte
+	synced int // bytes guaranteed to survive a crash
+}
+
+// NewMemFS creates an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// Crash implements Crasher: every file loses its unsynced suffix.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.data = f.data[:f.synced]
+	}
+}
+
+// Clone deep-copies the filesystem — the property tests fork one recorded
+// history into many crash points.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for name, f := range m.files {
+		c.files[name] = &memFile{data: append([]byte(nil), f.data...), synced: f.synced}
+	}
+	return c
+}
+
+// Truncate cuts the named file to n bytes (marking them synced) — the
+// kill-at-every-offset tests carve arbitrary torn tails with it.
+func (m *MemFS) Truncate(name string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("durable: memfs truncate %q: no such file", name)
+	}
+	if n > len(f.data) {
+		n = len(f.data)
+	}
+	f.data = f.data[:n]
+	f.synced = n
+	return nil
+}
+
+// Size reports the current length of the named file (-1 if absent).
+func (m *MemFS) Size(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return -1
+	}
+	return len(f.data)
+}
+
+// MkdirAll implements FS (directories are implicit in the flat namespace).
+func (m *MemFS) MkdirAll(dir string) error { return nil }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("durable: memfs open %q: no such file", name)
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Rename implements FS: atomic and durable (the directory update is
+// modeled as journaled by the filesystem).
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("durable: memfs rename %q: no such file", oldname)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("durable: memfs remove %q: no such file", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// List implements FS.
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := dir
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, strings.TrimPrefix(name, prefix))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// memHandle is one open descriptor: reads see everything written so far
+// (the owning process's view), writes append, Sync advances the durable
+// watermark.
+type memHandle struct {
+	fs  *MemFS
+	f   *memFile
+	off int
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

@@ -1,0 +1,32 @@
+package engine
+
+// Journal receives every state transition that must survive a server
+// crash. The durable store implements it with a write-ahead log; State
+// calls each hook exactly once per applied transition, after the
+// transition has been validated (a deduplicated merge is never journaled)
+// and before observers run. A nil Journal costs one pointer check per
+// site.
+//
+// The contract with recovery: replaying the journaled calls, in order, on
+// top of the state a snapshot restored reproduces the pre-crash state
+// bit-for-bit — so every hook carries exactly the inputs its transition
+// consumed, not derived quantities.
+type Journal interface {
+	// JournalMerge logs one merged row (Merge's inputs, post-dedup).
+	JournalMerge(worker, unit int, iter int64, vals []float32)
+	// JournalDrain logs zeroing worker's averaged copy of unit (the rows
+	// left inside an outbound pull or resync).
+	JournalDrain(worker, unit int)
+	// JournalRestore logs folding vals back into worker's averaged copy
+	// (an undelivered transmission conserving its mass).
+	JournalRestore(worker, unit int, vals []float32)
+	// JournalDetach logs a membership removal.
+	JournalDetach(worker int)
+	// JournalAttach logs a membership re-admission (re-baselining is
+	// deterministic, so the event alone suffices).
+	JournalAttach(worker int)
+	// JournalObserve logs one MTA-time tracker report.
+	JournalObserve(worker int, seconds float64)
+	// JournalLoss logs one loss-accounting update.
+	JournalLoss(folded, retransmitted int, retransmitBytes float64)
+}

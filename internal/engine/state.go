@@ -38,6 +38,10 @@ type State struct {
 	// runtime counters (merges with staleness lag, gate checks, MTA budget
 	// utilization). nil — the default — costs one pointer check per site.
 	Probe *obs.Probe
+
+	// Journal, when set, receives every durable transition (see Journal) —
+	// the write-ahead log the crash-recovery store replays.
+	Journal Journal
 }
 
 // NewState builds the server state for one run. initialBudget seeds the
@@ -65,7 +69,20 @@ func (s *State) Policy() Policy { return s.policy }
 // lines 2–6). Averaging is normalized by the attached team size (graceful
 // degradation: N−1 workers average over N−1, not N), and the row is
 // version-stamped monotonically.
+//
+// A push whose iteration does not advance the row's stamped version is a
+// duplicate and is dropped whole. In normal operation workers push each
+// (row, iteration) exactly once, so the guard only fires when a recovered
+// server re-receives rows it merged before the crash — applying those
+// again would double-count their gradients.
 func (s *State) Merge(worker, unit int, vals []float32, iter int64) {
+	if iter <= s.Versions.Get(worker, unit) {
+		s.Churn.DuplicatesDropped++
+		return
+	}
+	if s.Journal != nil {
+		s.Journal.JournalMerge(worker, unit, iter, vals)
+	}
 	active := s.Versions.ActiveWorkers()
 	if active == 0 {
 		active = s.workers
@@ -130,12 +147,21 @@ func (s *State) ObservePush(worker int, iter int64, mtaTime, elapsed float64, sp
 	}
 	if speculative {
 		if mtaTime > 0 {
-			s.Tracker.Observe(worker, mtaTime)
+			s.observeTime(worker, mtaTime)
 		}
 	} else if elapsed > 0 {
-		s.Tracker.Observe(worker, elapsed)
+		s.observeTime(worker, elapsed)
 	}
 	s.policy.ObservePush(worker, iter, elapsed)
+}
+
+// observeTime records one tracker report, journaling the exact value so
+// replay reproduces the budget bit-for-bit.
+func (s *State) observeTime(worker int, seconds float64) {
+	if s.Journal != nil {
+		s.Journal.JournalObserve(worker, seconds)
+	}
+	s.Tracker.Observe(worker, seconds)
 }
 
 // ObserveLoss records one transmission's loss outcome: folded best-effort
@@ -143,6 +169,9 @@ func (s *State) ObservePush(worker int, iter int64, mtaTime, elapsed float64, sp
 // accumulator and RSP's staleness accounting is untouched) and reliable
 // rows that had to be retransmitted, with the repeat bytes they cost.
 func (s *State) ObserveLoss(folded, retransmitted int, retransmitBytes float64) {
+	if s.Journal != nil {
+		s.Journal.JournalLoss(folded, retransmitted, retransmitBytes)
+	}
 	s.Loss.RowsLostFolded += folded
 	s.Loss.RowsRetransmitted += retransmitted
 	s.Loss.RetransmitBytes += retransmitBytes
@@ -154,6 +183,9 @@ func (s *State) Detach(worker int) {
 	if !s.Versions.IsActive(worker) {
 		return
 	}
+	if s.Journal != nil {
+		s.Journal.JournalDetach(worker)
+	}
 	s.Versions.Detach(worker)
 	s.Churn.Disconnects++
 }
@@ -161,9 +193,33 @@ func (s *State) Detach(worker int) {
 // Attach re-admits a detached worker, re-baselining its rows at the
 // surviving minimum, and returns that baseline iteration.
 func (s *State) Attach(worker int) int64 {
+	if s.Journal != nil {
+		s.Journal.JournalAttach(worker)
+	}
 	base := s.Versions.Attach(worker)
 	s.Churn.Reconnects++
 	return base
+}
+
+// DrainUnit zeroes worker's averaged copy of unit after its contents left
+// the server inside a pull or resync transmission. Both runtimes must
+// drain through here (not GradStore.ZeroUnit directly) so the transition
+// reaches the journal.
+func (s *State) DrainUnit(worker, unit int) {
+	if s.Journal != nil {
+		s.Journal.JournalDrain(worker, unit)
+	}
+	s.Acc[worker].ZeroUnit(unit)
+}
+
+// RestoreUnit folds vals back into worker's averaged copy — the undo of a
+// DrainUnit whose transmission never made it out, conserving gradient
+// mass. Journaled for the same reason DrainUnit is.
+func (s *State) RestoreUnit(worker, unit int, vals []float32) {
+	if s.Journal != nil {
+		s.Journal.JournalRestore(worker, unit, vals)
+	}
+	s.Acc[worker].AddUnit(unit, vals, 1)
 }
 
 // Backlog lists the units holding accumulated mass for the worker — what a

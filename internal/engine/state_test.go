@@ -51,16 +51,27 @@ func TestMergeVersionStampsAndHook(t *testing.T) {
 	var log [][3]int64
 	s.OnMerge = func(w, u int, it int64) { log = append(log, [3]int64{int64(w), int64(u), it}) }
 	vals := make([]float32, part.Unit(1).Len)
+	for i := range vals {
+		vals[i] = 2
+	}
 	s.Merge(1, 1, vals, 5)
-	s.Merge(1, 1, vals, 4) // stale duplicate: must not rewind
+	s.Merge(1, 1, vals, 4) // stale duplicate: dropped whole, must not rewind
 	if got := s.Versions.Get(1, 1); got != 5 {
 		t.Fatalf("version = %d, want 5", got)
 	}
 	if s.RowIter[1] != 5 {
 		t.Fatalf("row iter = %d, want 5", s.RowIter[1])
 	}
-	if len(log) != 2 || log[0] != [3]int64{1, 1, 5} {
-		t.Fatalf("hook log = %v", log)
+	if len(log) != 1 || log[0] != [3]int64{1, 1, 5} {
+		t.Fatalf("hook log = %v, want only the fresh merge", log)
+	}
+	if s.Churn.DuplicatesDropped != 1 {
+		t.Fatalf("duplicates dropped = %d, want 1", s.Churn.DuplicatesDropped)
+	}
+	// The duplicate's gradients must not have been double-counted: one
+	// merge of 2s over 2 attached workers leaves exactly 1 in each copy.
+	if got := s.Acc[0].Unit(1)[0]; got != 1 {
+		t.Fatalf("acc after duplicate = %v, want 1", got)
 	}
 }
 
@@ -107,15 +118,19 @@ func TestDetachAttachBacklog(t *testing.T) {
 
 // TestMergeWithoutProbeDoesNotAllocate is the tentpole's overhead guard:
 // with observability disabled (nil Probe — the default), the instrumented
-// Merge/CanAdvance/ObservePush hot path must not allocate. Repeated
-// same-version merges keep the VersionStore stable, so any allocation the
-// guard sees would come from the instrumentation itself.
+// Merge/CanAdvance/ObservePush hot path must not allocate. Each merge
+// advances the version (a repeat would short-circuit into the duplicate
+// guard and skip the hot path); the version-count map churns one key per
+// merge without growing, so any allocation the guard sees would come from
+// the instrumentation itself.
 func TestMergeWithoutProbeDoesNotAllocate(t *testing.T) {
 	s, part := testState(t, 3)
 	vals := make([]float32, part.Unit(0).Len)
 	s.Merge(0, 0, vals, 1) // warm up version state
+	it := int64(1)
 	allocs := testing.AllocsPerRun(200, func() {
-		s.Merge(0, 0, vals, 1)
+		it++
+		s.Merge(0, 0, vals, it)
 		s.CanAdvance(1)
 		s.ObservePush(0, 1, 0.5, 0.5, true)
 	})
@@ -163,6 +178,6 @@ func BenchmarkMergeNilProbe(b *testing.B) {
 	vals := make([]float32, part.Unit(0).Len)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s.Merge(0, 0, vals, 1)
+		s.Merge(0, 0, vals, int64(i+1))
 	}
 }

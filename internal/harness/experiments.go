@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rog/internal/core"
+	"rog/internal/durable"
 	"rog/internal/lossnet"
 	"rog/internal/simnet"
 	"rog/internal/trace"
@@ -100,6 +101,13 @@ type EndToEndOptions struct {
 	// (selective: only the Must prefix retransmits; all: everything does).
 	Loss        lossnet.Spec
 	Reliability lossnet.Reliability
+	// Checkpoint gives every system run its own fresh in-memory durable
+	// store, enabling servercrash faults; the remaining knobs pass through
+	// to the durability layer (zero values keep the core defaults).
+	Checkpoint           bool
+	SnapshotEverySeconds float64
+	RecoverySecondsPerMB float64
+	WALSyncEvery         int
 }
 
 // paradigmConfig returns the per-paradigm timing constants: compute time
@@ -170,6 +178,18 @@ func RunEndToEnd(o EndToEndOptions) ([]*core.Result, error) {
 			Faults:            o.Faults,
 			Loss:              o.Loss,
 			Reliability:       o.Reliability,
+		}
+		if o.Checkpoint {
+			st, err := durable.Open(durable.NewMemFS(), "ckpt")
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s: %w", sys.Label(), err)
+			}
+			if o.WALSyncEvery > 0 {
+				st.SyncEvery = o.WALSyncEvery
+			}
+			cfg.Durable = st
+			cfg.SnapshotEverySeconds = o.SnapshotEverySeconds
+			cfg.RecoverySecondsPerMB = o.RecoverySecondsPerMB
 		}
 		res, err := core.Run(cfg, wl)
 		if err != nil {

@@ -155,12 +155,15 @@ func TestRegistryCompleteness(t *testing.T) {
 		"ablation-granularity", "ablation-importance", "ablation-speculative",
 		"churn",
 	}
-	// +5: ext-pipeline, ext-dssp, ext-convmlp, ext-gridmap, ext-loss
-	if len(reg) != len(want)+5 {
-		t.Fatalf("registry has %d entries, want %d", len(reg), len(want)+5)
+	// +6: ext-pipeline, ext-dssp, ext-convmlp, ext-gridmap, ext-loss,
+	// ext-recovery
+	if len(reg) != len(want)+6 {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want)+6)
 	}
-	if _, ok := Find("ext-loss"); !ok {
-		t.Fatal("experiment \"ext-loss\" missing")
+	for _, id := range []string{"ext-loss", "ext-recovery"} {
+		if _, ok := Find(id); !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

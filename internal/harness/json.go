@@ -55,11 +55,12 @@ type SystemReport struct {
 	StallSeconds   float64 `json:"stall_seconds"`
 	// SecondsToTarget / JoulesToTarget are nil when the system never
 	// reached the common target.
-	SecondsToTarget *float64      `json:"seconds_to_target,omitempty"`
-	JoulesToTarget  *float64      `json:"joules_to_target,omitempty"`
-	Churn           *ChurnReport  `json:"churn,omitempty"`
-	Loss            *LossReport   `json:"loss,omitempty"`
-	Series          []SeriesPoint `json:"series"`
+	SecondsToTarget *float64        `json:"seconds_to_target,omitempty"`
+	JoulesToTarget  *float64        `json:"joules_to_target,omitempty"`
+	Churn           *ChurnReport    `json:"churn,omitempty"`
+	Loss            *LossReport     `json:"loss,omitempty"`
+	Recovery        *RecoveryReport `json:"recovery,omitempty"`
+	Series          []SeriesPoint   `json:"series"`
 }
 
 // ChurnReport mirrors metrics.ChurnStats with stable JSON names.
@@ -68,6 +69,21 @@ type ChurnReport struct {
 	Reconnects   int     `json:"reconnects"`
 	RowsResynced int     `json:"rows_resynced"`
 	DetachStall  float64 `json:"detach_stall_seconds"`
+}
+
+// RecoveryReport carries one sweep cell's checkpoint policy and what the
+// scripted server crash cost under it (mirrors metrics.RecoveryStats, plus
+// the policy knobs and the iteration deficit against the baseline).
+type RecoveryReport struct {
+	CheckpointEverySeconds float64 `json:"checkpoint_every_seconds"`
+	WALSyncEvery           int     `json:"wal_sync_every"`
+	Recoveries             int     `json:"recoveries"`
+	ReplayedRecords        int     `json:"replayed_records"`
+	ReplayedBytes          float64 `json:"replayed_bytes"`
+	SnapshotBytes          float64 `json:"snapshot_bytes"`
+	RowsLost               int     `json:"rows_lost"`
+	DowntimeSeconds        float64 `json:"downtime_seconds"`
+	IterationsLost         int     `json:"iterations_lost"`
 }
 
 // LossReport mirrors metrics.LossStats with stable JSON names.
@@ -124,12 +140,17 @@ func jsonExperiments(id string, s Scale) (EndToEndOptions, Report, error) {
 				Metric: "accuracy", Increasing: true}, nil
 	default:
 		return EndToEndOptions{}, Report{}, fmt.Errorf(
-			"harness: experiment %q has no JSON export (want fig1, fig6, fig7, churn or loss)", id)
+			"harness: experiment %q has no JSON export (want fig1, fig6, fig7, churn, loss or ext-recovery)", id)
 	}
 }
 
 // RunJSONReport executes one JSON-exportable experiment at the given scale.
 func RunJSONReport(id string, s Scale) (*Report, error) {
+	// ext-recovery is a policy sweep, not a systems comparison, so it has
+	// its own report builder.
+	if id == "ext-recovery" {
+		return runExtRecoveryJSON(s)
+	}
 	opts, rep, err := jsonExperiments(id, s)
 	if err != nil {
 		return nil, err

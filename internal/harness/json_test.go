@@ -97,6 +97,57 @@ func TestRunJSONReportLoss(t *testing.T) {
 	}
 }
 
+// TestRunJSONReportExtRecovery runs the checkpoint-policy sweep at tiny
+// scale: the baseline entry carries no recovery block, every sweep cell
+// carries exactly one recovery with its policy knobs, and a sweep cell with
+// lazy WAL syncing must not replay more than its eager sibling at the same
+// interval.
+func TestRunJSONReportExtRecovery(t *testing.T) {
+	rep, err := RunJSONReport("ext-recovery", tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "ext-recovery" || rep.Faults == "" {
+		t.Fatalf("report header incomplete: %+v", rep)
+	}
+	if len(rep.Systems) != 5 {
+		t.Fatalf("systems = %d, want baseline + 4 sweep cells", len(rep.Systems))
+	}
+	if rep.Systems[0].Recovery != nil {
+		t.Fatal("uninterrupted baseline carries recovery counters")
+	}
+	for _, s := range rep.Systems[1:] {
+		rec := s.Recovery
+		if rec == nil {
+			t.Fatalf("sweep cell %s exported no recovery counters", s.Label)
+		}
+		if rec.Recoveries != 1 {
+			t.Errorf("%s: %d recoveries, want exactly 1", s.Label, rec.Recoveries)
+		}
+		if rec.SnapshotBytes <= 0 || rec.DowntimeSeconds <= 0 {
+			t.Errorf("%s: empty recovery (%+v)", s.Label, rec)
+		}
+		if rec.CheckpointEverySeconds <= 0 || rec.WALSyncEvery <= 0 {
+			t.Errorf("%s: policy knobs missing (%+v)", s.Label, rec)
+		}
+		if s.Iterations == 0 || len(s.Series) == 0 {
+			t.Errorf("%s: run produced no training history", s.Label)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Systems[1].Recovery == nil || *back.Systems[1].Recovery != *rep.Systems[1].Recovery {
+		t.Fatalf("round-trip changed the recovery block: %+v", back.Systems[1].Recovery)
+	}
+}
+
 // TestRunJSONReportUnknownID checks the exporter refuses non-exportable
 // experiment ids instead of writing an empty file.
 func TestRunJSONReportUnknownID(t *testing.T) {

@@ -42,6 +42,7 @@ func Registry() []Experiment {
 		{"ablation-speculative", "Speculative transmission vs per-row timeout checks (Sec. III-A)", runAblationSpeculative},
 		{"churn", "Robustness: accuracy vs time under worker crash, rejoin, and blackout (membership churn)", runChurn},
 		{"ext-loss", "Extension: bursty packet loss × selective reliability (lossnet channel)", runExtLoss},
+		{"ext-recovery", "Extension: crash-consistent checkpointing — snapshot interval vs recovery cost (servercrash)", runExtRecovery},
 		{"ext-pipeline", "Future-work extension: pipelined computation and communication (Sec. VI-D)", runExtPipeline},
 		{"ext-dssp", "Extension: dynamic-staleness SSP (Zhao et al.) vs fixed SSP and ROG", runExtDSSP},
 		{"ext-convmlp", "Architecture-faithful CRUDA: ConvMLP stem + MLP head on synthetic images", runExtConvMLP},

@@ -208,7 +208,7 @@ func TestProtocolRoundtrip(t *testing.T) {
 		{"pushDone", pushDoneMsg(7, 1.25), kindPushDone},
 		{"pull", pullMsg(p), kindPull},
 		{"pullDone", pullDoneMsg(0.5, 3), kindPullDone},
-		{"resyncDone", resyncDoneMsg(9, 0.25, 4), kindResyncDone},
+		{"resyncDone", resyncDoneMsg(9, 0.25, 4, 2), kindResyncDone},
 	} {
 		msg, err := parse(tc.frame)
 		if err != nil {
@@ -224,7 +224,7 @@ func TestProtocolRoundtrip(t *testing.T) {
 	if m, _ := parse(pullDoneMsg(0.5, 3)); m.budget != 0.5 || m.min != 3 {
 		t.Fatalf("pullDone fields: %+v", m)
 	}
-	if m, _ := parse(resyncDoneMsg(9, 0.25, 4)); m.iter != 9 || m.budget != 0.25 || m.min != 4 {
+	if m, _ := parse(resyncDoneMsg(9, 0.25, 4, 2)); m.iter != 9 || m.budget != 0.25 || m.min != 4 || m.epoch != 2 {
 		t.Fatalf("resyncDone fields: %+v", m)
 	}
 	for _, bad := range [][]byte{{}, {'Z', 1}, {kindRow, 1}, {kindPushDone, 1, 2}, {kindResyncDone, 1}} {

@@ -71,15 +71,19 @@ func pullDoneMsg(budgetSeconds float64, min int64) []byte {
 // resyncDoneMsg ends a rejoin resync: the preceding kindPull frames carried
 // every averaged row the worker missed while detached, baseline is the
 // iteration the server re-baselined the worker's rows at (the worker
-// fast-forwards its own counter so its next push stays monotone), and
-// budget seeds the MTA budget for the next push and min the worker's view
-// of the global minimum row version.
-func resyncDoneMsg(baseline int64, budgetSeconds float64, min int64) []byte {
-	out := make([]byte, 1+8+8+8)
+// fast-forwards its own counter so its next push stays monotone), budget
+// seeds the MTA budget for the next push, min the worker's view of the
+// global minimum row version, and epoch the server's recovery epoch — it
+// increments every time the parameter server restarts from its checkpoint
+// store, so a worker can tell a plain reconnect from a reconnect across a
+// server crash.
+func resyncDoneMsg(baseline int64, budgetSeconds float64, min int64, epoch uint64) []byte {
+	out := make([]byte, 1+8+8+8+8)
 	out[0] = kindResyncDone
 	binary.LittleEndian.PutUint64(out[1:], uint64(baseline))
 	binary.LittleEndian.PutUint64(out[9:], math.Float64bits(budgetSeconds))
 	binary.LittleEndian.PutUint64(out[17:], uint64(min))
+	binary.LittleEndian.PutUint64(out[25:], epoch)
 	return out
 }
 
@@ -93,6 +97,7 @@ type parsed struct {
 	mta     float64 // kindPushDone
 	budget  float64 // kindPullDone, kindResyncDone
 	min     int64   // kindPullDone, kindResyncDone: global minimum row version
+	epoch   uint64  // kindResyncDone: server recovery epoch
 	payload compress.Payload
 }
 
@@ -139,7 +144,7 @@ func parse(frame []byte) (parsed, error) {
 			min:    int64(binary.LittleEndian.Uint64(frame[9:])),
 		}, nil
 	case kindResyncDone:
-		if len(frame) != 25 {
+		if len(frame) != 33 {
 			return parsed{}, fmt.Errorf("livenet: bad resync-done frame")
 		}
 		return parsed{
@@ -147,6 +152,7 @@ func parse(frame []byte) (parsed, error) {
 			iter:   int64(binary.LittleEndian.Uint64(frame[1:])),
 			budget: math.Float64frombits(binary.LittleEndian.Uint64(frame[9:])),
 			min:    int64(binary.LittleEndian.Uint64(frame[17:])),
+			epoch:  binary.LittleEndian.Uint64(frame[25:]),
 		}, nil
 	default:
 		return parsed{}, fmt.Errorf("livenet: unknown frame kind %q", frame[0])

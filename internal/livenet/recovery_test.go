@@ -1,0 +1,245 @@
+package livenet
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rog/internal/durable"
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/tensor"
+)
+
+// TestServerCrashRecoveryWorkersRideThrough is the livenet chaos test: a
+// 3-worker team trains resiliently while the parameter server is killed
+// mid-run and a fresh server process recovers over the same checkpoint
+// store. The workers — riding the ordinary reconnect backoff — must resync
+// against the new incarnation (observing its bumped recovery epoch), finish
+// every iteration, and never breach the staleness bound.
+func TestServerCrashRecoveryWorkersRideThrough(t *testing.T) {
+	const workers, threshold, iters = 3, 4, 25
+	proto := nn.NewClassifierMLP(6, []int{10}, 4, tensor.NewRNG(41))
+	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
+	fs := durable.NewMemFS()
+	openStore := func() *durable.Store {
+		t.Helper()
+		st, err := durable.Open(fs, "ckpt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st1 := openStore()
+	srv1, err := NewServer(part, ServerConfig{Workers: workers, Threshold: threshold, Durable: st1})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if srv1.Epoch() != 0 {
+		t.Fatalf("fresh server at epoch %d", srv1.Epoch())
+	}
+
+	// dial always connects to the current server incarnation; the swap
+	// happens under mu while the old incarnation is torn down.
+	var mu sync.Mutex
+	cur := srv1
+	var handlerWG sync.WaitGroup
+	dial := func(id int) func() (net.Conn, error) {
+		return func() (net.Conn, error) {
+			mu.Lock()
+			srv := cur
+			mu.Unlock()
+			c, s := net.Pipe()
+			handlerWG.Add(1)
+			go func() {
+				defer handlerWG.Done()
+				// Handler errors are expected here: the crash kills
+				// connections mid-frame by design.
+				_ = srv.HandleConn(id, s)
+			}()
+			return c, nil
+		}
+	}
+
+	data := newClusterData(43)
+	var models []*nn.Sequential
+	var ws []*Worker
+	var initialConns []net.Conn
+	for i := 0; i < workers; i++ {
+		m := nn.NewClassifierMLP(6, []int{10}, 4, tensor.NewRNG(1))
+		m.CopyParamsFrom(proto)
+		models = append(models, m)
+		conn, derr := dial(i)()
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		initialConns = append(initialConns, conn)
+		ws = append(ws, NewWorker(m, part, conn, WorkerConfig{
+			ID: i, Workers: workers, Threshold: threshold, LR: 0.1, Momentum: 0.9,
+		}))
+	}
+
+	// done[i] counts worker i's completed compute passes (updated inside the
+	// compute callback, so the main goroutine can poll progress race-free).
+	var progress [workers]atomic.Int64
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(id int, w *Worker) {
+			defer wg.Done()
+			r := tensor.NewRNG(uint64(id)*17 + 5)
+			b := NewBackoff(time.Millisecond, 20*time.Millisecond, uint64(id)+1)
+			err := w.RunResilient(iters, func() {
+				// Pace the run so the crash lands mid-training, not after it.
+				time.Sleep(500 * time.Microsecond)
+				x, y := data.batch(r, 16)
+				_, g := nn.SoftmaxCrossEntropy(models[id].Forward(x), y)
+				models[id].Backward(g)
+				progress[id].Add(1)
+			}, dial(id), b, 100)
+			if err != nil {
+				t.Errorf("worker %d: %v", id, err)
+			}
+		}(i, w)
+	}
+
+	// Let the team make real progress, cut a mid-run checkpoint, then kill
+	// the server: crash the store (unsynced WAL bytes die with the process),
+	// sever every connection, and stand a new incarnation up over the same
+	// filesystem.
+	deadline := time.Now().Add(20 * time.Second)
+	progressed := func() bool {
+		for i := range progress {
+			if progress[i].Load() < 3 {
+				return false
+			}
+		}
+		return true
+	}
+	for !progressed() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !progressed() {
+		t.Fatal("team made no progress before the crash")
+	}
+	if err := srv1.Checkpoint(); err != nil {
+		t.Fatalf("mid-run checkpoint: %v", err)
+	}
+
+	st1.Crash()
+	st2 := openStore()
+	if !st2.HasState() {
+		t.Fatal("crashed store lost its durable state")
+	}
+	srv2, err := NewServer(part, ServerConfig{Workers: workers, Threshold: threshold, Durable: st2})
+	if err != nil {
+		t.Fatalf("recovering NewServer: %v", err)
+	}
+	mu.Lock()
+	cur = srv2
+	srv1.Close()
+	mu.Unlock()
+	// The dead process takes its sockets with it: sever every pipe of the
+	// first incarnation so the workers' next frame fails and the reconnect
+	// backoff kicks in.
+	for _, c := range initialConns {
+		c.Close()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("deadlock: workers did not finish across the server crash")
+	}
+
+	if got := srv2.Epoch(); got != 1 {
+		t.Errorf("recovered server epoch %d, want 1", got)
+	}
+	for i, w := range ws {
+		if got := w.Iterations(); got < iters {
+			t.Errorf("worker %d completed %d/%d iterations", i, got, iters)
+		}
+		if got := w.Epoch(); got != 1 {
+			t.Errorf("worker %d saw epoch %d in its resync, want 1", i, got)
+		}
+	}
+	if got := srv2.MaxStalenessObserved(); got > threshold {
+		t.Errorf("staleness %d exceeded threshold %d across the server crash", got, threshold)
+	}
+	if churn := srv2.Churn(); churn.Reconnects < workers {
+		t.Errorf("recovered server saw %d reconnects, want >= %d", churn.Reconnects, workers)
+	}
+
+	for _, w := range ws {
+		w.conn.Close()
+	}
+	srv2.Close()
+	handlerWG.Wait()
+}
+
+// TestNewServerRecoversState pins the recovery path without concurrency:
+// merge a few rows, checkpoint, crash, and reopen — the new incarnation
+// must carry the journaled versions at a bumped epoch with every worker
+// detached (awaiting its resync).
+func TestNewServerRecoversState(t *testing.T) {
+	proto := nn.NewClassifierMLP(6, []int{10}, 4, tensor.NewRNG(47))
+	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
+	fs := durable.NewMemFS()
+	st1, err := durable.Open(fs, "ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := NewServer(part, ServerConfig{Workers: 2, Threshold: 4, Durable: st1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, part.Unit(0).Len)
+	for i := range vals {
+		vals[i] = float32(i%3) - 1
+	}
+	srv1.mu.Lock()
+	srv1.state.Merge(0, 0, vals, 1)
+	srv1.state.Merge(1, 0, vals, 1)
+	srv1.state.Merge(0, 0, vals, 2)
+	srv1.mu.Unlock()
+	st1.Crash() // no checkpoint since Begin: recovery must replay the WAL
+
+	st2, err := durable.Open(fs, "ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(part, ServerConfig{Workers: 2, Threshold: 4, Durable: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Epoch() != 1 {
+		t.Fatalf("epoch %d after recovery, want 1", srv2.Epoch())
+	}
+	if got := srv2.state.Versions.Get(0, 0); got != 2 {
+		t.Fatalf("recovered version[0][0] = %d, want 2", got)
+	}
+	if got := srv2.state.Versions.Get(1, 0); got != 1 {
+		t.Fatalf("recovered version[1][0] = %d, want 1", got)
+	}
+	if srv2.ActiveWorkers() != 0 {
+		t.Fatalf("%d workers active before any reconnect", srv2.ActiveWorkers())
+	}
+	// A second epoch: crash again without new state, recover again.
+	st2.Crash()
+	st3, err := durable.Open(fs, "ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv3, err := NewServer(part, ServerConfig{Workers: 2, Threshold: 4, Durable: st3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv3.Epoch() != 2 {
+		t.Fatalf("epoch %d after second recovery, want 2", srv3.Epoch())
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"rog/internal/atp"
 	"rog/internal/compress"
+	"rog/internal/durable"
 	"rog/internal/engine"
 	"rog/internal/metrics"
 	"rog/internal/obs"
@@ -49,6 +50,13 @@ type ServerConfig struct {
 	// HTTP on this listen address ("127.0.0.1:0" picks a free port; see
 	// DebugAddr() for the bound address). Empty disables the endpoint.
 	DebugAddr string
+	// Durable, when set, makes the server crash-consistent: every state
+	// transition is journaled to the store's WAL, Checkpoint() rotates full
+	// snapshots, and a NewServer over a store that already holds state
+	// recovers it (latest valid snapshot + WAL replay) instead of starting
+	// fresh — the recovery epoch then increments and reaches every
+	// reconnecting worker in its resync-done frame.
+	Durable *durable.Store
 }
 
 // DisconnectReason classifies why a worker's connection ended.
@@ -145,6 +153,28 @@ func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 		part:  part,
 		state: engine.NewState(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds),
 	}
+	if cfg.Durable != nil {
+		if cfg.Durable.HasState() {
+			// A previous server incarnation left durable state behind:
+			// recover it instead of training from scratch. No worker is
+			// connected to this fresh process, so every recovered-active
+			// worker is detached — the first HandleConn for each re-attaches
+			// it through the ordinary rejoin resync, which re-baselines its
+			// rows and dedupes any pre-crash push it retransmits.
+			rec, _, err := cfg.Durable.Recover(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds)
+			if err != nil {
+				return nil, fmt.Errorf("livenet: recover checkpoint store: %w", err)
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				if rec.Versions.IsActive(w) {
+					rec.Detach(w)
+				}
+			}
+			s.state = rec
+		} else if err := cfg.Durable.Begin(s.state, nil); err != nil {
+			return nil, fmt.Errorf("livenet: begin checkpoint store: %w", err)
+		}
+	}
 	s.state.OnMerge = cfg.OnMerge
 	// Event timestamps are seconds since server start: monotone (time.Since
 	// uses the monotonic clock) and comparable to the simnet's virtual-time
@@ -191,6 +221,27 @@ func (s *Server) Close() {
 	if s.debug != nil {
 		_ = s.debug.Close() // shutting down; a close error leaves nothing to recover
 	}
+}
+
+// Epoch reports the server's recovery epoch: 0 for a fresh (or volatile)
+// server, incremented by every recovery from the checkpoint store.
+func (s *Server) Epoch() uint64 {
+	if s.cfg.Durable == nil {
+		return 0
+	}
+	return s.cfg.Durable.Epoch()
+}
+
+// Checkpoint rotates a full snapshot of the server state into the
+// checkpoint store (and truncates the WAL). Callers own the cadence — a
+// timer, an iteration count, or a signal handler.
+func (s *Server) Checkpoint() error {
+	if s.cfg.Durable == nil {
+		return fmt.Errorf("livenet: no checkpoint store configured")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Durable.Checkpoint(s.state, nil)
 }
 
 // MaxStalenessObserved reports the largest version lead seen (for tests:
@@ -321,7 +372,7 @@ func (s *Server) detach(worker int, cause string) {
 	for _, p := range s.pending[worker] {
 		vals := make([]float32, p.N)
 		compress.Decode(p, vals)
-		s.state.Acc[worker].AddUnit(p.Row, vals, 1)
+		s.state.RestoreUnit(worker, p.Row, vals)
 	}
 	s.pending[worker] = nil
 	s.cond.Broadcast()
@@ -343,7 +394,7 @@ func (s *Server) attach(worker int, conn net.Conn) error {
 	var payloads []compress.Payload
 	for _, u := range s.state.Backlog(worker) {
 		payload := s.codecs[worker].Encode(u, s.state.Acc[worker].Unit(u))
-		s.state.Acc[worker].ZeroUnit(u)
+		s.state.DrainUnit(worker, u)
 		payloads = append(payloads, payload)
 		frames = append(frames, pullMsg(payload))
 	}
@@ -362,7 +413,7 @@ func (s *Server) attach(worker int, conn net.Conn) error {
 
 	sent, err := transport.SendFrames(conn, frames, time.Time{})
 	if err == nil {
-		_, err = transport.SendFrames(conn, [][]byte{resyncDoneMsg(baseline, budget, min)}, time.Time{})
+		_, err = transport.SendFrames(conn, [][]byte{resyncDoneMsg(baseline, budget, min, s.Epoch())}, time.Time{})
 	}
 	if err != nil {
 		// Conserve the undelivered mass; the next attach replays it.
@@ -370,7 +421,7 @@ func (s *Server) attach(worker int, conn net.Conn) error {
 		for _, p := range payloads[sent:] {
 			vals := make([]float32, p.N)
 			compress.Decode(p, vals)
-			s.state.Acc[worker].AddUnit(p.Row, vals, 1)
+			s.state.RestoreUnit(worker, p.Row, vals)
 		}
 		s.mu.Unlock()
 		return fmt.Errorf("livenet: worker %d resync: %w", worker, err)
@@ -413,7 +464,7 @@ func (s *Server) planPullLocked(worker int, n int64) ([][]byte, engine.Plan, flo
 	payloads := make([]compress.Payload, 0, len(plan.Units))
 	for _, u := range plan.Units {
 		payload := s.codecs[worker].Encode(u, s.state.Acc[worker].Unit(u))
-		s.state.Acc[worker].ZeroUnit(u)
+		s.state.DrainUnit(worker, u)
 		payloads = append(payloads, payload)
 		frames = append(frames, pullMsg(payload))
 	}
@@ -431,7 +482,7 @@ func (s *Server) restoreUnsent(worker, sentFrames int) {
 	for _, p := range s.pending[worker][sentFrames:] {
 		vals := make([]float32, p.N)
 		compress.Decode(p, vals)
-		s.state.Acc[worker].AddUnit(p.Row, vals, 1)
+		s.state.RestoreUnit(worker, p.Row, vals)
 	}
 	s.pending[worker] = nil
 }

@@ -55,6 +55,7 @@ type Worker struct {
 	iter   int64
 	budget float64 // MTA-time budget from the server's last pull-done
 	minVer int64   // global minimum row version, from the last pull-done
+	epoch  uint64  // server recovery epoch, from the last resync-done
 }
 
 // NewWorker wires a worker to its model and server connection.
@@ -99,6 +100,11 @@ func NewWorker(model *nn.Sequential, part *rowsync.Partition, conn net.Conn, cfg
 
 // Iterations returns the number of completed iterations.
 func (w *Worker) Iterations() int64 { return w.iter }
+
+// Epoch reports the server recovery epoch the worker last resynced
+// against: 0 until a rejoin, then whatever the resync-done frame carried —
+// so it advances exactly when the worker rode out a server restart.
+func (w *Worker) Epoch() uint64 { return w.epoch }
 
 // RunIteration performs one training iteration: computeGradients must run
 // the forward/backward pass on the worker's model (filling its gradient
@@ -293,6 +299,7 @@ func (w *Worker) Rejoin(conn net.Conn) error {
 				w.budget = msg.budget
 			}
 			w.minVer = msg.min
+			w.epoch = msg.epoch
 			return nil
 		default:
 			return fmt.Errorf("livenet: worker %d got frame %q during resync", w.cfg.ID, msg.kind)

@@ -306,12 +306,21 @@ func (r *BurstReceiver) advance() {
 	}
 }
 
+// maxSeenStale reports whether maxSeen fell behind the frontier (every
+// seen sequence settled, so there is no gap to report): serial arithmetic
+// on the frontier would underflow and fabricate NACKs.
+func (r *BurstReceiver) maxSeenStale() bool {
+	return r.maxSeen == 0 || r.maxSeen-r.frontier >= 1<<31
+}
+
 // sendAck reports the frontier plus the current gap and lost lists to addr.
 func (r *BurstReceiver) sendAck(addr net.Addr) error {
 	var nacks []uint32
-	for q := r.frontier; q-r.frontier < r.maxSeen-r.frontier+1 && len(nacks) < 128; q++ {
-		if !r.seen[q] {
-			nacks = append(nacks, q)
+	if !r.maxSeenStale() {
+		for q := r.frontier; q-r.frontier <= r.maxSeen-r.frontier && len(nacks) < 128; q++ {
+			if !r.seen[q] {
+				nacks = append(nacks, q)
+			}
 		}
 	}
 	lost := r.lost
@@ -389,7 +398,7 @@ func (r *BurstReceiver) RecvBurst(deadline time.Time, handle func(payload []byte
 			if settled {
 				r.Stats.Duplicates++
 			} else {
-				if h.Seq-r.frontier > r.maxSeen-r.frontier || r.maxSeen == 0 {
+				if r.maxSeenStale() || h.Seq-r.frontier > r.maxSeen-r.frontier {
 					r.maxSeen = h.Seq
 				}
 				r.seen[h.Seq] = true

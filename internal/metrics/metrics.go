@@ -70,10 +70,11 @@ func (r *CompositionRecorder) Count() int { return r.n }
 // have advanced (the deadlock the membership layer converts into bounded
 // stall).
 type ChurnStats struct {
-	Disconnects  int     // workers detached (crash, connection loss, stall)
-	Reconnects   int     // workers re-attached after a detach
-	RowsResynced int     // rows replayed to rejoining workers
-	DetachStall  float64 // seconds survivors spent blocked until a detach freed them
+	Disconnects       int     // workers detached (crash, connection loss, stall)
+	Reconnects        int     // workers re-attached after a detach
+	RowsResynced      int     // rows replayed to rejoining workers
+	DuplicatesDropped int     // pushes re-sent after a server recovery and deduplicated
+	DetachStall       float64 // seconds survivors spent blocked until a detach freed them
 }
 
 // Add accumulates another stats snapshot.
@@ -81,13 +82,50 @@ func (c *ChurnStats) Add(o ChurnStats) {
 	c.Disconnects += o.Disconnects
 	c.Reconnects += o.Reconnects
 	c.RowsResynced += o.RowsResynced
+	c.DuplicatesDropped += o.DuplicatesDropped
 	c.DetachStall += o.DetachStall
 }
 
 // String renders the counters compactly.
 func (c ChurnStats) String() string {
-	return fmt.Sprintf("disconnects %d reconnects %d rows resynced %d detach-stall %.2fs",
+	s := fmt.Sprintf("disconnects %d reconnects %d rows resynced %d detach-stall %.2fs",
 		c.Disconnects, c.Reconnects, c.RowsResynced, c.DetachStall)
+	if c.DuplicatesDropped > 0 {
+		s += fmt.Sprintf(" duplicates dropped %d", c.DuplicatesDropped)
+	}
+	return s
+}
+
+// RecoveryStats summarizes server crash-recovery activity in a run: how
+// many times the parameter server restarted from its checkpoint store,
+// what the write-ahead log replays cost, and what was lost anyway (rows
+// whose merged gradients fell in the torn tail past the last sync).
+type RecoveryStats struct {
+	Recoveries      int     // server restarts served from the checkpoint store
+	ReplayedRecords int     // WAL records replayed across all recoveries
+	ReplayedBytes   float64 // WAL bytes replayed
+	SnapshotBytes   float64 // snapshot bytes loaded
+	RowsLost        int     // row versions re-stamped with zero gradient (lost to the crash)
+	DowntimeSeconds float64 // virtual seconds the server was unavailable
+}
+
+// Add accumulates another stats snapshot.
+func (r *RecoveryStats) Add(o RecoveryStats) {
+	r.Recoveries += o.Recoveries
+	r.ReplayedRecords += o.ReplayedRecords
+	r.ReplayedBytes += o.ReplayedBytes
+	r.SnapshotBytes += o.SnapshotBytes
+	r.RowsLost += o.RowsLost
+	r.DowntimeSeconds += o.DowntimeSeconds
+}
+
+// Enabled reports whether any recovery happened.
+func (r RecoveryStats) Enabled() bool { return r.Recoveries > 0 }
+
+// String renders the counters compactly.
+func (r RecoveryStats) String() string {
+	return fmt.Sprintf("recoveries %d replayed %d records (%.0f B) rows lost %d downtime %.2fs",
+		r.Recoveries, r.ReplayedRecords, r.ReplayedBytes, r.RowsLost, r.DowntimeSeconds)
 }
 
 // LossStats counts what the packet-loss channel did to a run and what the

@@ -74,14 +74,27 @@ type Summary struct {
 	RetransmitBytes   float64
 	RetransmitSeconds float64
 
+	// Durability totals from CheckpointEnd/WALAppend/RecoveryReplay events.
+	Checkpoints     int64
+	CheckpointBytes float64
+	WALAppends      int64
+	WALBytes        float64
+	Recoveries      int64
+	ReplayedRecords int64
+
 	// PairErrors lists structural violations: a StallEnd without an open
-	// StallBegin on that worker, a Detach of an already-detached worker, or
-	// a Reconnect of an attached one. Empty for a well-formed trace.
+	// StallBegin on that worker, a Detach of an already-detached worker, a
+	// Reconnect of an attached one, or a CheckpointEnd without its Begin.
+	// Empty for a well-formed trace.
 	PairErrors []string
 
 	// OpenStalls counts StallBegin intervals never closed (a run may
 	// legitimately halt mid-stall).
 	OpenStalls int
+
+	// OpenCheckpoints counts CheckpointBegin events never closed — at most
+	// one for a run the crash fault killed mid-snapshot.
+	OpenCheckpoints int
 }
 
 // Composition returns the average per-iteration compute/comm/stall seconds
@@ -105,6 +118,7 @@ func Aggregate(r io.Reader) (*Summary, error) {
 	units := make(map[int]*UnitRow)
 	stallDepth := make(map[int]int)
 	detached := make(map[int]bool)
+	ckptDepth := 0
 
 	err := ReadEvents(r, func(e Event) error {
 		s.Events[e.Kind.String()]++
@@ -189,6 +203,23 @@ func Aggregate(r io.Reader) (*Summary, error) {
 			s.RowsRetransmitted += int64(e.Units)
 			s.RetransmitBytes += e.Bytes
 			s.RetransmitSeconds += e.Seconds
+		case KindCheckpointBegin:
+			ckptDepth++
+		case KindCheckpointEnd:
+			if ckptDepth == 0 {
+				s.PairErrors = append(s.PairErrors, fmt.Sprintf(
+					"CheckpointEnd seq %d without CheckpointBegin at t=%.3f", e.Version, e.Time))
+				break
+			}
+			ckptDepth--
+			s.Checkpoints++
+			s.CheckpointBytes += e.Bytes
+		case KindWALAppend:
+			s.WALAppends++
+			s.WALBytes += e.Bytes
+		case KindRecoveryReplay:
+			s.Recoveries++
+			s.ReplayedRecords += int64(e.Units)
 		}
 		return nil
 	})
@@ -199,6 +230,7 @@ func Aggregate(r io.Reader) (*Summary, error) {
 	for _, d := range stallDepth {
 		s.OpenStalls += d
 	}
+	s.OpenCheckpoints = ckptDepth
 	// Every best-effort gap must be folded back and every reliable loss
 	// retransmitted: a RowsLost(retransmit) count that diverges from the
 	// Retransmit unit total means a row was dropped and never settled.

@@ -66,21 +66,39 @@ const (
 	// KindRetransmit records one retransmission flow: reliable units sent
 	// again after loss, with their wire bytes and elapsed seconds.
 	KindRetransmit
+	// KindCheckpointBegin marks the start of writing one durable snapshot;
+	// Version carries the snapshot sequence number.
+	KindCheckpointBegin
+	// KindCheckpointEnd closes the matching CheckpointBegin; Bytes carries
+	// the snapshot size.
+	KindCheckpointEnd
+	// KindWALAppend records one record appended to the write-ahead log;
+	// Bytes carries the encoded record size. Emitted per append, so traces
+	// of journaled runs show exactly what a crash could lose.
+	KindWALAppend
+	// KindRecoveryReplay records one completed crash recovery: Units
+	// carries the WAL records replayed, Bytes the snapshot+WAL bytes read,
+	// Version the new recovery epoch.
+	KindRecoveryReplay
 )
 
 var kindNames = [...]string{
-	KindIterStart:   "IterStart",
-	KindIterEnd:     "IterEnd",
-	KindPushPlanned: "PushPlanned",
-	KindRowsSent:    "RowsSent",
-	KindStallBegin:  "StallBegin",
-	KindStallEnd:    "StallEnd",
-	KindMerge:       "Merge",
-	KindDetach:      "Detach",
-	KindReconnect:   "Reconnect",
-	KindResync:      "Resync",
-	KindRowsLost:    "RowsLost",
-	KindRetransmit:  "Retransmit",
+	KindIterStart:       "IterStart",
+	KindIterEnd:         "IterEnd",
+	KindPushPlanned:     "PushPlanned",
+	KindRowsSent:        "RowsSent",
+	KindStallBegin:      "StallBegin",
+	KindStallEnd:        "StallEnd",
+	KindMerge:           "Merge",
+	KindDetach:          "Detach",
+	KindReconnect:       "Reconnect",
+	KindResync:          "Resync",
+	KindRowsLost:        "RowsLost",
+	KindRetransmit:      "Retransmit",
+	KindCheckpointBegin: "CheckpointBegin",
+	KindCheckpointEnd:   "CheckpointEnd",
+	KindWALAppend:       "WALAppend",
+	KindRecoveryReplay:  "RecoveryReplay",
 }
 
 // String names the kind.
@@ -374,6 +392,52 @@ func (p *Probe) Retransmit(w int, n int64, dir Dir, units int, bytes, seconds fl
 	if p.reg != nil {
 		p.reg.Counter("rows_retransmitted").Add(int64(units))
 		p.reg.FloatCounter("retransmit_bytes").Add(bytes)
+	}
+}
+
+// CheckpointBegin marks the start of writing durable snapshot seq.
+func (p *Probe) CheckpointBegin(seq uint64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindCheckpointBegin, Version: int64(seq)})
+}
+
+// CheckpointEnd closes the matching CheckpointBegin: snapshot seq is
+// durable at `bytes` bytes.
+func (p *Probe) CheckpointEnd(seq uint64, bytes float64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindCheckpointEnd, Version: int64(seq), Bytes: bytes})
+	if p.reg != nil {
+		p.reg.Counter("checkpoints").Add(1)
+		p.reg.FloatCounter("checkpoint_bytes").Add(bytes)
+	}
+}
+
+// WALAppend records one write-ahead-log append of `bytes` encoded bytes.
+func (p *Probe) WALAppend(bytes int) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindWALAppend, Bytes: float64(bytes)})
+	if p.reg != nil {
+		p.reg.Counter("wal_appends").Add(1)
+		p.reg.FloatCounter("wal_bytes").Add(float64(bytes))
+	}
+}
+
+// RecoveryReplay records one completed crash recovery: records replayed
+// from the WAL, total snapshot+WAL bytes read, and the new recovery epoch.
+func (p *Probe) RecoveryReplay(records int, bytes float64, epoch uint64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindRecoveryReplay, Units: records, Bytes: bytes, Version: int64(epoch)})
+	if p.reg != nil {
+		p.reg.Counter("recoveries").Add(1)
+		p.reg.Counter("recovery_replayed_records").Add(int64(records))
 	}
 }
 

@@ -38,6 +38,39 @@ func NewVersionStore(workers, units int) *VersionStore {
 	return vs
 }
 
+// RestoreVersionStore rebuilds a VersionStore from checkpointed state: the
+// version matrix and membership flags are adopted as-is and the count
+// index is reconstructed from the active workers' entries. frozenMin is
+// the cached minimum the checkpoint recorded — it only matters when every
+// worker was detached (the counts map is empty and the minimum cannot be
+// derived), exactly the case Min() documents as "the last computed
+// minimum". The slices are retained, not copied.
+func RestoreVersionStore(v [][]int64, active []bool, frozenMin int64) *VersionStore {
+	vs := &VersionStore{
+		v:      v,
+		counts: make(map[int64]int),
+		active: active,
+	}
+	for r := range v {
+		if !active[r] {
+			continue
+		}
+		vs.actN++
+		for _, ver := range v[r] {
+			vs.counts[ver]++
+		}
+	}
+	vs.min = frozenMin
+	first := true
+	for ver := range vs.counts {
+		if first || ver < vs.min {
+			vs.min = ver
+			first = false
+		}
+	}
+	return vs
+}
+
 // Get returns v[worker][unit].
 func (vs *VersionStore) Get(worker, unit int) int64 { return vs.v[worker][unit] }
 

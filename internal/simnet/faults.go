@@ -23,6 +23,12 @@ const (
 	// half-cycle, for Duration seconds — the oscillating connectivity of a
 	// robot circling at the edge of range.
 	FaultFlap
+	// FaultServerCrash kills the parameter server: its durable state must
+	// be recovered from the checkpoint store before any worker can push or
+	// pull again. Duration adds fixed downtime before the restart begins
+	// (0 restarts immediately, modulo the configured recovery rate). The
+	// event targets no worker — Worker is -1 in the parsed form.
+	FaultServerCrash
 )
 
 // String names the fault kind as it appears in schedule specs.
@@ -34,6 +40,8 @@ func (k FaultKind) String() string {
 		return "blackout"
 	case FaultFlap:
 		return "flap"
+	case FaultServerCrash:
+		return "servercrash"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -54,7 +62,12 @@ type FaultEvent struct {
 
 // String renders the event in the schedule-spec grammar.
 func (e FaultEvent) String() string {
-	s := fmt.Sprintf("%s:%d@%g", e.Kind, e.Worker, e.At)
+	var s string
+	if e.Kind == FaultServerCrash {
+		s = fmt.Sprintf("%s@%g", e.Kind, e.At)
+	} else {
+		s = fmt.Sprintf("%s:%d@%g", e.Kind, e.Worker, e.At)
+	}
 	if e.Duration > 0 {
 		s += fmt.Sprintf("+%g", e.Duration)
 	}
@@ -82,7 +95,11 @@ func (fs FaultSchedule) String() string {
 // `workers` devices.
 func (fs FaultSchedule) Validate(workers int) error {
 	for _, e := range fs {
-		if e.Worker < 0 || e.Worker >= workers {
+		if e.Kind == FaultServerCrash {
+			if e.Worker != -1 {
+				return fmt.Errorf("simnet: server crash %q cannot target a worker", e)
+			}
+		} else if e.Worker < 0 || e.Worker >= workers {
 			return fmt.Errorf("simnet: fault %q targets worker %d of %d", e, e.Worker, workers)
 		}
 		if e.At < 0 {
@@ -133,6 +150,22 @@ func ParseFaultSchedule(spec string) (FaultSchedule, error) {
 func parseFaultEvent(s string) (FaultEvent, error) {
 	malformed := func() (FaultEvent, error) {
 		return FaultEvent{}, fmt.Errorf("simnet: malformed fault %q (want kind:worker@start[+dur][/period])", s)
+	}
+	// The server-crash production carries no worker segment:
+	// "servercrash@start[+dur]".
+	if rest, ok := strings.CutPrefix(s, "servercrash@"); ok {
+		e := FaultEvent{Kind: FaultServerCrash, Worker: -1}
+		startStr, durStr, hasDur := strings.Cut(rest, "+")
+		var err error
+		if e.At, err = strconv.ParseFloat(startStr, 64); err != nil {
+			return FaultEvent{}, fmt.Errorf("simnet: malformed fault %q (want servercrash@start[+dur])", s)
+		}
+		if hasDur {
+			if e.Duration, err = strconv.ParseFloat(durStr, 64); err != nil {
+				return FaultEvent{}, fmt.Errorf("simnet: malformed fault %q (want servercrash@start[+dur])", s)
+			}
+		}
+		return e, nil
 	}
 	kindStr, rest, ok := strings.Cut(s, ":")
 	if !ok {
@@ -195,6 +228,11 @@ type Injector struct {
 	// events. Either may be nil.
 	OnCrash  func(worker int)
 	OnRejoin func(worker int)
+	// OnServerCrash and OnServerRestart fire at the scheduled instants of
+	// FaultServerCrash events: the crash at At (carrying the configured
+	// extra downtime), the restart at At+Duration. Either may be nil.
+	OnServerCrash   func(duration float64)
+	OnServerRestart func()
 }
 
 // NewInjector creates an injector for the kernel/channel pair.
@@ -224,6 +262,19 @@ func (in *Injector) Install(fs FaultSchedule) error {
 					}
 				})
 			}
+		case FaultServerCrash:
+			// Crash and restart are scheduled in install order, so a
+			// zero-duration event still crashes before it restarts.
+			in.k.At(e.At, func() {
+				if in.OnServerCrash != nil {
+					in.OnServerCrash(e.Duration)
+				}
+			})
+			in.k.At(e.At+e.Duration, func() {
+				if in.OnServerRestart != nil {
+					in.OnServerRestart()
+				}
+			})
 		case FaultBlackout:
 			in.k.At(e.At, func() { in.ch.SetLinkDown(e.Worker, true) })
 			if e.Duration > 0 {

@@ -40,9 +40,81 @@ func TestParseFaultSchedule(t *testing.T) {
 	for _, bad := range []string{
 		"crash1@2", "melt:1@2", "crash:x@2", "crash:1@x", "crash:1@2+x",
 		"flap:1@2+10", "flap:1@2/0.5",
+		"servercrash@x", "servercrash@2+x", "servercrash:1@2", "servercrash",
 	} {
 		if _, err := ParseFaultSchedule(bad); err == nil {
 			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestParseServerCrash covers the worker-less servercrash production:
+// "servercrash@t" restarts immediately, "servercrash@t+dur" after dur
+// seconds of extra downtime; both round-trip through String.
+func TestParseServerCrash(t *testing.T) {
+	fs, err := ParseFaultSchedule("servercrash@45, servercrash@120+15,crash:0@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultSchedule{
+		{Kind: FaultServerCrash, Worker: -1, At: 45},
+		{Kind: FaultServerCrash, Worker: -1, At: 120, Duration: 15},
+		{Kind: FaultCrash, Worker: 0, At: 10},
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("parsed %d events", len(fs))
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, fs[i], want[i])
+		}
+	}
+	if err := fs.Validate(2); err != nil {
+		t.Fatalf("valid servercrash schedule rejected: %v", err)
+	}
+	again, err := ParseFaultSchedule(fs.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != fs.String() {
+		t.Fatalf("round trip: %q vs %q", again.String(), fs.String())
+	}
+	// A servercrash that somehow targets a worker is rejected.
+	if err := (FaultSchedule{{Kind: FaultServerCrash, Worker: 0, At: 1}}).Validate(2); err == nil {
+		t.Fatal("worker-targeted servercrash accepted")
+	}
+}
+
+// TestInjectorServerCrashCallbacks: the crash fires at At with the extra
+// downtime, the restart at At+Duration — and a zero-duration event still
+// crashes before it restarts.
+func TestInjectorServerCrashCallbacks(t *testing.T) {
+	k := NewKernel()
+	links := []*trace.Trace{trace.Constant(8, 1000, 1), trace.Constant(8, 1000, 1)}
+	ch := NewChannel(k, links, 1)
+	inj := NewInjector(k, ch)
+	type ev struct {
+		what string
+		at   float64
+		dur  float64
+	}
+	var events []ev
+	inj.OnServerCrash = func(d float64) { events = append(events, ev{"crash", k.Now(), d}) }
+	inj.OnServerRestart = func() { events = append(events, ev{"restart", k.Now(), 0}) }
+	if err := inj.Install(FaultSchedule{
+		{Kind: FaultServerCrash, Worker: -1, At: 10, Duration: 5},
+		{Kind: FaultServerCrash, Worker: -1, At: 40},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle(1000)
+	want := []ev{{"crash", 10, 5}, {"restart", 15, 0}, {"crash", 40, 0}, {"restart", 40, 0}}
+	if len(events) != len(want) {
+		t.Fatalf("events %+v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, events[i], want[i])
 		}
 	}
 }

@@ -42,8 +42,9 @@ package rog
 
 import (
 	"io"
-	"rog/internal/core"
 
+	"rog/internal/core"
+	"rog/internal/durable"
 	"rog/internal/lossnet"
 	"rog/internal/metrics"
 	"rog/internal/obs"
@@ -111,6 +112,10 @@ const (
 	FaultBlackout = simnet.FaultBlackout
 	// FaultFlap alternates a worker's link down/up with a given period.
 	FaultFlap = simnet.FaultFlap
+	// FaultServerCrash kills the parameter server (not a worker: the spec
+	// takes no worker id, "servercrash@120+30"); the run must have a
+	// checkpoint store (Config.Durable) to recover from.
+	FaultServerCrash = simnet.FaultServerCrash
 )
 
 // FaultEvent is one scheduled failure in virtual time.
@@ -130,6 +135,21 @@ func ParseFaultSchedule(spec string) (FaultSchedule, error) {
 // ChurnStats counts membership-churn events observed during a run; see
 // Result.Churn.
 type ChurnStats = metrics.ChurnStats
+
+// RecoveryStats reports what parameter-server crash recovery cost during a
+// run; see Result.Recovery.
+type RecoveryStats = metrics.RecoveryStats
+
+// CheckpointStore is the parameter server's durable checkpoint store: a
+// write-ahead log of merge records plus atomic model snapshots, wired into
+// a run via Config.Durable.
+type CheckpointStore = durable.Store
+
+// OpenCheckpoints opens (or creates) a checkpoint store in dir on the real
+// filesystem.
+func OpenCheckpoints(dir string) (*CheckpointStore, error) {
+	return durable.Open(durable.OSFS{}, dir)
+}
 
 // LossSpec names a packet-loss channel model injected via Config.Loss:
 // i.i.d. Bernoulli ("iid:0.05"), bursty Gilbert–Elliott ("ge:0.05" or

@@ -3,11 +3,14 @@
 # roglint (the invariant analyzer — it runs before any test so a broken
 # invariant fails fast), the full test suite, a trace smoke (a tiny
 # traced simnet run piped through rogtrace — the observability pipeline
-# must stay usable end to end, not just unit-green), and the
+# must stay usable end to end, not just unit-green), a crash-recovery
+# smoke (a run whose parameter server is killed and recovered from its
+# checkpoint store, then resumed by a fresh process), and the
 # race-sensitive packages (the concurrent livenet server, the policy
 # engine it executes, the simnet drivers and version store that share
-# engine.State with it, the wire transport and the lossnet datagram
-# transport) again under -race. Each stage reports its wall time.
+# engine.State with it, the wire transport, the lossnet datagram
+# transport and the durable checkpoint store) again under -race. Each
+# stage reports its wall time.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,7 +36,39 @@ check_fmt() {
 run_race() {
 	go test -race ./internal/livenet/... ./internal/engine/... \
 		./internal/rowsync/... ./internal/core/... ./internal/transport/... \
-		./internal/lossnet/...
+		./internal/lossnet/... ./internal/durable/...
+}
+
+run_recover_smoke() {
+	tmp=$(mktemp -d)
+	# Leg 1: kill the parameter server mid-run; it recovers from its own
+	# checkpoints and the run completes.
+	go run ./cmd/rogtrain -strategy rog -threshold 4 -minutes 2 \
+		-checkpoint-dir "$tmp/ckpt" -checkpoint-every 20 \
+		-faults "servercrash@45+10" >"$tmp/leg1.out" || {
+		cat "$tmp/leg1.out" >&2
+		rm -rf "$tmp"
+		echo "recover smoke: crashed run failed" >&2
+		return 1
+	}
+	case "$(cat "$tmp/leg1.out")" in
+	*"recovery: recoveries 1"*) ;;
+	*)
+		cat "$tmp/leg1.out" >&2
+		rm -rf "$tmp"
+		echo "recover smoke: run never recovered from the scripted server crash" >&2
+		return 1
+		;;
+	esac
+	# Leg 2: a fresh process resumes the finished run from the same store.
+	go run ./cmd/rogtrain -strategy rog -threshold 4 -minutes 3 \
+		-checkpoint-dir "$tmp/ckpt" -resume >"$tmp/leg2.out" || {
+		cat "$tmp/leg2.out" >&2
+		rm -rf "$tmp"
+		echo "recover smoke: resume failed over the surviving store" >&2
+		return 1
+	}
+	rm -rf "$tmp"
 }
 
 run_trace_smoke() {
@@ -61,6 +96,7 @@ stage vet go vet ./...
 stage lint sh scripts/lint.sh
 stage test go test ./...
 stage trace-smoke run_trace_smoke
+stage recover-smoke run_recover_smoke
 stage race run_race
 
 echo "verify: OK"
