@@ -28,7 +28,8 @@ func main() {
 		full  = flag.Bool("full", false, "run at paper scale (60 virtual minutes per system)")
 		list  = flag.Bool("list", false, "list available experiments")
 		seeds = flag.Int("seeds", 1, "replicate fig1/fig6/fig7 across N seeds and report mean±std")
-		jsonP = flag.String("json", "", "write a machine-readable report of -exp (fig1, fig6, fig7, churn or loss) to this file")
+		jsonP = flag.String("json", "", "write a machine-readable report of -exp (fig1, fig6, fig7, churn, loss or fleet) to this file")
+		drift = flag.String("drift", "", "rerun the experiment recorded in this BENCH_*.json snapshot and report drift against it (never fails)")
 	)
 	flag.Parse()
 
@@ -54,9 +55,11 @@ func main() {
 		for _, e := range rog.Experiments() {
 			fmt.Printf("%-22s %s\n", e.ID, e.Title)
 		}
+	case *drift != "":
+		runDrift(*drift)
 	case *jsonP != "":
 		if *exp == "" {
-			fmt.Fprintln(os.Stderr, "rogbench: -json needs -exp (fig1, fig6, fig7, churn or loss)")
+			fmt.Fprintln(os.Stderr, "rogbench: -json needs -exp (fig1, fig6, fig7, churn, loss or fleet)")
 			os.Exit(2)
 		}
 		writeJSON(*exp, scale, *jsonP)
@@ -101,6 +104,36 @@ func runSeeds(exp string, scale rog.ExperimentScale, n int) {
 	fmt.Printf("== %s across %d seeds (scale=%s) ==\n\n", exp, n, scale.Name)
 	fmt.Println(harness.SeedSummaryTable(sums))
 	fmt.Printf("[completed in %.1fs wall clock]\n", time.Since(start).Seconds())
+}
+
+// runDrift reruns the experiment a BENCH_*.json snapshot recorded, at the
+// snapshot's own scale, and prints what moved. Drift is a report, not a
+// gate: the command exits 0 even when numbers changed, and exits non-zero
+// only when the snapshot cannot be read or the experiment cannot run.
+func runDrift(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogbench: %v\n", err)
+		os.Exit(1)
+	}
+	base, err := harness.ReadJSONReport(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogbench: %v\n", err)
+		os.Exit(1)
+	}
+	scale := rog.QuickScale
+	if base.Scale == rog.FullScale.Name {
+		scale = rog.FullScale
+	}
+	start := time.Now()
+	cur, err := harness.RunJSONReport(base.Experiment, scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rogbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(harness.DriftTable(base, cur))
+	fmt.Printf("[drift vs %s computed in %.1fs wall clock]\n", path, time.Since(start).Seconds())
 }
 
 // writeJSON runs one experiment and writes its machine-readable report.

@@ -10,6 +10,7 @@
 //	rogtrain -strategy rog -loss 0.05 -loss-model ge/16 -reliability selective
 //	rogtrain -strategy rog -checkpoint-dir ckpt -checkpoint-every 60
 //	rogtrain -strategy rog -checkpoint-dir ckpt -resume
+//	rogtrain -strategy rog -workers 64 -shards 8 -aggregators 4
 package main
 
 import (
@@ -41,6 +42,8 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint store directory (created if missing)")
 		ckptEvery = flag.Float64("checkpoint-every", 60, "snapshot interval in virtual seconds")
 		resume    = flag.Bool("resume", false, "resume the run recorded in -checkpoint-dir instead of starting fresh")
+		shards    = flag.Int("shards", 0, "split the server state into this many unit-range shards (0 = 1, the single-lock server)")
+		aggs      = flag.Int("aggregators", 0, "route pushes through this many edge aggregators (0 = direct to the root server)")
 	)
 	flag.StringVar(faultSpec, "fault", "", "alias for -faults")
 	flag.Parse()
@@ -71,6 +74,14 @@ func main() {
 	}
 	if *minutes <= 0 {
 		fmt.Fprintf(os.Stderr, "rogtrain: minutes must be > 0, got %g\n", *minutes)
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "rogtrain: shards must be >= 0, got %d\n", *shards)
+		os.Exit(2)
+	}
+	if *aggs < 0 {
+		fmt.Fprintf(os.Stderr, "rogtrain: aggregators must be >= 0, got %d\n", *aggs)
 		os.Exit(2)
 	}
 
@@ -219,6 +230,8 @@ func main() {
 		Faults:            faults,
 		Loss:              loss,
 		Reliability:       reliability,
+		Shards:            *shards,
+		Aggregators:       *aggs,
 	}
 	if *ckptDir != "" {
 		st, err := rog.OpenCheckpoints(*ckptDir)

@@ -71,3 +71,57 @@ type broken struct {
 }
 
 func use(b *broken) int { return b.x }
+
+// shard mirrors the sharded server state: many instances, each carrying
+// its own lock that guards its own counters. The discipline is per
+// instance — a method must hold *this* shard's mu, not some global.
+type shard struct {
+	id int
+
+	mu   sync.Mutex
+	dups int64 // guarded by mu
+	lead int64 // guarded by mu
+}
+
+func (s *shard) BadPeek() int64 {
+	return s.dups // want "guarded by mu"
+}
+
+func (s *shard) BadLeakedHold(lag int64) {
+	s.mu.Lock()
+	s.dups++
+	s.mu.Unlock()
+	if lag > s.lead { // want "guarded by mu"
+		s.lead = lag // want "guarded by mu"
+	}
+}
+
+func (s *shard) GoodSnapshot() (int64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dups, s.lead
+}
+
+func (s *shard) GoodMergeCounters(lag int64) {
+	s.mu.Lock()
+	s.dups++
+	if lag > s.lead {
+		s.lead = lag
+	}
+	s.mu.Unlock()
+	_ = s.id // unguarded: immutable after construction
+}
+
+// mergeLocked asserts via its name that the caller holds this shard's mu —
+// how the sharded merge body runs under the lock its caller took.
+func (s *shard) mergeLocked() { s.dups++ }
+
+// foldShards documents the approximation: the walk tracks the receiver
+// only, so sibling shards reached through a parameter are not checked.
+// The repo's real cross-shard folds go through each sibling's own locked
+// accessors instead of reaching into its fields.
+func (s *shard) foldShards(other *shard) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dups + other.dups // other.dups is outside the analysis
+}

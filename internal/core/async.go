@@ -132,11 +132,11 @@ func (c *cluster) recordMicro(w int, n int64, delivered int) {
 func (c *cluster) parkStalled(w int, n int64, pull func() bool) {
 	start := c.k.Now()
 	if c.probe == nil {
-		c.waiters.Park(w, start, pull)
+		c.state.ParkWaiter(w, start, pull)
 		return
 	}
 	c.probe.StallBegin(w, n, "gate")
-	c.waiters.Park(w, start, func() bool {
+	c.state.ParkWaiter(w, start, func() bool {
 		if !pull() {
 			return false
 		}
@@ -184,7 +184,7 @@ func (c *cluster) runAsync() {
 				commSec += elapsed
 				c.state.ObservePush(w, n, mtaTime, elapsed, plan.Speculative)
 				c.recordMicro(w, n, delivered)
-				c.waiters.Wake()
+				c.state.WakeWaiters(c.k.Now())
 
 				pull := func() bool {
 					if c.crashed[w] {

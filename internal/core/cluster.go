@@ -159,6 +159,26 @@ type Config struct {
 	Granularity rowsync.Granularity // Rows unless running the ablation
 	Coeff       atp.Coefficients    // importance-metric weights (ROG)
 
+	// Shards splits the server state into this many contiguous unit-range
+	// shards, each behind its own lock (clamped to [1, NumUnits]; 0 means
+	// 1). The simnet kernel is single-threaded, so sharding changes no
+	// simulated timing — shards=K runs are bit-identical to shards=1 —
+	// but it exercises the same sharded merge path the socket server runs
+	// concurrently, and the fleet experiment sweeps it.
+	Shards int
+
+	// Aggregators inserts an edge-aggregation tier between the robots and
+	// the parameter server: the N workers are split into contiguous groups,
+	// each syncing through one of M edge aggregators that coalesces
+	// same-unit rows (summing gradient mass, concatenating version stamps)
+	// while its uplink is busy and forwards the combined rows to the root.
+	// Forwarded rows carry every originating worker's iteration stamp, so
+	// the RSP staleness bound is preserved through the tier. Pulls stay
+	// direct (root → worker). 0 disables the tier. Requires an
+	// async-driver strategy (SSP/FLOWN/ROG/DSSP, no Pipeline) and is
+	// mutually exclusive with Faults, Loss and Durable.
+	Aggregators int
+
 	// Pipeline enables the paper's future-work extension (Sec. VI-D):
 	// overlapping each robot's computation with its communication,
 	// Pipe-SGD style. Only meaningful for the ROG strategy.
@@ -288,6 +308,27 @@ func (c *Config) Validate() error {
 			}
 		}
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative Shards %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Aggregators < 0 {
+		return fmt.Errorf("core: negative Aggregators %d", c.Aggregators)
+	}
+	if c.Aggregators > 0 {
+		if c.Aggregators >= c.Workers {
+			return fmt.Errorf("core: need fewer Aggregators than Workers, got %d for %d workers",
+				c.Aggregators, c.Workers)
+		}
+		if c.Strategy == BSP || c.Pipeline {
+			return fmt.Errorf("core: Aggregators need an async-driver strategy, not %q", c.policyName())
+		}
+		if len(c.Faults) > 0 || c.Loss.Enabled() || c.Durable != nil {
+			return fmt.Errorf("core: Aggregators are mutually exclusive with Faults, Loss and Durable")
+		}
+	}
 	if c.MaxIterations <= 0 && c.MaxVirtualSeconds <= 0 {
 		return fmt.Errorf("core: no termination condition configured")
 	}
@@ -323,6 +364,10 @@ type Result struct {
 	Churn       metrics.ChurnStats    // membership-churn counters (fault runs)
 	Loss        metrics.LossStats     // packet-loss counters (lossy runs)
 	Recovery    metrics.RecoveryStats // checkpoint/recovery counters (durable runs)
+	// MaxStaleness is the largest lead (merge iteration minus global
+	// version floor) any row merge observed — the empirical RSP bound.
+	// Aggregated runs assert it stays within the configured threshold.
+	MaxStaleness int64
 }
 
 // Label renders "BSP", "SSP-4", "ROG-20", …
@@ -368,13 +413,16 @@ type cluster struct {
 	iter   []int64 // completed iterations per worker
 	halted []bool
 
-	// Fault-tolerance state: crashed workers, the waiter list RSP parks
-	// blocked workers on (shared with the fault layer so a detach can wake
-	// and attribute the released stall), and the driver's per-worker resume
-	// hook for rejoins. Churn counters live in the engine state.
+	// Fault-tolerance state: crashed workers and the driver's per-worker
+	// resume hook for rejoins. RSP parks blocked workers on the engine
+	// state's per-shard wait lists (shared with the fault layer so a detach
+	// can wake and attribute the released stall); churn counters live there
+	// too.
 	crashed  []bool
-	waiters  *engine.WaitList
 	resumeFn func(w int)
+
+	// agg is the edge-aggregation tier (nil unless cfg.Aggregators > 0).
+	agg *aggTier
 
 	// loss holds the per-worker packet-loss models (nil = lossless run,
 	// the transmit paths then take their original branches untouched).
@@ -436,10 +484,12 @@ func newCluster(cfg Config, wl Workload) *cluster {
 		ch:      simnet.NewChannel(k, links, scale),
 		part:    part,
 		policy:  policy,
-		state:   engine.NewState(policy, part, cfg.Workers, 1.0),
+		state:   engine.NewStateSharded(policy, part, cfg.Workers, 1.0, cfg.Shards),
 		scratch: make([]float32, maxUnitLen(part)),
 		crashed: make([]bool, cfg.Workers),
-		waiters: engine.NewWaitList(),
+	}
+	if cfg.Aggregators > 0 {
+		c.agg = newAggTier(c)
 	}
 	if cfg.Loss.Enabled() {
 		c.loss = make([]lossnet.Model, cfg.Workers)
@@ -522,7 +572,14 @@ func (c *cluster) deliverPush(w, u int, n int64) {
 	payload := c.upCodec[w].Encode(u, g)
 	vals := c.scratch[:len(g)]
 	compress.Decode(payload, vals)
-	c.state.Merge(w, u, vals, n)
+	if c.agg != nil {
+		// Edge tier: the row lands at w's aggregator, which coalesces and
+		// forwards it (with w's stamp) over its own uplink. enqueue copies
+		// vals — c.scratch is reused by the next decode.
+		c.agg.enqueue(w, u, vals, n)
+	} else {
+		c.state.Merge(w, u, vals, n)
+	}
 	// Worker side of Algo. 1 lines 9–11.
 	c.local[w].ZeroUnit(u)
 	c.pushIter[w][u] = n
@@ -643,18 +700,19 @@ func (c *cluster) result() *Result {
 		stallFrac = comp.Stall / comp.Total()
 	}
 	r := &Result{
-		Strategy:    c.cfg.Strategy,
-		Threshold:   c.cfg.Threshold,
-		Series:      c.series,
-		Composition: comp,
-		Iterations:  int(c.iter[0]),
-		TotalJoules: joules,
-		StallFrac:   stallFrac,
-		Micro:       c.micro,
-		FinalValue:  c.series.Last().Value,
-		Churn:       c.state.Churn,
-		Loss:        c.state.Loss,
-		Recovery:    c.recovery,
+		Strategy:     c.cfg.Strategy,
+		Threshold:    c.cfg.Threshold,
+		Series:       c.series,
+		Composition:  comp,
+		Iterations:   int(c.iter[0]),
+		TotalJoules:  joules,
+		StallFrac:    stallFrac,
+		Micro:        c.micro,
+		FinalValue:   c.series.Last().Value,
+		Churn:        c.state.ChurnSnapshot(),
+		Loss:         c.state.LossSnapshot(),
+		Recovery:     c.recovery,
+		MaxStaleness: c.state.MaxLeadObserved(),
 	}
 	return r
 }

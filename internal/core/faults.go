@@ -51,8 +51,8 @@ func (c *cluster) crashWorker(w int) {
 	// The ghost itself must not resume; survivors it was blocking re-check
 	// their staleness predicate now, and any wait the detach releases is
 	// churn-attributable stall.
-	c.waiters.Drop(w)
-	c.waiters.WakeAttributing(c.k.Now(), &c.state.Churn.DetachStall)
+	c.state.DropWaiter(w)
+	c.state.WakeWaitersDetach(c.k.Now())
 }
 
 // rejoinWorker re-admits worker w: membership first (so the staleness
@@ -80,7 +80,7 @@ func (c *cluster) rejoinWorker(w int) {
 	for _, u := range units {
 		bytes += float64(c.part.WireSize(u))
 	}
-	c.state.Churn.RowsResynced += len(units)
+	c.state.AddRowsResynced(len(units))
 	c.probe.Reconnect(w, base)
 	c.probe.Resync(w, len(units), bytes)
 	c.crashed[w] = false

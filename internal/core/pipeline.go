@@ -69,7 +69,7 @@ func (c *cluster) runPipelined() {
 		c.transmitPush(w, n, plan, func(_ int, mtaTime, elapsed float64) {
 			commSec += elapsed
 			c.state.ObservePush(w, n, mtaTime, elapsed, plan.Speculative)
-			c.waiters.Wake()
+			c.state.WakeWaiters(c.k.Now())
 			pull := func() bool {
 				if c.crashed[w] {
 					return true // abandon: the crash ends the iteration

@@ -49,7 +49,7 @@ func (c *cluster) setupDurable() error {
 		if !st.HasState() {
 			return fmt.Errorf("core: Resume set but the checkpoint store holds no state")
 		}
-		rec, info, err := st.Recover(c.policy, c.part, c.cfg.Workers, 1.0)
+		rec, info, err := st.RecoverSharded(c.policy, c.part, c.cfg.Workers, 1.0, c.cfg.Shards)
 		if err != nil {
 			return fmt.Errorf("core: resume recovery: %w", err)
 		}
@@ -98,6 +98,9 @@ func (c *cluster) setupDurable() error {
 func (c *cluster) adoptState(rec *engine.State) {
 	rec.OnMerge = c.cfg.OnMerge
 	rec.Probe = c.probe
+	// Parked gate predicates live on the old state's wait lists; move them
+	// so post-recovery merges keep re-evaluating them.
+	c.state.TransferWaiters(rec)
 	c.state = rec
 	c.serverAcc = rec.Acc
 	c.versions = rec.Versions
@@ -164,7 +167,7 @@ func (c *cluster) restartServer() {
 	if !c.serverDown {
 		return
 	}
-	rec, info, err := c.store.Recover(c.policy, c.part, c.cfg.Workers, 1.0)
+	rec, info, err := c.store.RecoverSharded(c.policy, c.part, c.cfg.Workers, 1.0, c.cfg.Shards)
 	if err != nil {
 		c.fatalErr = fmt.Errorf("core: server restart at t=%.3f: %w", c.k.Now(), err)
 		return
@@ -204,7 +207,7 @@ func (c *cluster) restartServer() {
 		for w := 0; w < c.cfg.Workers; w++ {
 			c.ch.SetLinkDown(w, false)
 		}
-		c.waiters.Wake()
+		c.state.WakeWaiters(c.k.Now())
 	}
 	if recSeconds > 0 {
 		c.k.After(recSeconds, finish)

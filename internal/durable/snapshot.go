@@ -65,11 +65,12 @@ func encodeSnapshot(s *engine.State, epoch, seq uint64, payload []byte) []byte {
 			b = append(b, 0)
 		}
 	}
-	b = binary.LittleEndian.AppendUint64(b, uint64(s.Churn.Disconnects))
-	b = binary.LittleEndian.AppendUint64(b, uint64(s.Churn.Reconnects))
-	b = binary.LittleEndian.AppendUint64(b, uint64(s.Churn.RowsResynced))
-	b = binary.LittleEndian.AppendUint64(b, uint64(s.Churn.DuplicatesDropped))
-	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Churn.DetachStall))
+	churn := s.ChurnLocked()
+	b = binary.LittleEndian.AppendUint64(b, uint64(churn.Disconnects))
+	b = binary.LittleEndian.AppendUint64(b, uint64(churn.Reconnects))
+	b = binary.LittleEndian.AppendUint64(b, uint64(churn.RowsResynced))
+	b = binary.LittleEndian.AppendUint64(b, uint64(churn.DuplicatesDropped))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(churn.DetachStall))
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.Loss.RowsLostFolded))
 	b = binary.LittleEndian.AppendUint64(b, uint64(s.Loss.RowsRetransmitted))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Loss.RetransmitBytes))

@@ -239,6 +239,14 @@ func (st *Store) writeFileAtomic(name string, data []byte) error {
 // The policy/partition/workers/initialBudget arguments must describe the
 // same run shape the checkpoint was taken from.
 func (st *Store) Recover(policy engine.Policy, part *rowsync.Partition, workers int, initialBudget float64) (*engine.State, *RecoveryInfo, error) {
+	return st.RecoverSharded(policy, part, workers, initialBudget, 1)
+}
+
+// RecoverSharded is Recover for a run whose rebuilt state should be split
+// into shards unit-range locks (see engine.NewStateSharded). The on-disk
+// format is shard-agnostic: a checkpoint taken at any shard count recovers
+// at any other.
+func (st *Store) RecoverSharded(policy engine.Policy, part *rowsync.Partition, workers int, initialBudget float64, shards int) (*engine.State, *RecoveryInfo, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	names, err := st.fs.List(st.dir)
@@ -263,7 +271,7 @@ func (st *Store) Recover(policy engine.Policy, part *rowsync.Partition, workers 
 	sortDesc(seqs)
 	var firstErr error
 	for _, seq := range seqs {
-		state, info, err := st.recoverFrom(seq, policy, part, workers, initialBudget)
+		state, info, err := st.recoverFrom(seq, policy, part, workers, initialBudget, shards)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -290,7 +298,7 @@ func (st *Store) Recover(policy engine.Policy, part *rowsync.Partition, workers 
 }
 
 // recoverFrom rebuilds state from the snap/wal pair at seq.
-func (st *Store) recoverFrom(seq uint64, policy engine.Policy, part *rowsync.Partition, workers int, initialBudget float64) (*engine.State, *RecoveryInfo, error) {
+func (st *Store) recoverFrom(seq uint64, policy engine.Policy, part *rowsync.Partition, workers int, initialBudget float64, shards int) (*engine.State, *RecoveryInfo, error) {
 	raw, err := st.readFile(snapName(seq))
 	if err != nil {
 		return nil, nil, err
@@ -317,8 +325,8 @@ func (st *Store) recoverFrom(seq uint64, policy engine.Policy, part *rowsync.Par
 		}
 	}
 
-	state := engine.NewState(policy, part, workers, initialBudget)
-	state.Versions = rowsync.RestoreVersionStore(snap.versions, snap.active, snap.min)
+	state := engine.NewStateSharded(policy, part, workers, initialBudget, shards)
+	state.RestoreVersions(snap.versions, snap.active, snap.min)
 	copy(state.RowIter, snap.rowIter)
 	state.Churn = snap.churn
 	state.Loss = snap.loss

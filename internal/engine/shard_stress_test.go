@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/tensor"
+)
+
+// The shard stress test hammers the sharded merge path from one goroutine
+// per worker — the socket server's concurrency shape — and then proves the
+// outcome is *exactly* the single-lock serial result, not just "consistent".
+//
+// Exactness is arranged, not assumed: every pushed gradient is an integer
+// and the attached team size is 8, so each merge adds dyadic rationals
+// (value × 1/8) that float32 represents exactly. Addition of exactly
+// representable values well inside the 2^24 integer range commutes and
+// associates with no rounding, so any interleaving of merges must land on
+// the bit-identical accumulator state. A divergence therefore can only come
+// from a concurrency bug — a torn write, a lost merge, a double-count.
+
+const (
+	stressWorkers = 8 // keeps 1/active = 0.125 exactly representable
+	stressIters   = 50
+	stressShards  = 5
+)
+
+func stressState(t *testing.T, shards int) *State {
+	t.Helper()
+	proto := nn.NewClassifierMLP(4, []int{6}, 3, tensor.NewRNG(1))
+	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
+	pol, err := New("ssp", Params{Workers: stressWorkers, Threshold: 1 << 30, NumUnits: part.NumUnits()})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	return NewStateSharded(pol, part, stressWorkers, 1.0, shards)
+}
+
+// stressPush replays worker w's full deterministic push schedule against s:
+// every iteration pushes all units (batched on even iterations, row-by-row
+// on odd ones, each worker starting at its own unit offset) plus one
+// deliberate duplicate re-push that the version guard must drop.
+func stressPush(s *State, w, units int) {
+	var (
+		batchUnits []int
+		batchVals  [][]float32
+	)
+	for n := int64(1); n <= stressIters; n++ {
+		batchUnits, batchVals = batchUnits[:0], batchVals[:0]
+		for i := 0; i < units; i++ {
+			u := (i + w) % units
+			vals := make([]float32, len(s.Acc[w].Unit(u)))
+			for j := range vals {
+				vals[j] = float32((w + 1) * (int(n)%3 + 1))
+			}
+			if n%2 == 0 {
+				batchUnits = append(batchUnits, u)
+				batchVals = append(batchVals, vals)
+			} else {
+				s.Merge(w, u, vals, n)
+			}
+		}
+		if n%2 == 0 {
+			// MergeBatch wants ascending units; rotate back into order.
+			for k := range batchUnits {
+				for j := k; j > 0 && batchUnits[j] < batchUnits[j-1]; j-- {
+					batchUnits[j], batchUnits[j-1] = batchUnits[j-1], batchUnits[j]
+					batchVals[j], batchVals[j-1] = batchVals[j-1], batchVals[j]
+				}
+			}
+			s.MergeBatch(w, batchUnits, batchVals, n)
+		}
+		// Re-push an already-stamped row: the duplicate guard must drop the
+		// mass whole, concurrently or not.
+		dup := make([]float32, len(s.Acc[w].Unit(w%units)))
+		for j := range dup {
+			dup[j] = 1e6 // would be unmissable if double-counted
+		}
+		s.Merge(w, w%units, dup, n)
+	}
+}
+
+// TestShardedMergeStressMatchesSerial runs the schedule concurrently (one
+// goroutine per worker, shards=5) and serially (shards=1, worker-major
+// order) and requires bit-identical accumulators, identical version
+// matrices and the exact deterministic duplicate count. Run under -race
+// this is the tentpole's concurrent-pushes-across-shards hammer.
+func TestShardedMergeStressMatchesSerial(t *testing.T) {
+	conc := stressState(t, stressShards)
+	if conc.NumShards() != stressShards {
+		t.Fatalf("NumShards=%d want %d", conc.NumShards(), stressShards)
+	}
+	units := conc.ShardMap().NumUnits()
+
+	var wg sync.WaitGroup
+	for w := 0; w < stressWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stressPush(conc, w, units)
+		}(w)
+	}
+	wg.Wait()
+
+	serial := stressState(t, 1)
+	for w := 0; w < stressWorkers; w++ {
+		stressPush(serial, w, units)
+	}
+
+	for w := 0; w < stressWorkers; w++ {
+		for u := 0; u < units; u++ {
+			if conc.Versions.Get(w, u) != serial.Versions.Get(w, u) {
+				t.Fatalf("version (%d,%d): concurrent %d, serial %d",
+					w, u, conc.Versions.Get(w, u), serial.Versions.Get(w, u))
+			}
+			cu, su := conc.Acc[w].Unit(u), serial.Acc[w].Unit(u)
+			for i := range cu {
+				if cu[i] != su[i] {
+					t.Fatalf("acc[%d] unit %d elem %d: concurrent %v, serial %v",
+						w, u, i, cu[i], su[i])
+				}
+			}
+		}
+	}
+	if conc.Versions.Min() != stressIters {
+		t.Fatalf("Min=%d want %d", conc.Versions.Min(), stressIters)
+	}
+	wantDups := serial.ChurnSnapshot().DuplicatesDropped
+	if wantDups != stressWorkers*stressIters {
+		t.Fatalf("serial dropped %d duplicates, schedule promises %d", wantDups, stressWorkers*stressIters)
+	}
+	if got := conc.ChurnSnapshot().DuplicatesDropped; got != wantDups {
+		t.Fatalf("concurrent dropped %d duplicates, serial %d", got, wantDups)
+	}
+}
+
+// TestShardedMergeCombinedStressMatchesSerial drives the edge-aggregation
+// entry point concurrently: each goroutine owns one unit's stream of
+// coalesced rows (summed mass + originator stamps) targeting shards in
+// parallel, and the result must equal the serial single-shard replay.
+func TestShardedMergeCombinedStressMatchesSerial(t *testing.T) {
+	conc := stressState(t, stressShards)
+	units := conc.ShardMap().NumUnits()
+
+	push := func(s *State, u int) {
+		for n := int64(1); n <= stressIters; n++ {
+			vals := make([]float32, len(s.Acc[0].Unit(u)))
+			var stamps []Stamp
+			for w := 0; w < stressWorkers; w++ {
+				for j := range vals {
+					vals[j] += float32((w + 1) * (int(n)%3 + 1))
+				}
+				stamps = append(stamps, Stamp{Worker: w, Iter: n})
+			}
+			// One stale stamp per round: already merged, must be dropped
+			// without dropping the live mass.
+			stamps = append(stamps, Stamp{Worker: 0, Iter: n - 1})
+			s.MergeCombined(u, vals, stamps)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for u := 0; u < units; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			push(conc, u)
+		}(u)
+	}
+	wg.Wait()
+
+	serial := stressState(t, 1)
+	for u := 0; u < units; u++ {
+		push(serial, u)
+	}
+
+	for w := 0; w < stressWorkers; w++ {
+		for u := 0; u < units; u++ {
+			if conc.Versions.Get(w, u) != serial.Versions.Get(w, u) {
+				t.Fatalf("version (%d,%d): concurrent %d, serial %d",
+					w, u, conc.Versions.Get(w, u), serial.Versions.Get(w, u))
+			}
+			cu, su := conc.Acc[w].Unit(u), serial.Acc[w].Unit(u)
+			for i := range cu {
+				if cu[i] != su[i] {
+					t.Fatalf("acc[%d] unit %d elem %d: concurrent %v, serial %v",
+						w, u, i, cu[i], su[i])
+				}
+			}
+		}
+	}
+	if got, want := conc.ChurnSnapshot().DuplicatesDropped, serial.ChurnSnapshot().DuplicatesDropped; got != want {
+		t.Fatalf("concurrent dropped %d duplicate stamps, serial %d", got, want)
+	}
+}

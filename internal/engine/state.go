@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync"
+
 	"rog/internal/atp"
 	"rog/internal/metrics"
 	"rog/internal/obs"
@@ -10,28 +12,54 @@ import (
 // State is the server side of a run, shared verbatim by both runtimes:
 // per-worker averaged-gradient copies, row versions, the MTA-time tracker
 // and the churn counters. It owns the merge semantics (shrink-to-attached
-// averaging) and the membership bookkeeping; the runtimes own transport
-// and locking (the socket server calls every method under its mutex, the
-// simnet kernel is single-threaded).
+// averaging) and the membership bookkeeping.
+//
+// Concurrency: the state is sharded by contiguous unit ranges (the
+// ShardMap shared with the version store and the per-worker accumulators).
+// Each shard owns the merge-path bookkeeping for its unit range behind its
+// own lock, so pushes touching different shards proceed in parallel; the
+// small residue of genuinely global state — membership, the MTA tracker,
+// the policy's adaptive knobs, the churn/loss counters — sits behind
+// State.mu. The lock order is
+//
+//	caller's lock (livenet server.mu) → State.mu → shard.mu (ascending)
+//
+// and is never taken in reverse: merges take only the owning shard's lock,
+// membership ops take State.mu plus every shard lock, and nothing under a
+// shard lock reaches back up. Membership arrays are written only under all
+// shard locks, so holding any single shard lock is enough to read them
+// consistently on the merge path. Cross-shard Min() needs no locks at all:
+// it folds the shards' atomically cached minima.
+//
+// The simnet kernel is single-threaded and calls everything from one
+// goroutine; the locks cost it nothing contended. The socket server calls
+// the merge path concurrently from its per-connection goroutines.
 type State struct {
-	policy  Policy
+	policy  Policy // guarded by mu (adaptive policies mutate on observe/plan)
 	part    *rowsync.Partition
 	workers int
 
+	mu     sync.Mutex
+	sm     *rowsync.ShardMap
+	shards []*stateShard
+
 	// Acc[w] is worker w's averaged-gradient copy ḡ^s; detached workers'
 	// copies keep accumulating the backlog their rejoin resync replays.
+	// Unit data (and the dirty sets) are protected by the unit's shard lock.
 	Acc      []*rowsync.GradStore
 	Versions *rowsync.VersionStore
 	// RowIter[u] is the latest iteration (any worker) whose gradients
 	// updated unit u — the freshness input of the server-mode importance
-	// metric.
+	// metric. Guarded by unit u's shard lock.
 	RowIter []int64
-	Tracker *atp.TimeTracker
-	Churn   metrics.ChurnStats
-	Loss    metrics.LossStats
+	Tracker *atp.TimeTracker   // guarded by mu
+	Churn   metrics.ChurnStats // guarded by mu; per-shard duplicate counts fold in via ChurnSnapshot
+	Loss    metrics.LossStats  // guarded by mu
 
 	// OnMerge, when set, observes every merged row (worker, unit, stamped
-	// version) — the hook the simnet↔livenet parity tests record with.
+	// version) — the hook the simnet↔livenet parity tests record with. It
+	// runs under the owning shard's lock and must not call back into the
+	// State.
 	OnMerge func(worker, unit int, iter int64)
 
 	// Probe, when set, receives structured trace events and feeds the
@@ -40,49 +68,226 @@ type State struct {
 	Probe *obs.Probe
 
 	// Journal, when set, receives every durable transition (see Journal) —
-	// the write-ahead log the crash-recovery store replays.
+	// the write-ahead log the crash-recovery store replays. Handles are
+	// internally synchronized; records from different shards commute under
+	// replay.
 	Journal Journal
 }
 
-// NewState builds the server state for one run. initialBudget seeds the
-// MTA-time tracker (the simnet drivers use 1 s, the socket server its
-// configured floor).
+// stateShard is the independently lockable slice of server state owning
+// one contiguous unit range. Its lock guards the range's version counts,
+// every worker's accumulated gradients for those units, RowIter entries,
+// and the counters below.
+type stateShard struct {
+	id     int
+	lo, hi int // unit range [lo, hi)
+
+	mu      sync.Mutex
+	dups    int64 // guarded by mu; duplicate pushes dropped in this range
+	maxLead int64 // guarded by mu; largest stamped lead over Min() observed
+	wait    *WaitList
+}
+
+// Duplicates returns the duplicate pushes dropped in this shard's range.
+func (sh *stateShard) Duplicates() int64 {
+	sh.mu.Lock()
+	n := sh.dups
+	sh.mu.Unlock()
+	return n
+}
+
+// MaxLead returns the largest version lead over the global minimum any
+// merge in this shard has stamped. A row's lead is maximal at stamp time —
+// the minimum only advances afterwards — so the running maximum recorded
+// on the merge path equals the maximum the full-matrix MaxAhead scan would
+// ever have observed.
+func (sh *stateShard) MaxLead() int64 {
+	sh.mu.Lock()
+	n := sh.maxLead
+	sh.mu.Unlock()
+	return n
+}
+
+// NewState builds the unsharded (single-shard) server state for one run.
+// initialBudget seeds the MTA-time tracker (the simnet drivers use 1 s,
+// the socket server its configured floor).
 func NewState(policy Policy, part *rowsync.Partition, workers int, initialBudget float64) *State {
+	return NewStateSharded(policy, part, workers, initialBudget, 1)
+}
+
+// NewStateSharded builds server state split into shards contiguous unit
+// ranges (clamped to [1, NumUnits]). Shard 1 is bit-for-bit equivalent to
+// the historical single-lock state.
+func NewStateSharded(policy Policy, part *rowsync.Partition, workers int, initialBudget float64, shards int) *State {
+	sm := rowsync.NewShardMap(part.NumUnits(), shards)
 	s := &State{
 		policy:   policy,
 		part:     part,
 		workers:  workers,
-		Versions: rowsync.NewVersionStore(workers, part.NumUnits()),
+		sm:       sm,
+		Versions: rowsync.NewVersionStoreSharded(workers, part.NumUnits(), sm),
 		RowIter:  make([]int64, part.NumUnits()),
 		Tracker:  atp.NewTimeTracker(workers, initialBudget),
 	}
 	for i := 0; i < workers; i++ {
-		s.Acc = append(s.Acc, rowsync.NewGradStore(part))
+		s.Acc = append(s.Acc, rowsync.NewGradStoreSharded(part, sm))
+	}
+	for i := 0; i < sm.NumShards(); i++ {
+		lo, hi := sm.Range(i)
+		s.shards = append(s.shards, &stateShard{id: i, lo: lo, hi: hi, wait: NewWaitList()})
 	}
 	return s
 }
 
 // Policy returns the policy this state executes.
-func (s *State) Policy() Policy { return s.policy }
+func (s *State) Policy() Policy {
+	s.mu.Lock()
+	p := s.policy
+	s.mu.Unlock()
+	return p
+}
+
+// NumShards returns the number of independently locked shards.
+func (s *State) NumShards() int { return len(s.shards) }
+
+// ShardMap returns the unit→shard assignment.
+func (s *State) ShardMap() *rowsync.ShardMap { return s.sm }
+
+// lockShardsLocked acquires every shard lock in ascending order; the
+// caller holds s.mu (the membership section of the lock order).
+func (s *State) lockShardsLocked() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+}
+
+// unlockShardsLocked releases every shard lock.
+func (s *State) unlockShardsLocked() {
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// WithAllLocked runs fn with the whole state quiesced — State.mu and every
+// shard lock held. This is the checkpoint barrier: a snapshot encoded
+// inside fn observes no torn merges.
+func (s *State) WithAllLocked(fn func()) {
+	s.mu.Lock()
+	s.lockShardsLocked()
+	fn()
+	s.unlockShardsLocked()
+	s.mu.Unlock()
+}
 
 // Merge folds one received row into every worker's averaged copy (Algo. 2
-// lines 2–6). Averaging is normalized by the attached team size (graceful
-// degradation: N−1 workers average over N−1, not N), and the row is
-// version-stamped monotonically.
+// lines 2–6), taking only the owning shard's lock. It reports whether the
+// global minimum version advanced — the caller's cue to re-evaluate parked
+// staleness gates; callers that re-check unconditionally may discard it.
+//
+// Averaging is normalized by the attached team size (graceful degradation:
+// N−1 workers average over N−1, not N), and the row is version-stamped
+// monotonically.
 //
 // A push whose iteration does not advance the row's stamped version is a
 // duplicate and is dropped whole. In normal operation workers push each
 // (row, iteration) exactly once, so the guard only fires when a recovered
 // server re-receives rows it merged before the crash — applying those
 // again would double-count their gradients.
-func (s *State) Merge(worker, unit int, vals []float32, iter int64) {
+func (s *State) Merge(worker, unit int, vals []float32, iter int64) bool {
+	before := s.Versions.Min()
+	sh := s.shards[s.sm.ShardOf(unit)]
+	sh.mu.Lock()
+	s.mergeUnitLocked(sh, worker, unit, vals, iter)
+	sh.mu.Unlock()
+	return s.Versions.Min() > before
+}
+
+// MergeBatch merges one push's rows — units ascending, vals[i] the row for
+// units[i], all stamped iter — taking each owning shard's lock once per
+// contiguous run instead of once per row. It reports whether the global
+// minimum advanced across the whole batch.
+func (s *State) MergeBatch(worker int, units []int, vals [][]float32, iter int64) bool {
+	before := s.Versions.Min()
+	for i := 0; i < len(units); {
+		sh := s.shards[s.sm.ShardOf(units[i])]
+		sh.mu.Lock()
+		for i < len(units) && units[i] >= sh.lo && units[i] < sh.hi {
+			s.mergeUnitLocked(sh, worker, units[i], vals[i], iter)
+			i++
+		}
+		sh.mu.Unlock()
+	}
+	return s.Versions.Min() > before
+}
+
+// Stamp is one originating-worker iteration carried by an aggregated row.
+type Stamp struct {
+	Worker int
+	Iter   int64
+}
+
+// MergeCombined folds one edge-aggregated row: vals is the element-wise
+// sum of the contributing workers' rows for unit, and stamps carries each
+// originator's iteration — the provenance that preserves the RSP staleness
+// bound through the aggregation tier (every contributor's version advances
+// exactly as if its row had arrived alone; by linearity of the
+// shrink-to-attached average, the summed mass lands identically). Stamps
+// that would not advance their row's version are dropped as duplicates;
+// the mass is applied if at least one stamp is live. It reports whether
+// the global minimum advanced.
+func (s *State) MergeCombined(unit int, vals []float32, stamps []Stamp) bool {
+	before := s.Versions.Min()
+	sh := s.shards[s.sm.ShardOf(unit)]
+	sh.mu.Lock()
+	live := stamps[:0:0]
+	for _, st := range stamps {
+		if st.Iter > s.Versions.Get(st.Worker, unit) {
+			live = append(live, st)
+		} else {
+			sh.dups++
+		}
+	}
+	if len(live) == 0 {
+		sh.mu.Unlock()
+		return false
+	}
+	if s.Journal != nil {
+		// Replay equivalence: the first live stamp carries the combined
+		// mass, the rest re-stamp with zero rows.
+		s.Journal.JournalMerge(live[0].Worker, unit, live[0].Iter, vals)
+		if len(live) > 1 {
+			zero := make([]float32, len(vals))
+			for _, st := range live[1:] {
+				s.Journal.JournalMerge(st.Worker, unit, st.Iter, zero)
+			}
+		}
+	}
+	s.addMassLocked(unit, vals)
+	for _, st := range live {
+		s.stampLocked(sh, st.Worker, unit, st.Iter)
+	}
+	sh.mu.Unlock()
+	return s.Versions.Min() > before
+}
+
+// mergeUnitLocked is the single-row merge body; the caller holds the lock
+// of the shard owning unit.
+func (s *State) mergeUnitLocked(sh *stateShard, worker, unit int, vals []float32, iter int64) {
 	if iter <= s.Versions.Get(worker, unit) {
-		s.Churn.DuplicatesDropped++
+		sh.dups++
 		return
 	}
 	if s.Journal != nil {
 		s.Journal.JournalMerge(worker, unit, iter, vals)
 	}
+	s.addMassLocked(unit, vals)
+	s.stampLocked(sh, worker, unit, iter)
+}
+
+// addMassLocked folds vals into every worker's averaged copy of unit,
+// normalized by the attached team size. Caller holds the unit's shard
+// lock, which also pins membership (written only under all shard locks).
+func (s *State) addMassLocked(unit int, vals []float32) {
 	active := s.Versions.ActiveWorkers()
 	if active == 0 {
 		active = s.workers
@@ -91,30 +296,54 @@ func (s *State) Merge(worker, unit int, vals []float32, iter int64) {
 	for w := range s.Acc {
 		s.Acc[w].AddUnit(unit, vals, inv)
 	}
-	if iter > s.Versions.Get(worker, unit) {
-		s.Versions.Update(worker, unit, iter)
-	}
+}
+
+// stampLocked advances worker's version of unit to iter and fires the
+// observation hooks. Caller holds the unit's shard lock and has already
+// established iter > the stamped version.
+func (s *State) stampLocked(sh *stateShard, worker, unit int, iter int64) {
+	s.Versions.Update(worker, unit, iter)
 	if iter > s.RowIter[unit] {
 		s.RowIter[unit] = iter
+	}
+	// Lag is this row's stamped version ahead of the global minimum — the
+	// live staleness spread RSP bounds. Min() is lock-free (cached shard
+	// minima), and the lead is maximal now: recording the running maximum
+	// here is exactly MaxAhead without ever holding all shard locks.
+	lag := iter - s.Versions.Min()
+	if lag < 0 {
+		lag = 0
+	}
+	if lag > sh.maxLead {
+		sh.maxLead = lag
 	}
 	if s.OnMerge != nil {
 		s.OnMerge(worker, unit, iter)
 	}
 	if s.Probe != nil {
-		// Lag is this row's stamped version ahead of the global minimum —
-		// the live staleness spread RSP bounds. Min() is O(1) (cached).
-		lag := iter - s.Versions.Min()
-		if lag < 0 {
-			lag = 0
-		}
 		s.Probe.Merge(worker, unit, iter, iter, lag)
 	}
+}
+
+// MaxLeadObserved returns the largest staleness lead any merge has ever
+// stamped — the whole-run bound the fleet experiment asserts against the
+// RSP threshold.
+func (s *State) MaxLeadObserved() int64 {
+	var max int64
+	for _, sh := range s.shards {
+		if l := sh.MaxLead(); l > max {
+			max = l
+		}
+	}
+	return max
 }
 
 // CanAdvance applies the policy's staleness gate at the current global
 // minimum row version.
 func (s *State) CanAdvance(iter int64) bool {
+	s.mu.Lock()
 	ok := s.policy.CanAdvance(iter, s.Versions.Min())
+	s.mu.Unlock()
 	s.Probe.GateCheck(ok)
 	return ok
 }
@@ -123,9 +352,15 @@ func (s *State) CanAdvance(iter int64) bool {
 // its iteration-iter push. Called exactly once per worker-iteration — the
 // contract adaptive policies (DSSP) rely on.
 func (s *State) PlanPull(worker int, iter int64) Plan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	rows := make([]atp.RowInfo, s.part.NumUnits())
-	for u := range rows {
-		rows[u] = atp.RowInfo{ID: u, MeanAbs: s.Acc[worker].MeanAbs(u), Iter: s.RowIter[u]}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for u := sh.lo; u < sh.hi; u++ {
+			rows[u] = atp.RowInfo{ID: u, MeanAbs: s.Acc[worker].MeanAbs(u), Iter: s.RowIter[u]}
+		}
+		sh.mu.Unlock()
 	}
 	return s.policy.PlanPull(PullView{
 		Worker: worker,
@@ -140,6 +375,7 @@ func (s *State) PlanPull(worker int, iter int64) Plan {
 // model pushes their full elapsed time — either way the tracker's budget
 // becomes the straggler's report (Algo. 4).
 func (s *State) ObservePush(worker int, iter int64, mtaTime, elapsed float64, speculative bool) {
+	s.mu.Lock()
 	if s.Probe != nil {
 		// Utilization against the budget in force when the push was
 		// planned — read before this report moves it.
@@ -147,21 +383,30 @@ func (s *State) ObservePush(worker int, iter int64, mtaTime, elapsed float64, sp
 	}
 	if speculative {
 		if mtaTime > 0 {
-			s.observeTime(worker, mtaTime)
+			s.observeTimeLocked(worker, mtaTime)
 		}
 	} else if elapsed > 0 {
-		s.observeTime(worker, elapsed)
+		s.observeTimeLocked(worker, elapsed)
 	}
 	s.policy.ObservePush(worker, iter, elapsed)
+	s.mu.Unlock()
 }
 
-// observeTime records one tracker report, journaling the exact value so
-// replay reproduces the budget bit-for-bit.
-func (s *State) observeTime(worker int, seconds float64) {
+// observeTimeLocked records one tracker report, journaling the exact value
+// so replay reproduces the budget bit-for-bit. Caller holds s.mu.
+func (s *State) observeTimeLocked(worker int, seconds float64) {
 	if s.Journal != nil {
 		s.Journal.JournalObserve(worker, seconds)
 	}
 	s.Tracker.Observe(worker, seconds)
+}
+
+// Budget returns the MTA tracker's current per-push time budget.
+func (s *State) Budget() float64 {
+	s.mu.Lock()
+	b := s.Tracker.Budget()
+	s.mu.Unlock()
+	return b
 }
 
 // ObserveLoss records one transmission's loss outcome: folded best-effort
@@ -169,17 +414,23 @@ func (s *State) observeTime(worker int, seconds float64) {
 // accumulator and RSP's staleness accounting is untouched) and reliable
 // rows that had to be retransmitted, with the repeat bytes they cost.
 func (s *State) ObserveLoss(folded, retransmitted int, retransmitBytes float64) {
+	s.mu.Lock()
 	if s.Journal != nil {
 		s.Journal.JournalLoss(folded, retransmitted, retransmitBytes)
 	}
 	s.Loss.RowsLostFolded += folded
 	s.Loss.RowsRetransmitted += retransmitted
 	s.Loss.RetransmitBytes += retransmitBytes
+	s.mu.Unlock()
 }
 
 // Detach removes the worker from membership: its rows stop pinning the
 // RSP minimum. Idempotent; counts one disconnect per actual detach.
 func (s *State) Detach(worker int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockShardsLocked()
+	defer s.unlockShardsLocked()
 	if !s.Versions.IsActive(worker) {
 		return
 	}
@@ -193,6 +444,10 @@ func (s *State) Detach(worker int) {
 // Attach re-admits a detached worker, re-baselining its rows at the
 // surviving minimum, and returns that baseline iteration.
 func (s *State) Attach(worker int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockShardsLocked()
+	defer s.unlockShardsLocked()
 	if s.Journal != nil {
 		s.Journal.JournalAttach(worker)
 	}
@@ -201,11 +456,58 @@ func (s *State) Attach(worker int) int64 {
 	return base
 }
 
+// IsActive reports whether the worker is currently attached.
+func (s *State) IsActive(worker int) bool {
+	s.mu.Lock()
+	ok := s.Versions.IsActive(worker)
+	s.mu.Unlock()
+	return ok
+}
+
+// ActiveWorkers returns the number of currently attached workers.
+func (s *State) ActiveWorkers() int {
+	s.mu.Lock()
+	n := s.Versions.ActiveWorkers()
+	s.mu.Unlock()
+	return n
+}
+
+// MaxAhead returns the largest current lead of any attached entry over the
+// global minimum, scanning the whole version matrix quiesced.
+func (s *State) MaxAhead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockShardsLocked()
+	defer s.unlockShardsLocked()
+	return s.Versions.MaxAhead()
+}
+
 // DrainUnit zeroes worker's averaged copy of unit after its contents left
 // the server inside a pull or resync transmission. Both runtimes must
 // drain through here (not GradStore.ZeroUnit directly) so the transition
 // reaches the journal.
 func (s *State) DrainUnit(worker, unit int) {
+	sh := s.shards[s.sm.ShardOf(unit)]
+	sh.mu.Lock()
+	s.drainUnitLocked(worker, unit)
+	sh.mu.Unlock()
+}
+
+// DrainUnitWith runs fn over worker's live averaged copy of unit, then
+// drains it, all under the owning shard's lock — the encode-then-drain
+// step of the socket server's pull path, which must not let a concurrent
+// merge land between the copy leaving and the zero (the merged mass would
+// be silently dropped).
+func (s *State) DrainUnitWith(worker, unit int, fn func(vals []float32)) {
+	sh := s.shards[s.sm.ShardOf(unit)]
+	sh.mu.Lock()
+	fn(s.Acc[worker].Unit(unit))
+	s.drainUnitLocked(worker, unit)
+	sh.mu.Unlock()
+}
+
+// drainUnitLocked journals and zeroes; caller holds the unit's shard lock.
+func (s *State) drainUnitLocked(worker, unit int) {
 	if s.Journal != nil {
 		s.Journal.JournalDrain(worker, unit)
 	}
@@ -216,21 +518,182 @@ func (s *State) DrainUnit(worker, unit int) {
 // DrainUnit whose transmission never made it out, conserving gradient
 // mass. Journaled for the same reason DrainUnit is.
 func (s *State) RestoreUnit(worker, unit int, vals []float32) {
+	sh := s.shards[s.sm.ShardOf(unit)]
+	sh.mu.Lock()
 	if s.Journal != nil {
 		s.Journal.JournalRestore(worker, unit, vals)
 	}
 	s.Acc[worker].AddUnit(unit, vals, 1)
+	sh.mu.Unlock()
 }
 
 // Backlog lists the units holding accumulated mass for the worker — what a
 // rejoin resync must replay. The caller transmits them and adds the count
-// to Churn.RowsResynced.
+// to the churn stats via AddRowsResynced. Cost is proportional to the
+// backlog size (the accumulators track dirty units per shard).
 func (s *State) Backlog(worker int) []int {
-	var units []int
-	for u := 0; u < s.part.NumUnits(); u++ {
-		if s.Acc[worker].MeanAbs(u) != 0 {
-			units = append(units, u)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockShardsLocked()
+	defer s.unlockShardsLocked()
+	return s.Acc[worker].Backlog()
+}
+
+// DrainBacklog encodes and drains the worker's whole backlog: fn runs over
+// each dirty unit's live mass under the owning locks, and the unit is
+// zeroed before the next one is visited. It returns the number of units
+// drained. This is the socket server's rejoin resync, made atomic against
+// concurrent merges the same way DrainUnitWith is.
+func (s *State) DrainBacklog(worker int, fn func(unit int, vals []float32)) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockShardsLocked()
+	defer s.unlockShardsLocked()
+	units := s.Acc[worker].Backlog()
+	for _, u := range units {
+		fn(u, s.Acc[worker].Unit(u))
+		s.drainUnitLocked(worker, u)
+	}
+	return len(units)
+}
+
+// ChurnSnapshot returns the churn counters with the per-shard duplicate
+// counts folded in — the consistent read both runtimes report from.
+func (s *State) ChurnSnapshot() metrics.ChurnStats {
+	var c metrics.ChurnStats
+	s.WithAllLocked(func() { c = s.ChurnLocked() })
+	return c
+}
+
+// ChurnLocked folds the per-shard duplicate counts into the churn
+// counters. The caller holds the whole state (WithAllLocked) — the
+// checkpoint encoder reads through here while the snapshot barrier is up.
+func (s *State) ChurnLocked() metrics.ChurnStats {
+	c := s.Churn
+	for _, sh := range s.shards {
+		c.DuplicatesDropped += int(sh.dups)
+	}
+	return c
+}
+
+// LossSnapshot returns the loss counters under the state lock.
+func (s *State) LossSnapshot() metrics.LossStats {
+	s.mu.Lock()
+	l := s.Loss
+	s.mu.Unlock()
+	return l
+}
+
+// AddDetachStall charges sec seconds of released wait time to churn —
+// stall attributable to a detach unblocking the staleness gate.
+func (s *State) AddDetachStall(sec float64) {
+	s.mu.Lock()
+	s.Churn.DetachStall += sec
+	s.mu.Unlock()
+}
+
+// AddRowsResynced counts n rows replayed by a rejoin resync.
+func (s *State) AddRowsResynced(n int) {
+	s.mu.Lock()
+	s.Churn.RowsResynced += n
+	s.mu.Unlock()
+}
+
+// RestoreVersions replaces the version store with one rebuilt from
+// checkpointed state, sharded identically. Recovery-time only: the state
+// must not be shared yet.
+func (s *State) RestoreVersions(v [][]int64, active []bool, frozenMin int64) {
+	s.Versions = rowsync.RestoreVersionStoreSharded(v, active, frozenMin, s.sm)
+}
+
+// minShardIndex returns the shard whose cached minimum pins the global
+// minimum (lowest index on ties) — where a parked staleness gate is most
+// usefully registered.
+func (s *State) minShardIndex() int {
+	best := 0
+	min := s.Versions.MinShard(0)
+	for i := 1; i < len(s.shards); i++ {
+		if m := s.Versions.MinShard(i); m < min {
+			min, best = m, i
 		}
 	}
-	return units
+	return best
+}
+
+// ParkWaiter parks worker w's retry closure on the shard currently
+// pinning the global minimum — the shard whose progress can unblock it.
+func (s *State) ParkWaiter(w int, now float64, retry func() bool) {
+	s.shards[s.minShardIndex()].wait.Park(w, now, retry)
+}
+
+// DropWaiter discards w's parked retry wherever it is parked.
+func (s *State) DropWaiter(w int) {
+	for _, sh := range s.shards {
+		sh.wait.Drop(w)
+	}
+}
+
+// WaitersParked reports how many workers are parked across all shards.
+func (s *State) WaitersParked() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.wait.Len()
+	}
+	return n
+}
+
+// WakeWaiters retries every parked worker in globally ascending worker
+// order — merged across shards, so the wake sequence is identical to the
+// single-shard list's and the simnet event order stays deterministic.
+func (s *State) WakeWaiters(now float64) { s.wakeWaiters(now, nil) }
+
+// WakeWaitersDetach is WakeWaiters for a detach-triggered wake: each
+// resumed worker's time parked is charged to the churn stall counter.
+func (s *State) WakeWaitersDetach(now float64) {
+	var stall float64
+	s.wakeWaiters(now, &stall)
+	if stall != 0 {
+		s.AddDetachStall(stall)
+	}
+}
+
+func (s *State) wakeWaiters(now float64, stall *float64) {
+	if len(s.shards) == 1 {
+		s.shards[0].wait.WakeAttributing(now, stall)
+		return
+	}
+	type parked struct {
+		w  int
+		wl *WaitList
+	}
+	var all []parked
+	for _, sh := range s.shards {
+		for _, w := range sh.wait.Workers() {
+			all = append(all, parked{w, sh.wait})
+		}
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].w < all[j-1].w; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	for _, p := range all {
+		p.wl.TryResume(p.w, now, stall)
+	}
+}
+
+// TransferWaiters moves every parked retry into dst, preserving park
+// stamps — the state-adoption step of a server recovery (the survivors'
+// gates must re-evaluate against the recovered state, not the dead one).
+func (s *State) TransferWaiters(dst *State) {
+	for _, sh := range s.shards {
+		sh.wait.mu.Lock()
+		pending, parkedAt := sh.wait.pending, sh.wait.parkedAt
+		sh.wait.pending = make(map[int]func() bool)
+		sh.wait.parkedAt = make(map[int]float64)
+		sh.wait.mu.Unlock()
+		for w, retry := range pending {
+			dst.shards[dst.minShardIndex()].wait.Park(w, parkedAt[w], retry)
+		}
+	}
 }

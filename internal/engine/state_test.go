@@ -65,8 +65,8 @@ func TestMergeVersionStampsAndHook(t *testing.T) {
 	if len(log) != 1 || log[0] != [3]int64{1, 1, 5} {
 		t.Fatalf("hook log = %v, want only the fresh merge", log)
 	}
-	if s.Churn.DuplicatesDropped != 1 {
-		t.Fatalf("duplicates dropped = %d, want 1", s.Churn.DuplicatesDropped)
+	if got := s.ChurnSnapshot().DuplicatesDropped; got != 1 {
+		t.Fatalf("duplicates dropped = %d, want 1", got)
 	}
 	// The duplicate's gradients must not have been double-counted: one
 	// merge of 2s over 2 attached workers leaves exactly 1 in each copy.

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -117,5 +119,133 @@ func TestWaitListReparkOverwrites(t *testing.T) {
 	}
 	if stall != 3 {
 		t.Fatalf("stall attributed from stale park time: %v", stall)
+	}
+}
+
+// TestWaitListConcurrentWakeWait hammers one list the way the sharded
+// socket server does: worker goroutines park (and re-park after spurious
+// resumes) while several shard goroutines concurrently Wake. Each worker's
+// predicate releases when the shared gate reaches its threshold, and must
+// resume exactly once — the claim-run-restore protocol in TryResume may run
+// a still-blocked retry many times, but a released one can never be run
+// twice or lost. Run under -race this is satellite coverage for concurrent
+// wake/wait from multiple shard goroutines.
+func TestWaitListConcurrentWakeWait(t *testing.T) {
+	const (
+		workers = 32
+		wakers  = 4
+	)
+	wl := NewWaitList()
+	var (
+		gate    atomic.Int64
+		resumed [workers]atomic.Int32
+		done    atomic.Bool
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		w := w
+		wl.Park(w, float64(w), func() bool {
+			if gate.Load() < int64(w/4) {
+				return false
+			}
+			resumed[w].Add(1)
+			return true
+		})
+	}
+	for k := 0; k < wakers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				wl.Wake()
+			}
+		}()
+	}
+	for g := int64(0); g <= workers/4; g++ {
+		gate.Store(g)
+		// Wake from the driver too — a shard merging while others wake.
+		wl.Wake()
+	}
+	// Every predicate is now satisfied; drain whatever the racing wakers
+	// have not yet claimed, then stop them.
+	for wl.Len() > 0 {
+		wl.Wake()
+	}
+	done.Store(true)
+	wg.Wait()
+
+	for w := 0; w < workers; w++ {
+		if n := resumed[w].Load(); n != 1 {
+			t.Fatalf("worker %d resumed %d times, want exactly once", w, n)
+		}
+	}
+	if wl.Len() != 0 {
+		t.Fatalf("%d workers still parked", wl.Len())
+	}
+}
+
+// TestWaitListConcurrentParkDrop interleaves Park, Drop and Wake across
+// goroutines: droppable workers whose predicate never releases must all be
+// gone at the end (no ghost entries), while late-parked workers with an
+// always-true predicate must all resume.
+func TestWaitListConcurrentParkDrop(t *testing.T) {
+	const (
+		blocked = 16 // parked with a never-true predicate, then dropped
+		late    = 16 // parked mid-storm with an always-true predicate
+	)
+	wl := NewWaitList()
+	var (
+		resumed [late]atomic.Int32
+		done    atomic.Bool
+		wgWork  sync.WaitGroup
+		wgWake  sync.WaitGroup
+	)
+	for w := 0; w < blocked; w++ {
+		wl.Park(w, 0, func() bool { return false })
+	}
+	wgWake.Add(1)
+	go func() {
+		defer wgWake.Done()
+		for !done.Load() {
+			wl.Wake()
+		}
+	}()
+	wgWork.Add(1)
+	go func() {
+		defer wgWork.Done()
+		for w := 0; w < late; w++ {
+			w := w
+			wl.Park(blocked+w, 0, func() bool {
+				resumed[w].Add(1)
+				return true
+			})
+		}
+	}()
+	wgWork.Add(1)
+	go func() {
+		defer wgWork.Done()
+		for w := 0; w < blocked; w++ {
+			wl.Drop(w)
+		}
+	}()
+	wgWork.Wait()
+	done.Store(true)
+	wgWake.Wait()
+
+	// The wake storm is over; anything still parked is either a ghost
+	// (bug) or a late worker the storm missed (drain it now).
+	wl.Wake()
+	for w := 0; w < blocked; w++ {
+		if wl.Parked(w) {
+			t.Fatalf("dropped worker %d still parked", w)
+		}
+	}
+	for w := 0; w < late; w++ {
+		if n := resumed[w].Load(); n != 1 {
+			t.Fatalf("late worker %d resumed %d times, want exactly once", w, n)
+		}
+	}
+	if wl.Len() != 0 {
+		t.Fatalf("%d entries left parked", wl.Len())
 	}
 }

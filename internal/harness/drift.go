@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"rog/internal/metrics"
+)
+
+// Bench-drift support: `make bench-save` snapshots a rogbench -json report
+// to BENCH_<n>.json, and `rogbench -drift BENCH_<n>.json` reruns the same
+// experiment at the same scale and renders what moved. The comparison is a
+// report, not a gate — the simnet is deterministic, so any drift is a real
+// behaviour change worth reading about, but whether it is a regression or
+// an intended improvement is the reader's call.
+
+// ReadJSONReport parses a report previously written by Report.WriteJSON.
+func ReadJSONReport(r io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("harness: parsing benchmark snapshot: %w", err)
+	}
+	if rep.Experiment == "" {
+		return nil, fmt.Errorf("harness: benchmark snapshot names no experiment")
+	}
+	return &rep, nil
+}
+
+// driftPct renders a relative change, guarding the zero baseline.
+func driftPct(base, cur float64) string {
+	if base == cur {
+		return "="
+	}
+	if base == 0 {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-base)/math.Abs(base))
+}
+
+// DriftTable compares a fresh report against a snapshot of the same
+// experiment, one row per system (matched by label).
+func DriftTable(base, cur *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench drift: %s (scale=%s, snapshot scale=%s)\n",
+		cur.Experiment, cur.Scale, base.Scale)
+	byLabel := make(map[string]*SystemReport, len(base.Systems))
+	for i := range base.Systems {
+		byLabel[base.Systems[i].Label] = &base.Systems[i]
+	}
+	var rows [][]string
+	for i := range cur.Systems {
+		c := &cur.Systems[i]
+		o, ok := byLabel[c.Label]
+		if !ok {
+			rows = append(rows, []string{c.Label, "-", fmt.Sprintf("%d", c.Iterations),
+				"new", "new", "new", fmt.Sprintf("%d", c.MaxStaleness)})
+			continue
+		}
+		delete(byLabel, c.Label)
+		rows = append(rows, []string{
+			c.Label,
+			fmt.Sprintf("%d", o.Iterations),
+			fmt.Sprintf("%d", c.Iterations),
+			driftPct(float64(o.Iterations), float64(c.Iterations)),
+			driftPct(o.FinalValue, c.FinalValue),
+			driftPct(o.TotalJoules, c.TotalJoules),
+			fmt.Sprintf("%d→%d", o.MaxStaleness, c.MaxStaleness),
+		})
+	}
+	dropped := make([]string, 0, len(byLabel))
+	for label := range byLabel {
+		dropped = append(dropped, label)
+	}
+	sort.Strings(dropped)
+	for _, label := range dropped {
+		rows = append(rows, []string{label, fmt.Sprintf("%d", byLabel[label].Iterations),
+			"-", "dropped", "dropped", "dropped", "-"})
+	}
+	b.WriteString(metrics.FormatTable(
+		[]string{"system", "iters (base)", "iters (now)", "Δiters", "Δfinal", "Δjoules", "staleness"},
+		rows,
+	))
+	return b.String()
+}

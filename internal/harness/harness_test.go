@@ -155,12 +155,12 @@ func TestRegistryCompleteness(t *testing.T) {
 		"ablation-granularity", "ablation-importance", "ablation-speculative",
 		"churn",
 	}
-	// +6: ext-pipeline, ext-dssp, ext-convmlp, ext-gridmap, ext-loss,
-	// ext-recovery
-	if len(reg) != len(want)+6 {
-		t.Fatalf("registry has %d entries, want %d", len(reg), len(want)+6)
+	// +7: ext-pipeline, ext-dssp, ext-convmlp, ext-gridmap, ext-loss,
+	// ext-recovery, fleet
+	if len(reg) != len(want)+7 {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want)+7)
 	}
-	for _, id := range []string{"ext-loss", "ext-recovery"} {
+	for _, id := range []string{"ext-loss", "ext-recovery", "fleet"} {
 		if _, ok := Find(id); !ok {
 			t.Fatalf("experiment %q missing", id)
 		}

@@ -43,13 +43,16 @@ type Report struct {
 
 // SystemReport is one compared system's slice of a Report.
 type SystemReport struct {
-	Label          string  `json:"label"`
-	Strategy       string  `json:"strategy"`
-	Threshold      int     `json:"threshold"`
-	Iterations     int     `json:"iterations"`
-	FinalValue     float64 `json:"final_value"`
-	TotalJoules    float64 `json:"total_joules"`
-	StallFrac      float64 `json:"stall_frac"`
+	Label       string  `json:"label"`
+	Strategy    string  `json:"strategy"`
+	Threshold   int     `json:"threshold"`
+	Iterations  int     `json:"iterations"`
+	FinalValue  float64 `json:"final_value"`
+	TotalJoules float64 `json:"total_joules"`
+	StallFrac   float64 `json:"stall_frac"`
+	// MaxStaleness is the largest merge lead the run observed — the
+	// empirical RSP bound (0 is omitted; BSP never leads).
+	MaxStaleness   int64   `json:"max_staleness,omitempty"`
 	ComputeSeconds float64 `json:"compute_seconds"`
 	CommSeconds    float64 `json:"comm_seconds"`
 	StallSeconds   float64 `json:"stall_seconds"`
@@ -140,16 +143,19 @@ func jsonExperiments(id string, s Scale) (EndToEndOptions, Report, error) {
 				Metric: "accuracy", Increasing: true}, nil
 	default:
 		return EndToEndOptions{}, Report{}, fmt.Errorf(
-			"harness: experiment %q has no JSON export (want fig1, fig6, fig7, churn, loss or ext-recovery)", id)
+			"harness: experiment %q has no JSON export (want fig1, fig6, fig7, churn, loss, fleet or ext-recovery)", id)
 	}
 }
 
 // RunJSONReport executes one JSON-exportable experiment at the given scale.
 func RunJSONReport(id string, s Scale) (*Report, error) {
-	// ext-recovery is a policy sweep, not a systems comparison, so it has
-	// its own report builder.
+	// ext-recovery and fleet are sweeps, not systems comparisons, so they
+	// have their own report builders.
 	if id == "ext-recovery" {
 		return runExtRecoveryJSON(s)
+	}
+	if id == "fleet" {
+		return runFleetJSON(s)
 	}
 	opts, rep, err := jsonExperiments(id, s)
 	if err != nil {
@@ -180,6 +186,7 @@ func fillReport(rep *Report, results []*core.Result, withChurn, withLoss bool) {
 			FinalValue:     r.FinalValue,
 			TotalJoules:    r.TotalJoules,
 			StallFrac:      r.StallFrac,
+			MaxStaleness:   r.MaxStaleness,
 			ComputeSeconds: r.Composition.Compute,
 			CommSeconds:    r.Composition.Comm,
 			StallSeconds:   r.Composition.Stall,

@@ -45,6 +45,7 @@ func Registry() []Experiment {
 		{"ext-recovery", "Extension: crash-consistent checkpointing — snapshot interval vs recovery cost (servercrash)", runExtRecovery},
 		{"ext-pipeline", "Future-work extension: pipelined computation and communication (Sec. VI-D)", runExtPipeline},
 		{"ext-dssp", "Extension: dynamic-staleness SSP (Zhao et al.) vs fixed SSP and ROG", runExtDSSP},
+		{"fleet", "Fleet scaling: sharded parameter service × edge aggregation, up to 256 robots", runFleet},
 		{"ext-convmlp", "Architecture-faithful CRUDA: ConvMLP stem + MLP head on synthetic images", runExtConvMLP},
 		{"ext-gridmap", "Architecture-faithful CRIMP: NICE-SLAM-style feature-grid map", runExtGridMap},
 	}

@@ -107,7 +107,9 @@ func simnetMergeLog(t *testing.T, strategy core.Strategy) ([][]mergeEvent, int) 
 
 // livenetMergeLog runs the same policy over net.Pipe connections, driving
 // the workers round-robin so the staleness gate never parks a handler.
-func livenetMergeLog(t *testing.T, policyName string) ([][]mergeEvent, []int64) {
+// shards picks the server's lock split; merge order is shard-independent
+// because pushes walk units ascending.
+func livenetMergeLog(t *testing.T, policyName string, shards int) ([][]mergeEvent, []int64) {
 	t.Helper()
 	proto := parityModel()
 	part := rowsync.NewPartition(proto.Params(), rowsync.Rows)
@@ -126,6 +128,7 @@ func livenetMergeLog(t *testing.T, policyName string) ([][]mergeEvent, []int64) 
 		Workers:   parityWorkers,
 		Threshold: parityThreshold,
 		Policy:    serverPolicy,
+		Shards:    shards,
 		// Generous floor: the pipe is microseconds per frame, so neither a
 		// pull nor (after the first pull-done) a push is ever cut.
 		MTAFloorSeconds: 5,
@@ -212,7 +215,7 @@ func diffMergeLogs(sim, live [][]mergeEvent) error {
 
 func runParity(t *testing.T, strategy core.Strategy, policyName string) {
 	simLogs, simIters := simnetMergeLog(t, strategy)
-	liveLogs, liveIters := livenetMergeLog(t, policyName)
+	liveLogs, liveIters := livenetMergeLog(t, policyName, 1)
 
 	if simIters != parityIters {
 		t.Fatalf("simnet completed %d iterations, want %d", simIters, parityIters)
@@ -234,3 +237,22 @@ func runParity(t *testing.T, strategy core.Strategy, policyName string) {
 
 func TestParitySSP(t *testing.T) { runParity(t, core.SSP, "ssp") }
 func TestParityROG(t *testing.T) { runParity(t, core.ROG, "rog") }
+
+// TestParityShardedServer pins the refactor's parity claim on the socket
+// runtime: a server split across 4 shard locks merges exactly the
+// per-worker (unit, version) sequences the single-lock server — and
+// therefore the simnet reference — produces. Pushes walk units ascending,
+// so the shard split changes which lock each merge takes but never the
+// order the merges land in.
+func TestParityShardedServer(t *testing.T) {
+	simLogs, _ := simnetMergeLog(t, core.ROG)
+	liveLogs, liveIters := livenetMergeLog(t, "rog", 4)
+	for w, it := range liveIters {
+		if it != parityIters {
+			t.Fatalf("sharded livenet worker %d completed %d iterations, want %d", w, it, parityIters)
+		}
+	}
+	if err := diffMergeLogs(simLogs, liveLogs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,11 @@ type ServerConfig struct {
 	Workers   int
 	Threshold int
 	Coeff     atp.Coefficients
+	// Shards splits the server state into this many contiguous unit-range
+	// shards, each behind its own lock, so pushes landing on different
+	// ranges merge in parallel (clamped to [1, NumUnits]; 0 means 1 — the
+	// historical single-lock server, which shard 1 reproduces bit-for-bit).
+	Shards int
 	// Policy overrides the synchronization policy (any engine registry
 	// entry). nil selects ROG built from Workers/Threshold/Coeff — the
 	// paper's system and the historical default of this package.
@@ -38,7 +43,8 @@ type ServerConfig struct {
 	IdleTimeout time.Duration
 	// OnMerge, when set, observes every row merged into the server state
 	// (worker, unit, stamped version) — instrumentation for the
-	// simnet↔livenet parity tests. Called under the server mutex.
+	// simnet↔livenet parity tests. Called under the owning shard's lock;
+	// it must not call back into the server or its state.
 	OnMerge func(worker, unit int, iter int64)
 	// Trace, when set, receives structured events for every merge, gate
 	// stall and membership change, timestamped in seconds since NewServer.
@@ -108,9 +114,14 @@ type Server struct {
 	probe *obs.Probe   // nil when tracing and metrics are both off
 	debug net.Listener // nil unless cfg.DebugAddr was set
 
+	// Lock order: mu → state's internal locks (State.mu → shard.mu,
+	// ascending) → the durable store's. The merge path never takes mu at
+	// all — rows batch per push and land through State.MergeBatch under
+	// the owning shard locks only; mu guards the residue below plus the
+	// gate condition variable.
 	mu          sync.Mutex
 	cond        *sync.Cond           // signals on mu; set once in NewServer
-	state       *engine.State        // guarded by mu
+	state       *engine.State        // internally locked; the pointer itself is set once in NewServer
 	codecs      []*compress.Codec    // guarded by mu — per-worker downlink error feedback
 	pending     [][]compress.Payload // guarded by mu — rows encoded for an in-flight pull
 	closed      bool                 // guarded by mu
@@ -151,7 +162,7 @@ func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		part:  part,
-		state: engine.NewState(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds),
+		state: engine.NewStateSharded(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds, cfg.Shards),
 	}
 	if cfg.Durable != nil {
 		if cfg.Durable.HasState() {
@@ -161,7 +172,7 @@ func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 			// worker is detached — the first HandleConn for each re-attaches
 			// it through the ordinary rejoin resync, which re-baselines its
 			// rows and dedupes any pre-crash push it retransmits.
-			rec, _, err := cfg.Durable.Recover(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds)
+			rec, _, err := cfg.Durable.RecoverSharded(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds, cfg.Shards)
 			if err != nil {
 				return nil, fmt.Errorf("livenet: recover checkpoint store: %w", err)
 			}
@@ -239,31 +250,33 @@ func (s *Server) Checkpoint() error {
 	if s.cfg.Durable == nil {
 		return fmt.Errorf("livenet: no checkpoint store configured")
 	}
+	// Quiesce the whole state for the snapshot-encode + WAL-rotate pair:
+	// with the merge path no longer under s.mu, the shard locks are the
+	// only barrier against a merge journaling into a WAL that is being
+	// retired.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cfg.Durable.Checkpoint(s.state, nil)
+	var err error
+	s.state.WithAllLocked(func() {
+		err = s.cfg.Durable.Checkpoint(s.state, nil)
+	})
+	return err
 }
 
 // MaxStalenessObserved reports the largest version lead seen (for tests:
 // it must never exceed the threshold).
 func (s *Server) MaxStalenessObserved() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state.Versions.MaxAhead()
+	return s.state.MaxAhead()
 }
 
 // ActiveWorkers reports how many workers are currently attached.
 func (s *Server) ActiveWorkers() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state.Versions.ActiveWorkers()
+	return s.state.ActiveWorkers()
 }
 
 // Churn returns a snapshot of the membership-churn counters.
 func (s *Server) Churn() metrics.ChurnStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state.Churn
+	return s.state.ChurnSnapshot()
 }
 
 // HandleConn serves one worker's connection until it ends. It processes
@@ -293,9 +306,39 @@ func (s *Server) HandleConn(worker int, conn net.Conn) error {
 	return err
 }
 
+// pushBatch buffers one in-flight push's rows between the first kindRow
+// frame and the pushDone that closes it, so the whole push merges with one
+// shard-lock acquisition per contiguous run instead of one lock per row.
+type pushBatch struct {
+	units []int
+	vals  [][]float32
+	iters []int64
+}
+
+// flushPush merges the buffered rows in arrival order, batched per run of
+// equal iteration stamps (in the strict request-response protocol a push's
+// rows all carry one stamp; the grouping keeps a malformed interleaving
+// correct rather than fast).
+func (s *Server) flushPush(worker int, b *pushBatch) {
+	for i := 0; i < len(b.units); {
+		j := i
+		for j < len(b.units) && b.iters[j] == b.iters[i] {
+			j++
+		}
+		s.state.MergeBatch(worker, b.units[i:j], b.vals[i:j], b.iters[i])
+		i = j
+	}
+	b.units, b.vals, b.iters = b.units[:0], b.vals[:0], b.iters[:0]
+}
+
 // serve is the receive loop; it reports how the connection ended.
 func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 	rc := transport.NewReceiver(conn)
+	var batch pushBatch
+	// A connection that dies mid-push still merges what arrived — the
+	// partial-push mass lands before the detach folds state, exactly as
+	// the per-row merge path used to guarantee.
+	defer s.flushPush(worker, &batch)
 	for {
 		if s.cfg.IdleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
@@ -321,11 +364,20 @@ func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 		}
 		switch msg.kind {
 		case kindRow:
-			s.applyPush(worker, msg)
+			// Decode outside any lock; the row merges at pushDone (or at
+			// connection end) through the batched per-shard path.
+			vals := make([]float32, msg.payload.N)
+			compress.Decode(msg.payload, vals)
+			batch.units = append(batch.units, msg.payload.Row)
+			batch.vals = append(batch.vals, vals)
+			batch.iters = append(batch.iters, msg.iter)
 		case kindPushDone:
-			s.mu.Lock()
+			s.flushPush(worker, &batch)
 			n := msg.iter
 			s.state.ObservePush(worker, n, msg.mta, msg.mta, true)
+			s.mu.Lock()
+			// The flushed merges may release other workers' parked gates.
+			s.cond.Broadcast()
 			// The staleness gate: serve the pull only when the policy lets
 			// the worker advance past iteration n. Min() spans attached
 			// workers only, so a departed teammate cannot park this loop
@@ -340,7 +392,7 @@ func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 				}
 				s.probe.StallEnd(worker, n, "gate", time.Since(waitStart).Seconds())
 				if s.detachEpoch != epoch {
-					s.state.Churn.DetachStall += time.Since(waitStart).Seconds()
+					s.state.AddDetachStall(time.Since(waitStart).Seconds())
 				}
 			}
 			frames, plan, budget, min := s.planPullLocked(worker, n)
@@ -361,7 +413,7 @@ func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 func (s *Server) detach(worker int, cause string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.state.Versions.IsActive(worker) {
+	if !s.state.IsActive(worker) {
 		return
 	}
 	s.state.Detach(worker)
@@ -384,29 +436,30 @@ func (s *Server) detach(worker int, cause string) {
 // next push cannot violate monotonicity or the staleness bound. For a
 // worker that was never detached this is a no-op.
 func (s *Server) attach(worker int, conn net.Conn) error {
-	s.mu.Lock()
-	if s.state.Versions.IsActive(worker) {
-		s.mu.Unlock()
+	if s.state.IsActive(worker) {
 		return nil
 	}
-	// Encode the backlog under the lock; send outside it.
+	// Encode the backlog atomically with its drain (DrainBacklog runs the
+	// closure under the owning shard locks, so no concurrent merge can
+	// slip mass in between the copy leaving and the zero); send outside
+	// every lock.
 	var frames [][]byte
 	var payloads []compress.Payload
-	for _, u := range s.state.Backlog(worker) {
-		payload := s.codecs[worker].Encode(u, s.state.Acc[worker].Unit(u))
-		s.state.DrainUnit(worker, u)
+	s.mu.Lock()
+	n := s.state.DrainBacklog(worker, func(u int, vals []float32) {
+		payload := s.codecs[worker].Encode(u, vals)
 		payloads = append(payloads, payload)
 		frames = append(frames, pullMsg(payload))
-	}
+	})
 	baseline := s.state.Attach(worker)
-	s.state.Churn.RowsResynced += len(frames)
+	s.state.AddRowsResynced(n)
 	s.probe.Reconnect(worker, baseline)
 	var resyncBytes float64
 	for _, f := range frames {
 		resyncBytes += float64(len(f))
 	}
 	s.probe.Resync(worker, len(frames), resyncBytes)
-	budget := s.budgetLocked()
+	budget := s.budgetFloored()
 	min := s.state.Versions.Min()
 	s.cond.Broadcast() // the rejoined rows may re-gate or release waiters
 	s.mu.Unlock()
@@ -417,38 +470,19 @@ func (s *Server) attach(worker int, conn net.Conn) error {
 	}
 	if err != nil {
 		// Conserve the undelivered mass; the next attach replays it.
-		s.mu.Lock()
 		for _, p := range payloads[sent:] {
 			vals := make([]float32, p.N)
 			compress.Decode(p, vals)
 			s.state.RestoreUnit(worker, p.Row, vals)
 		}
-		s.mu.Unlock()
 		return fmt.Errorf("livenet: worker %d resync: %w", worker, err)
 	}
 	return nil
 }
 
-// applyPush folds one received row into the shared engine state: every
-// worker's averaged copy — including detached workers' copies, which
-// accumulate the backlog their rejoin resync will replay — with averaging
-// normalized to the attached team size and the row version-stamped
-// (engine.State.Merge owns those semantics).
-func (s *Server) applyPush(worker int, msg parsed) {
-	u := msg.payload.Row
-	vals := make([]float32, msg.payload.N)
-	compress.Decode(msg.payload, vals)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.state.Merge(worker, u, vals, msg.iter)
-	s.cond.Broadcast()
-}
-
-// budgetLocked is the MTA-time budget clamped to the configured floor.
-// Must hold s.mu.
-func (s *Server) budgetLocked() float64 {
-	budget := s.state.Tracker.Budget()
+// budgetFloored is the MTA-time budget clamped to the configured floor.
+func (s *Server) budgetFloored() float64 {
+	budget := s.state.Budget()
 	if budget < s.cfg.MTAFloorSeconds {
 		budget = s.cfg.MTAFloorSeconds
 	}
@@ -463,13 +497,17 @@ func (s *Server) planPullLocked(worker int, n int64) ([][]byte, engine.Plan, flo
 	frames := make([][]byte, 0, len(plan.Units))
 	payloads := make([]compress.Payload, 0, len(plan.Units))
 	for _, u := range plan.Units {
-		payload := s.codecs[worker].Encode(u, s.state.Acc[worker].Unit(u))
-		s.state.DrainUnit(worker, u)
+		var payload compress.Payload
+		// Encode-then-drain under the owning shard lock: a merge landing
+		// between the two would otherwise vanish with the zero.
+		s.state.DrainUnitWith(worker, u, func(vals []float32) {
+			payload = s.codecs[worker].Encode(u, vals)
+		})
 		payloads = append(payloads, payload)
 		frames = append(frames, pullMsg(payload))
 	}
 	s.pending[worker] = payloads
-	return frames, plan, s.budgetLocked(), s.state.Versions.Min()
+	return frames, plan, s.budgetFloored(), s.state.Versions.Min()
 }
 
 // restoreUnsent re-adds the decoded values of rows the deadline cut off

@@ -7,6 +7,7 @@ package rowsync
 
 import (
 	"fmt"
+	"sort"
 
 	"rog/internal/compress"
 	"rog/internal/tensor"
@@ -130,16 +131,43 @@ func (p *Partition) IndexOverhead() int {
 // Workers accumulate locally computed gradients in one (Algo. 1 line 3);
 // the server keeps one per worker for averaged, not-yet-pulled gradients
 // (the per-worker copies of Fig. 5).
+//
+// A sharded store (NewGradStoreSharded) additionally tracks which units
+// hold unconsumed mass, one dirty set per shard so concurrent writers
+// under different shard locks never share a map. That makes Backlog —
+// the rejoin resync listing — proportional to the backlog size instead of
+// an O(units) mean-abs scan. Worker-local stores skip the tracking: they
+// Accumulate over the whole model every iteration, so a dirty set would
+// always be full.
 type GradStore struct {
-	part *Partition
-	data [][]float32
+	part  *Partition
+	data  [][]float32
+	sm    *ShardMap
+	dirty []map[int]struct{} // per shard, units with possibly nonzero mass
 }
 
-// NewGradStore allocates a zeroed store for the partition.
+// NewGradStore allocates a zeroed store for the partition with no dirty
+// tracking.
 func NewGradStore(p *Partition) *GradStore {
 	g := &GradStore{part: p, data: make([][]float32, p.NumUnits())}
 	for i := range g.data {
 		g.data[i] = make([]float32, p.Unit(i).Len)
+	}
+	return g
+}
+
+// NewGradStoreSharded allocates a zeroed store whose dirty-unit tracking is
+// split along sm's shard ranges. Each shard's set is guarded by whatever
+// lock the caller uses for that shard's units.
+func NewGradStoreSharded(p *Partition, sm *ShardMap) *GradStore {
+	g := NewGradStore(p)
+	if sm.NumUnits() != p.NumUnits() {
+		panic(fmt.Sprintf("rowsync: shard map covers %d units, partition has %d", sm.NumUnits(), p.NumUnits()))
+	}
+	g.sm = sm
+	g.dirty = make([]map[int]struct{}, sm.NumShards())
+	for s := range g.dirty {
+		g.dirty[s] = make(map[int]struct{})
 	}
 	return g
 }
@@ -154,6 +182,9 @@ func (g *GradStore) Accumulate(grads []*tensor.Matrix) {
 		for i, v := range src {
 			dst[i] += v
 		}
+		if g.dirty != nil {
+			g.dirty[g.sm.ShardOf(u)][u] = struct{}{}
+		}
 	}
 }
 
@@ -166,6 +197,9 @@ func (g *GradStore) AddUnit(u int, vals []float32, scale float32) {
 	for i, v := range vals {
 		dst[i] += v * scale
 	}
+	if g.dirty != nil {
+		g.dirty[g.sm.ShardOf(u)][u] = struct{}{}
+	}
 }
 
 // Unit returns the accumulated gradient of unit u (a live view).
@@ -176,6 +210,39 @@ func (g *GradStore) ZeroUnit(u int) {
 	for i := range g.data[u] {
 		g.data[u][i] = 0
 	}
+	if g.dirty != nil {
+		delete(g.dirty[g.sm.ShardOf(u)], u)
+	}
+}
+
+// Backlog returns the units with nonzero accumulated mass, ascending. On a
+// sharded store it walks the dirty sets (pruning entries whose mass
+// cancelled back to zero) so the cost is proportional to the number of
+// dirty units; an untracked store falls back to the full mean-abs scan.
+// The caller must hold every shard lock of a sharded store.
+func (g *GradStore) Backlog() []int {
+	var units []int
+	if g.dirty == nil {
+		for u := 0; u < g.NumUnits(); u++ {
+			if g.MeanAbs(u) != 0 {
+				units = append(units, u)
+			}
+		}
+		return units
+	}
+	for s := range g.dirty {
+		for u := range g.dirty[s] {
+			if g.MeanAbs(u) != 0 {
+				units = append(units, u)
+			} else {
+				// Additions cancelled out exactly; the unit carries no
+				// mass a rejoin would need.
+				delete(g.dirty[s], u)
+			}
+		}
+	}
+	sort.Ints(units)
+	return units
 }
 
 // MeanAbs returns the mean absolute accumulated gradient of unit u — the

@@ -1,0 +1,65 @@
+package rowsync
+
+import "fmt"
+
+// ShardMap assigns each synchronization unit to one of K shards by
+// contiguous unit range. Contiguity matters twice over: pushes walk units
+// in ascending order, so a batched merge touches each shard's lock once
+// per run of consecutive units, and a range is describable by two ints, so
+// per-shard state never needs a unit→shard hash on the hot path.
+//
+// The ranges are balanced: shard s owns units [s·U/K, (s+1)·U/K), so shard
+// sizes differ by at most one unit. A ShardMap is immutable after
+// construction and safe to share between goroutines without locking.
+type ShardMap struct {
+	units  int
+	bounds []int // bounds[s] is the first unit of shard s; bounds[K] = units
+}
+
+// NewShardMap builds a map of units synchronization units onto shards
+// contiguous ranges. shards is clamped to [1, units] (a shard with no
+// units would have a meaningless minimum); units must not be negative.
+func NewShardMap(units, shards int) *ShardMap {
+	if units < 0 {
+		panic(fmt.Sprintf("rowsync: ShardMap over %d units", units))
+	}
+	if shards < 1 || units == 0 {
+		shards = 1
+	}
+	if shards > units && units > 0 {
+		shards = units
+	}
+	sm := &ShardMap{units: units, bounds: make([]int, shards+1)}
+	for s := 0; s <= shards; s++ {
+		sm.bounds[s] = s * units / shards
+	}
+	return sm
+}
+
+// NumShards returns the number of shards.
+func (sm *ShardMap) NumShards() int { return len(sm.bounds) - 1 }
+
+// NumUnits returns the number of units mapped.
+func (sm *ShardMap) NumUnits() int { return sm.units }
+
+// ShardOf returns the shard owning unit u.
+func (sm *ShardMap) ShardOf(u int) int {
+	if u < 0 || u >= sm.units {
+		panic(fmt.Sprintf("rowsync: unit %d outside [0,%d)", u, sm.units))
+	}
+	// With balanced ranges the arithmetic candidate is off by at most one
+	// from the true owner; adjust against the exact bounds.
+	s := u * sm.NumShards() / sm.units
+	for u < sm.bounds[s] {
+		s--
+	}
+	for u >= sm.bounds[s+1] {
+		s++
+	}
+	return s
+}
+
+// Range returns the unit range [lo, hi) owned by shard s.
+func (sm *ShardMap) Range(s int) (lo, hi int) {
+	return sm.bounds[s], sm.bounds[s+1]
+}

@@ -1,0 +1,204 @@
+package rowsync
+
+import "testing"
+
+// TestShardMapBalancedContiguous checks the map's two structural
+// invariants: shard ranges are contiguous, cover every unit exactly once,
+// and differ in size by at most one unit.
+func TestShardMapBalancedContiguous(t *testing.T) {
+	for _, tc := range []struct{ units, shards int }{
+		{1, 1}, {10, 1}, {10, 3}, {10, 10}, {7, 16}, {97, 8}, {256, 5},
+	} {
+		sm := NewShardMap(tc.units, tc.shards)
+		want := tc.shards
+		if want > tc.units {
+			want = tc.units
+		}
+		if want < 1 {
+			want = 1
+		}
+		if got := sm.NumShards(); got != want {
+			t.Fatalf("units=%d shards=%d: NumShards=%d, want %d", tc.units, tc.shards, got, want)
+		}
+		next, minSz, maxSz := 0, tc.units, 0
+		for s := 0; s < sm.NumShards(); s++ {
+			lo, hi := sm.Range(s)
+			if lo != next || hi <= lo {
+				t.Fatalf("units=%d shards=%d: shard %d range [%d,%d) not contiguous after %d",
+					tc.units, tc.shards, s, lo, hi, next)
+			}
+			if hi-lo < minSz {
+				minSz = hi - lo
+			}
+			if hi-lo > maxSz {
+				maxSz = hi - lo
+			}
+			next = hi
+		}
+		if next != tc.units {
+			t.Fatalf("units=%d shards=%d: ranges end at %d", tc.units, tc.shards, next)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("units=%d shards=%d: imbalanced shard sizes [%d,%d]", tc.units, tc.shards, minSz, maxSz)
+		}
+	}
+}
+
+// TestShardMapShardOfMatchesRanges cross-checks the arithmetic ShardOf
+// against a linear scan of the ranges for every unit.
+func TestShardMapShardOfMatchesRanges(t *testing.T) {
+	for _, tc := range []struct{ units, shards int }{
+		{10, 3}, {97, 8}, {64, 64}, {1000, 7}, {5, 2},
+	} {
+		sm := NewShardMap(tc.units, tc.shards)
+		for u := 0; u < tc.units; u++ {
+			got := sm.ShardOf(u)
+			lo, hi := sm.Range(got)
+			if u < lo || u >= hi {
+				t.Fatalf("units=%d shards=%d: ShardOf(%d)=%d but its range is [%d,%d)",
+					tc.units, tc.shards, u, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestShardMapEdgeCases pins the clamping rules: zero units, zero/negative
+// shard counts and out-of-range lookups.
+func TestShardMapEdgeCases(t *testing.T) {
+	sm := NewShardMap(0, 4)
+	if sm.NumShards() != 1 || sm.NumUnits() != 0 {
+		t.Fatalf("empty map: %d shards over %d units, want 1 over 0", sm.NumShards(), sm.NumUnits())
+	}
+	if sm := NewShardMap(5, 0); sm.NumShards() != 1 {
+		t.Fatalf("shards=0 not clamped to 1")
+	}
+	if sm := NewShardMap(5, -3); sm.NumShards() != 1 {
+		t.Fatalf("negative shards not clamped to 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range ShardOf did not panic")
+		}
+	}()
+	NewShardMap(5, 2).ShardOf(5)
+}
+
+// TestVersionStoreShardedMatchesUnsharded drives identical update
+// sequences through a 1-shard and a many-shard store and checks every
+// observable (per-row versions, global and per-shard minima, staleness)
+// agrees — the rowsync half of the tentpole's parity guarantee.
+func TestVersionStoreShardedMatchesUnsharded(t *testing.T) {
+	const workers, units = 4, 13
+	ref := NewVersionStore(workers, units)
+	sm := NewShardMap(units, 5)
+	vs := NewVersionStoreSharded(workers, units, sm)
+
+	type ev struct {
+		w, u int
+		iter int64
+	}
+	var evs []ev
+	seed := uint64(42)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % n
+	}
+	iters := make([][]int64, workers)
+	for w := range iters {
+		iters[w] = make([]int64, units)
+	}
+	for i := 0; i < 500; i++ {
+		w, u := next(workers), next(units)
+		iters[w][u]++
+		evs = append(evs, ev{w, u, iters[w][u]})
+	}
+	for _, e := range evs {
+		ref.Update(e.w, e.u, e.iter)
+		vs.Update(e.w, e.u, e.iter)
+		if ref.Min() != vs.Min() {
+			t.Fatalf("after (%d,%d,%d): min %d (sharded) != %d (unsharded)",
+				e.w, e.u, e.iter, vs.Min(), ref.Min())
+		}
+	}
+	for w := 0; w < workers; w++ {
+		for u := 0; u < units; u++ {
+			if ref.Get(w, u) != vs.Get(w, u) {
+				t.Fatalf("version (%d,%d): %d != %d", w, u, vs.Get(w, u), ref.Get(w, u))
+			}
+		}
+	}
+	// Per-shard minima fold to the global minimum.
+	min := vs.MinShard(0)
+	for s := 1; s < vs.NumShards(); s++ {
+		if m := vs.MinShard(s); m < min {
+			min = m
+		}
+	}
+	if min != vs.Min() {
+		t.Fatalf("folded shard minima %d != Min() %d", min, vs.Min())
+	}
+
+	// Detach/attach walk the same lattice on both stores.
+	ref.Detach(2)
+	vs.Detach(2)
+	if ref.Min() != vs.Min() {
+		t.Fatalf("post-detach min: %d != %d", vs.Min(), ref.Min())
+	}
+	ref.Attach(2)
+	vs.Attach(2)
+	if ref.Min() != vs.Min() {
+		t.Fatalf("post-attach min: %d != %d", vs.Min(), ref.Min())
+	}
+	for u := 0; u < units; u++ {
+		if ref.Get(2, u) != vs.Get(2, u) {
+			t.Fatalf("re-baselined version (2,%d): %d != %d", u, vs.Get(2, u), ref.Get(2, u))
+		}
+	}
+}
+
+// TestGradStoreShardedBacklogTracksDirtyUnits checks the satellite fix:
+// the sharded store's Backlog comes from the per-worker dirty sets and
+// must equal the full-scan answer of the unsharded store.
+func TestGradStoreShardedBacklogTracksDirtyUnits(t *testing.T) {
+	p := NewPartition(testModel(), Rows)
+	sm := NewShardMap(p.NumUnits(), 3)
+	g := NewGradStoreSharded(p, sm)
+	ref := NewGradStore(p)
+
+	add := func(u int, v float32) {
+		vals := make([]float32, p.Unit(u).Len)
+		for i := range vals {
+			vals[i] = v
+		}
+		g.AddUnit(u, vals, 1)
+		ref.AddUnit(u, vals, 1)
+	}
+	add(0, 1)
+	add(2, 2)
+	add(0, 1)
+	got, want := g.Backlog(), ref.Backlog()
+	if len(got) != len(want) {
+		t.Fatalf("backlog %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("backlog %v, want %v", got, want)
+		}
+	}
+	// Draining a unit clears it from the dirty set.
+	g.ZeroUnit(0)
+	ref.ZeroUnit(0)
+	got, want = g.Backlog(), ref.Backlog()
+	if len(got) != 1 || len(want) != 1 || got[0] != 2 {
+		t.Fatalf("after drain: backlog %v, want [2]", got)
+	}
+	// A unit whose mass cancels to zero drops out of the dirty backlog.
+	vals := make([]float32, p.Unit(2).Len)
+	for i := range vals {
+		vals[i] = -2
+	}
+	g.AddUnit(2, vals, 1)
+	if bl := g.Backlog(); len(bl) != 0 {
+		t.Fatalf("cancelled unit still in backlog: %v", bl)
+	}
+}

@@ -1,6 +1,9 @@
 package rowsync
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // VersionStore is the server's Version Storage (Fig. 5): for every worker r
 // and unit i it records v[r][i], the latest training iteration of worker r
@@ -14,20 +17,47 @@ import "fmt"
 // deadlock on a ghost. A returning worker is Attached with its rows
 // re-baselined at the surviving minimum, so a rejoin never drags Min()
 // backwards nor inflates MaxAhead() past the staleness threshold.
+//
+// Sharding: the count index that backs the cached minimum is split by the
+// ShardMap's contiguous unit ranges, one versionShard per range, so
+// concurrent pushes to units in different shards never contend on shared
+// bookkeeping. The store itself holds no locks — the caller (engine.State)
+// guards each shard's counts and the matrix columns it owns with that
+// shard's lock, and membership ops with all locks. The per-shard cached
+// minima are atomics, so Min() is computed lock-free as the minimum over
+// shard caches.
 type VersionStore struct {
 	v      [][]int64
-	min    int64 // cached minimum over active workers' entries
-	counts map[int64]int
+	sm     *ShardMap
+	shards []versionShard
 	active []bool
 	actN   int
 }
 
-// NewVersionStore creates storage for workers × units, all at version 0 and
-// all workers attached.
+// versionShard is the count index of one contiguous unit range. counts and
+// the matrix columns in the range are guarded by the owning caller's shard
+// lock; min is atomic so cross-shard readers need no lock.
+type versionShard struct {
+	counts map[int64]int
+	min    atomic.Int64 // cached minimum over active workers' entries in range
+}
+
+// NewVersionStore creates unsharded storage for workers × units, all at
+// version 0 and all workers attached.
 func NewVersionStore(workers, units int) *VersionStore {
+	return NewVersionStoreSharded(workers, units, NewShardMap(units, 1))
+}
+
+// NewVersionStoreSharded creates storage whose count index is split along
+// sm's unit ranges. sm must cover exactly units units.
+func NewVersionStoreSharded(workers, units int, sm *ShardMap) *VersionStore {
+	if sm.NumUnits() != units {
+		panic(fmt.Sprintf("rowsync: shard map covers %d units, store has %d", sm.NumUnits(), units))
+	}
 	vs := &VersionStore{
 		v:      make([][]int64, workers),
-		counts: map[int64]int{0: workers * units},
+		sm:     sm,
+		shards: make([]versionShard, sm.NumShards()),
 		active: make([]bool, workers),
 		actN:   workers,
 	}
@@ -35,48 +65,85 @@ func NewVersionStore(workers, units int) *VersionStore {
 		vs.v[r] = make([]int64, units)
 		vs.active[r] = true
 	}
+	for s := range vs.shards {
+		lo, hi := sm.Range(s)
+		vs.shards[s].counts = map[int64]int{0: workers * (hi - lo)}
+	}
 	return vs
 }
 
-// RestoreVersionStore rebuilds a VersionStore from checkpointed state: the
-// version matrix and membership flags are adopted as-is and the count
-// index is reconstructed from the active workers' entries. frozenMin is
-// the cached minimum the checkpoint recorded — it only matters when every
-// worker was detached (the counts map is empty and the minimum cannot be
-// derived), exactly the case Min() documents as "the last computed
-// minimum". The slices are retained, not copied.
+// RestoreVersionStore rebuilds an unsharded VersionStore from checkpointed
+// state. See RestoreVersionStoreSharded.
 func RestoreVersionStore(v [][]int64, active []bool, frozenMin int64) *VersionStore {
+	units := 0
+	if len(v) > 0 {
+		units = len(v[0])
+	}
+	return RestoreVersionStoreSharded(v, active, frozenMin, NewShardMap(units, 1))
+}
+
+// RestoreVersionStoreSharded rebuilds a VersionStore from checkpointed
+// state: the version matrix and membership flags are adopted as-is and the
+// count index is reconstructed per shard from the active workers' entries.
+// frozenMin is the cached minimum the checkpoint recorded — it only
+// matters when every worker was detached (the counts maps are empty and no
+// minimum can be derived; emptiness is global, so the frozen value is
+// valid for every shard), exactly the case Min() documents as "the last
+// computed minimum". The slices are retained, not copied.
+func RestoreVersionStoreSharded(v [][]int64, active []bool, frozenMin int64, sm *ShardMap) *VersionStore {
 	vs := &VersionStore{
 		v:      v,
-		counts: make(map[int64]int),
+		sm:     sm,
+		shards: make([]versionShard, sm.NumShards()),
 		active: active,
+	}
+	for s := range vs.shards {
+		vs.shards[s].counts = make(map[int64]int)
 	}
 	for r := range v {
 		if !active[r] {
 			continue
 		}
 		vs.actN++
-		for _, ver := range v[r] {
-			vs.counts[ver]++
+		for u, ver := range v[r] {
+			vs.shards[sm.ShardOf(u)].counts[ver]++
 		}
 	}
-	vs.min = frozenMin
-	first := true
-	for ver := range vs.counts {
-		if first || ver < vs.min {
-			vs.min = ver
-			first = false
-		}
+	for s := range vs.shards {
+		vs.shards[s].min.Store(frozenMin)
+		vs.recomputeShardMin(s)
 	}
 	return vs
 }
+
+// recomputeShardMin rescans shard s's count index for its true minimum.
+// With no tracked entries the cached value is left frozen.
+func (vs *VersionStore) recomputeShardMin(s int) {
+	sh := &vs.shards[s]
+	first := true
+	min := sh.min.Load()
+	for ver := range sh.counts {
+		if first || ver < min {
+			min = ver
+			first = false
+		}
+	}
+	sh.min.Store(min)
+}
+
+// NumShards returns the number of count-index shards.
+func (vs *VersionStore) NumShards() int { return len(vs.shards) }
+
+// ShardMap returns the unit→shard assignment the store was built with.
+func (vs *VersionStore) ShardMap() *ShardMap { return vs.sm }
 
 // Get returns v[worker][unit].
 func (vs *VersionStore) Get(worker, unit int) int64 { return vs.v[worker][unit] }
 
 // Update sets v[worker][unit] = iter. Versions must not decrease. Updates
 // for detached workers are recorded (a late in-flight push still lands) but
-// do not touch the active minimum.
+// do not touch the active minimum. The caller must hold the lock of the
+// unit's shard.
 func (vs *VersionStore) Update(worker, unit int, iter int64) {
 	old := vs.v[worker][unit]
 	if iter < old {
@@ -89,40 +156,44 @@ func (vs *VersionStore) Update(worker, unit int, iter int64) {
 	if !vs.active[worker] {
 		return
 	}
+	sh := &vs.shards[vs.sm.ShardOf(unit)]
 	// Register the new version before retiring the old one, so the
 	// min-advance scan below always has a populated version to stop at
 	// (with a single tracked entry the map would otherwise be empty and
 	// the scan would never terminate).
-	vs.counts[iter]++
-	vs.retire(old)
+	sh.counts[iter]++
+	sh.retire(old)
 }
 
 // retire decrements the tracked count of version old and advances the
-// cached minimum when old was the last entry pinning it.
-func (vs *VersionStore) retire(old int64) {
-	vs.counts[old]--
-	if vs.counts[old] == 0 {
-		delete(vs.counts, old)
-		if old == vs.min && len(vs.counts) > 0 {
+// shard's cached minimum when old was the last entry pinning it.
+func (sh *versionShard) retire(old int64) {
+	sh.counts[old]--
+	if sh.counts[old] == 0 {
+		delete(sh.counts, old)
+		if old == sh.min.Load() && len(sh.counts) > 0 {
 			// Advance the cached minimum to the next populated version.
-			for vs.counts[vs.min] == 0 {
-				vs.min++
+			min := old
+			for sh.counts[min] == 0 {
+				min++
 			}
+			sh.min.Store(min)
 		}
 	}
 }
 
 // Detach removes a departed worker from membership: its rows no longer hold
 // back Min(), so RSP's wait predicate unblocks the survivors. Detaching an
-// already-detached worker is a no-op.
+// already-detached worker is a no-op. The caller must hold every shard
+// lock.
 func (vs *VersionStore) Detach(worker int) {
 	if !vs.active[worker] {
 		return
 	}
 	vs.active[worker] = false
 	vs.actN--
-	for _, v := range vs.v[worker] {
-		vs.retire(v)
+	for u, v := range vs.v[worker] {
+		vs.shards[vs.sm.ShardOf(u)].retire(v)
 	}
 }
 
@@ -131,12 +202,13 @@ func (vs *VersionStore) Detach(worker int) {
 // the rows it missed, so its versions start level with the slowest
 // survivor). Rows that already lead the minimum — pushed before the drop or
 // landed while detached — keep their higher version. It returns the
-// baseline used. Attaching an attached worker is a no-op.
+// baseline used. Attaching an attached worker is a no-op. The caller must
+// hold every shard lock.
 func (vs *VersionStore) Attach(worker int) int64 {
 	if vs.active[worker] {
-		return vs.min
+		return vs.Min()
 	}
-	base := vs.min
+	base := vs.Min()
 	vs.active[worker] = true
 	vs.actN++
 	for u, v := range vs.v[worker] {
@@ -144,12 +216,13 @@ func (vs *VersionStore) Attach(worker int) int64 {
 			v = base
 			vs.v[worker][u] = base
 		}
-		vs.counts[v]++
+		vs.shards[vs.sm.ShardOf(u)].counts[v]++
 	}
-	// With zero active workers the cached minimum was frozen; the attached
-	// rows are all ≥ base, so the cache only ever needs to advance.
-	for vs.counts[vs.min] == 0 {
-		vs.min++
+	// The re-baselined rows are ≥ the global minimum but may trail a
+	// shard's local minimum, and with zero active workers the caches were
+	// frozen — recompute each shard from its rebuilt index.
+	for s := range vs.shards {
+		vs.recomputeShardMin(s)
 	}
 	return base
 }
@@ -161,27 +234,42 @@ func (vs *VersionStore) IsActive(worker int) bool { return vs.active[worker] }
 func (vs *VersionStore) ActiveWorkers() int { return vs.actN }
 
 // Min returns min(V): the oldest version of any unit on any *attached*
-// worker. With every worker detached it returns the last computed minimum.
-func (vs *VersionStore) Min() int64 { return vs.min }
+// worker, computed lock-free as the minimum over the shards' cached
+// minima. With every worker detached it returns the last computed minimum.
+func (vs *VersionStore) Min() int64 {
+	min := vs.shards[0].min.Load()
+	for s := 1; s < len(vs.shards); s++ {
+		if m := vs.shards[s].min.Load(); m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// MinShard returns shard s's cached minimum — the oldest version of any
+// attached worker's entry inside the shard's unit range.
+func (vs *VersionStore) MinShard(s int) int64 { return vs.shards[s].min.Load() }
 
 // Stale reports whether worker r's unit i is too far *ahead* of the
 // global minimum for threshold t — the condition in Algo. 2 lines 8–9
 // (v_i^r − min(V) ≥ t) under which non-stragglers must wait.
 func (vs *VersionStore) Stale(worker, unit int, t int64) bool {
-	return vs.v[worker][unit]-vs.min >= t
+	return vs.v[worker][unit]-vs.Min() >= t
 }
 
 // MaxAhead returns the largest lead of any attached worker's entry over the
-// global minimum — the divergence RSP bounds by the threshold.
+// global minimum — the divergence RSP bounds by the threshold. The caller
+// must hold every shard lock.
 func (vs *VersionStore) MaxAhead() int64 {
 	var max int64
+	min := vs.Min()
 	for r := range vs.v {
 		if !vs.active[r] {
 			continue
 		}
 		for _, v := range vs.v[r] {
-			if v-vs.min > max {
-				max = v - vs.min
+			if v-min > max {
+				max = v - min
 			}
 		}
 	}

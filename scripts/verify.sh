@@ -9,8 +9,10 @@
 # race-sensitive packages (the concurrent livenet server, the policy
 # engine it executes, the simnet drivers and version store that share
 # engine.State with it, the wire transport, the lossnet datagram
-# transport and the durable checkpoint store) again under -race. Each
-# stage reports its wall time.
+# transport and the durable checkpoint store) again under -race. When a
+# BENCH_<n>.json snapshot exists, a final non-fatal stage reruns its
+# experiment and prints the drift — informational only, never a gate.
+# Each stage reports its wall time.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -90,6 +92,16 @@ run_trace_smoke() {
 	esac
 }
 
+run_bench_drift() {
+	latest=$(ls BENCH_[0-9]*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
+	if [ -z "$latest" ]; then
+		echo "   (no BENCH_<n>.json snapshot; run make bench-save to record one)"
+		return 0
+	fi
+	# Non-fatal by design: drift is information for the reviewer, not a gate.
+	go run ./cmd/rogbench -drift "$latest" || echo "   (bench-drift failed; not a gate)"
+}
+
 stage fmt check_fmt
 stage build go build ./...
 stage vet go vet ./...
@@ -98,5 +110,6 @@ stage test go test ./...
 stage trace-smoke run_trace_smoke
 stage recover-smoke run_recover_smoke
 stage race run_race
+stage bench-drift run_bench_drift
 
 echo "verify: OK"
