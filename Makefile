@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt vet lint test race verify bench bench-json bench-save bench-drift recover-smoke
+.PHONY: build fmt vet lint lint-json test race verify bench bench-json bench-save bench-drift recover-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,9 @@ vet:
 
 lint:
 	sh scripts/lint.sh
+
+lint-json:
+	$(GO) run ./cmd/roglint -json ./...
 
 test:
 	$(GO) test ./...

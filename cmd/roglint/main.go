@@ -2,13 +2,16 @@
 // internal/analysis) over the module and prints findings as
 // file:line:col: [pass] message. It exits 1 when any finding survives the
 // //roglint:ignore suppressions, 2 on usage or load errors — so the
-// verify gate can fail a PR before a single test runs.
+// verify gate can fail a PR before a single test runs and can tell "the
+// tree is dirty" apart from "the analyzer could not even load it".
 //
 // Usage:
 //
 //	roglint ./...                 # whole module (the default)
 //	roglint ./internal/livenet    # one package
 //	roglint -passes lockguard,errdrop ./...
+//	roglint -json ./...           # findings as a JSON array on stdout
+//	roglint -timing ./...         # per-pass wall time on stderr
 //	roglint -list                 # show the passes
 package main
 
@@ -26,32 +29,22 @@ func main() {
 	var (
 		passNames = flag.String("passes", "", "comma-separated pass names to run (default: all)")
 		list      = flag.Bool("list", false, "list the available passes and exit")
+		asJSON    = flag.Bool("json", false, "emit findings as JSON ({pass, file, line, col, msg}) on stdout")
+		timing    = flag.Bool("timing", false, "report per-pass wall time on stderr")
 	)
 	flag.Parse()
 
-	all := analysis.DefaultPasses()
 	if *list {
-		for _, p := range all {
+		for _, p := range analysis.DefaultPasses() {
 			fmt.Printf("%-10s %s\n", p.Name(), p.Doc())
 		}
 		return
 	}
 
-	passes := all
-	if *passNames != "" {
-		byName := map[string]analysis.Pass{}
-		for _, p := range all {
-			byName[p.Name()] = p
-		}
-		passes = nil
-		for _, name := range strings.Split(*passNames, ",") {
-			p, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "roglint: unknown pass %q (try -list)\n", name)
-				os.Exit(2)
-			}
-			passes = append(passes, p)
-		}
+	passes, err := analysis.SelectPasses(*passNames)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roglint: %v\n", err)
+		os.Exit(2)
 	}
 
 	root, err := moduleRoot()
@@ -66,7 +59,7 @@ func main() {
 	}
 	pkgs, err := analysis.Load(root, modPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "roglint: %v\n", err)
+		fmt.Fprintf(os.Stderr, "roglint: load error: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -77,13 +70,30 @@ func main() {
 		pkgs = filtered
 	}
 
-	diags := analysis.Analyze(pkgs, passes)
-	for _, d := range diags {
-		rel := d
-		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			rel.Pos.Filename = r
+	diags, timings := analysis.AnalyzeTimed(pkgs, passes)
+	for i := range diags {
+		if r, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = r
 		}
-		fmt.Println(rel)
+	}
+
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "roglint: pass %-10s %8.3fs\n", tm.Pass, tm.Seconds)
+		}
+	}
+
+	if *asJSON {
+		raw, err := analysis.EncodeJSON(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roglint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(raw))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "roglint: %d finding(s)\n", len(diags))

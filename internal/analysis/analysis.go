@@ -13,12 +13,14 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: where, which pass, and what.
@@ -42,6 +44,16 @@ type Pass interface {
 	Run(pkg *Package) []Diagnostic
 }
 
+// Finisher is implemented by passes whose findings need the whole
+// program: Run accumulates per-package facts, and Finish — called once
+// after every package has been seen — reports the cross-package
+// findings. Such passes are stateful; callers must use a fresh instance
+// per Analyze invocation (DefaultPasses and SelectPasses construct new
+// ones each call).
+type Finisher interface {
+	Finish() []Diagnostic
+}
+
 // DefaultPasses returns every pass in the suite, in stable order.
 func DefaultPasses() []Pass {
 	return []Pass{
@@ -50,7 +62,41 @@ func DefaultPasses() []Pass {
 		NewMaporder(),
 		NewWireframe(),
 		NewErrdrop(),
+		NewLockorder(),
+		NewAtomicmix(),
+		NewGoroleak(),
 	}
+}
+
+// SelectPasses resolves a comma-separated pass list ("" means all) to
+// fresh pass instances in suite order, rejecting unknown names.
+func SelectPasses(spec string) ([]Pass, error) {
+	all := DefaultPasses()
+	if spec == "" {
+		return all, nil
+	}
+	byName := map[string]Pass{}
+	for _, p := range all {
+		byName[p.Name()] = p
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if byName[name] == nil {
+			return nil, fmt.Errorf("unknown pass %q (run -list for the suite)", name)
+		}
+		want[name] = true
+	}
+	var out []Pass
+	for _, p := range all {
+		if want[p.Name()] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
 }
 
 // suppressPass names the pseudo-pass that reports problems with the
@@ -74,22 +120,51 @@ type suppression struct {
 	used   bool
 }
 
+// PassTiming is one pass's cumulative wall time across every package
+// (plus its Finish, for cross-package passes).
+type PassTiming struct {
+	Pass    string
+	Seconds float64
+}
+
 // Analyze runs the passes over every package, applies suppressions, and
 // returns the surviving findings deduplicated and sorted by position.
 func Analyze(pkgs []*Package, passes []Pass) []Diagnostic {
+	diags, _ := AnalyzeTimed(pkgs, passes)
+	return diags
+}
+
+// AnalyzeTimed is Analyze plus per-pass timing, in pass order.
+func AnalyzeTimed(pkgs []*Package, passes []Pass) ([]Diagnostic, []PassTiming) {
 	var diags []Diagnostic
 	var sups []*suppression
 	active := map[string]bool{}
+	elapsed := make([]time.Duration, len(passes))
 	for _, p := range passes {
 		active[p.Name()] = true
 	}
 	for _, pkg := range pkgs {
-		for _, p := range passes {
+		for i, p := range passes {
+			start := time.Now()
 			diags = append(diags, p.Run(pkg)...)
+			elapsed[i] += time.Since(start)
 		}
 		s, malformed := parseSuppressions(pkg)
 		sups = append(sups, s...)
 		diags = append(diags, malformed...)
+	}
+	for i, p := range passes {
+		fin, ok := p.(Finisher)
+		if !ok {
+			continue
+		}
+		start := time.Now()
+		diags = append(diags, fin.Finish()...)
+		elapsed[i] += time.Since(start)
+	}
+	timings := make([]PassTiming, len(passes))
+	for i, p := range passes {
+		timings[i] = PassTiming{Pass: p.Name(), Seconds: elapsed[i].Seconds()}
 	}
 
 	// A suppression silences same-pass findings on its own line or the
@@ -145,7 +220,33 @@ func Analyze(pkgs []*Package, passes []Pass) []Diagnostic {
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, timings
+}
+
+// jsonFinding is the -json wire shape for one finding.
+type jsonFinding struct {
+	Pass string `json:"pass"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// EncodeJSON renders findings as a JSON array of
+// {pass, file, line, col, msg}, one element per finding, in the
+// driver's sorted order — the machine-readable surface CI diffs.
+func EncodeJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]jsonFinding, len(diags))
+	for i, d := range diags {
+		out[i] = jsonFinding{
+			Pass: d.Pass,
+			File: d.Pos.Filename,
+			Line: d.Pos.Line,
+			Col:  d.Pos.Column,
+			Msg:  d.Msg,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // parseSuppressions scans a package's comments for //roglint:ignore

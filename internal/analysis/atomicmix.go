@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicmix catches the race pattern the sharded engine's cached minima
+// invite: a struct field written through sync/atomic on the hot path and
+// read with a plain load somewhere else. Mixing the two is a data race
+// unless the plain access happens under the mutex that serializes the
+// writers (the published-snapshot pattern rowsync's version shards use).
+//
+// Two field families are tracked:
+//
+//   - Typed atomics (atomic.Int64 and friends): every access must go
+//     through the type's methods; any other selector touch is flagged.
+//   - Function-style atomics (a plain int64 whose address reaches an
+//     atomic.* call): plain accesses elsewhere must hold the field's
+//     declared guard — a "// guarded by" annotation, sibling or dotted —
+//     at the access, per the shared must-hold walk keyed on Type.field
+//     labels. An unannotated mixed field is flagged at the plain access
+//     with a request to pick a discipline.
+//
+// Methods named *Locked keep the repo's caller-holds convention: the
+// guard-held requirement is assumed satisfied there (typed-atomic misuse
+// is still flagged — no lock legitimizes a plain read of an
+// atomic.Int64).
+type Atomicmix struct{}
+
+// NewAtomicmix returns the pass.
+func NewAtomicmix() *Atomicmix { return &Atomicmix{} }
+
+// Name implements Pass.
+func (*Atomicmix) Name() string { return "atomicmix" }
+
+// Doc implements Pass.
+func (*Atomicmix) Doc() string {
+	return "fields accessed via sync/atomic must not also be accessed plainly without their guard"
+}
+
+// Run implements Pass.
+func (am *Atomicmix) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	okUses := map[*ast.SelectorExpr]bool{} // sanctioned atomic access sites
+	funcAtomic := map[types.Object]bool{}  // fields reaching atomic.* calls by address
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// atomic.AddInt64(&x.f, 1): the &x.f operand is sanctioned
+			// and marks f as a function-style atomic field.
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "sync/atomic" {
+					for _, a := range call.Args {
+						u, ok := a.(*ast.UnaryExpr)
+						if !ok || u.Op != token.AND {
+							continue
+						}
+						if sel, ok := u.X.(*ast.SelectorExpr); ok {
+							if obj := fieldOf(pkg, sel); obj != nil {
+								funcAtomic[obj] = true
+								okUses[sel] = true
+							}
+						}
+					}
+					return true
+				}
+			}
+			// x.f.Load(): a method call on a typed atomic field is the
+			// sanctioned access shape.
+			if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+				if obj := fieldOf(pkg, sel); obj != nil && isAtomicType(obj.Type()) {
+					okUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	guards, _, _ := collectGuards(pkg, am.Name())
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			callerHolds := strings.HasSuffix(fn.Name.Name, "Locked")
+			w := &holdWalker{
+				pkg: pkg,
+				classify: func(call *ast.CallExpr) (string, string) {
+					return mutexFieldOp(pkg, call)
+				},
+				onAccess: func(sel *ast.SelectorExpr, held map[string]bool) {
+					obj := fieldOf(pkg, sel)
+					if obj == nil || okUses[sel] {
+						return
+					}
+					if isAtomicType(obj.Type()) {
+						diags = append(diags, Diagnostic{
+							Pos:  pkg.Fset.Position(sel.Pos()),
+							Pass: am.Name(),
+							Msg:  fmt.Sprintf("field %s has a sync/atomic type; access it only through its atomic methods", sel.Sel.Name),
+						})
+						return
+					}
+					if !funcAtomic[obj] || callerHolds {
+						return
+					}
+					ref, annotated := guards[obj]
+					if !annotated {
+						diags = append(diags, Diagnostic{
+							Pos:  pkg.Fset.Position(sel.Pos()),
+							Pass: am.Name(),
+							Msg:  fmt.Sprintf("%s mixes sync/atomic and plain access with no guard; make this access atomic or annotate the field \"guarded by <mu>\"", sel.Sel.Name),
+						})
+						return
+					}
+					if !held[ref.label()] {
+						diags = append(diags, Diagnostic{
+							Pos:  pkg.Fset.Position(sel.Pos()),
+							Pass: am.Name(),
+							Msg:  fmt.Sprintf("%s is accessed atomically elsewhere; this plain access needs %s held", sel.Sel.Name, ref.label()),
+						})
+					}
+				},
+			}
+			w.block(fn.Body.List, map[string]bool{})
+		}
+	}
+	return diags
+}
+
+// fieldOf resolves a selector to the struct-field object it denotes, or
+// nil when it names something else (a method, a local, a package).
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil {
+		obj = pkg.Info.Defs[sel.Sel]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values
+// (atomic.Int64, atomic.Bool, atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Goroleak audits goroutine lifecycles in the long-running runtime
+// packages (livenet, lossnet, transport, core): a goroutine launched
+// there must have a reachable termination path, or it outlives every
+// connection and training run the process serves. Two shapes are
+// flagged:
+//
+//   - An unconditional for-loop in a goroutine body with no exit: no
+//     return, no break, and no receive from a context/done-style channel
+//     (a name matching done/quit/stop/close/exit/shutdown, or a
+//     ctx.Done() call). Loops with a condition, range loops (a closed
+//     channel or finite collection ends them), and finite bodies that
+//     fall off the end (the Close-driven-unblock pattern around
+//     http.Serve) are all fine.
+//   - A send on a channel that is definitely unbuffered (every binding
+//     in the package is a make(chan T) with no or zero capacity) and not
+//     wrapped in a select offering an alternative: if the receiver is
+//     gone, the goroutine blocks forever.
+//
+// Named functions launched with `go pkg-local f()` are analyzed like
+// literals; launches of other packages' functions are out of scope.
+// Test files never reach the loader, so the scope is non-test code by
+// construction.
+type Goroleak struct{}
+
+// NewGoroleak returns the pass.
+func NewGoroleak() *Goroleak { return &Goroleak{} }
+
+// Name implements Pass.
+func (*Goroleak) Name() string { return "goroleak" }
+
+// Doc implements Pass.
+func (*Goroleak) Doc() string {
+	return "goroutines in runtime packages need a termination path; unbuffered sends inside them need an out"
+}
+
+// goroleakScope lists the package suffixes the pass applies to.
+var goroleakScope = []string{
+	"internal/livenet",
+	"internal/lossnet",
+	"internal/transport",
+	"internal/core",
+}
+
+var doneNameRe = regexp.MustCompile(`(?i)(done|quit|stop|close|exit|shutdown|term)`)
+
+// Run implements Pass.
+func (gl *Goroleak) Run(pkg *Package) []Diagnostic {
+	inScope := false
+	for _, s := range goroleakScope {
+		if pathMatches(pkg.Path, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	declOf := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					declOf[obj] = fn
+				}
+			}
+		}
+	}
+	chanKind := chanBindings(pkg)
+
+	var diags []Diagnostic
+	analyzed := map[*ast.BlockStmt]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				body = lit.Body
+			} else if fn := calleeOf(pkg, g.Call); fn != nil {
+				if decl := declOf[fn]; decl != nil {
+					body = decl.Body
+				}
+			}
+			if body == nil || analyzed[body] {
+				return true
+			}
+			analyzed[body] = true
+			diags = append(diags, gl.checkBody(pkg, body, chanKind)...)
+			return true
+		})
+	}
+	return diags
+}
+
+// checkBody flags unterminated loops and dead-end unbuffered sends in
+// one goroutine body. Nested function literals are skipped — if they are
+// themselves go-launched they get their own visit, and otherwise they
+// run on some other goroutine's terms.
+func (gl *Goroleak) checkBody(pkg *Package, body *ast.BlockStmt, chanKind map[types.Object]string) []Diagnostic {
+	var diags []Diagnostic
+
+	// Sends that sit in a select with an alternative clause can always
+	// take the other arm; collect them before judging sends.
+	selectGuarded := map[*ast.SendStmt]bool{}
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || len(sel.Body.List) < 2 {
+			return
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					selectGuarded[send] = true
+				}
+			}
+		}
+	})
+
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				return
+			}
+			if loopHasExit(n) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(n.Pos()),
+				Pass: gl.Name(),
+				Msg:  "goroutine loop has no termination path (no return, break, or done-channel receive); select on a done or context channel",
+			})
+		case *ast.SendStmt:
+			if selectGuarded[n] {
+				return
+			}
+			obj := objOfChan(pkg, n.Chan)
+			if obj == nil || chanKind[obj] != "unbuffered" {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(n.Pos()),
+				Pass: gl.Name(),
+				Msg:  fmt.Sprintf("send on unbuffered channel %s from a goroutine can block forever if the receiver is gone; add a select with a done case or buffer the channel", chanName(n.Chan)),
+			})
+		}
+	})
+	return diags
+}
+
+// loopHasExit reports whether an unconditional for-loop contains a
+// reachable exit: a return, a break or goto that leaves it, a panic, or
+// a receive from a done-style channel. Nested function literals do not
+// count (their returns exit the literal, not the loop).
+func loopHasExit(loop *ast.ForStmt) bool {
+	exit := false
+	// depth counts break-absorbing constructs between a node and our
+	// loop; an unlabeled break at depth 0 exits the loop.
+	var scan func(n ast.Node, depth int)
+	scan = func(n ast.Node, depth int) {
+		if n == nil || exit {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			exit = true
+			return
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if depth == 0 || s.Label != nil {
+					exit = true
+				}
+			case token.GOTO:
+				exit = true
+			}
+			return
+		case *ast.ExprStmt:
+			if isPanic(s.X) {
+				exit = true
+				return
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW && isDoneChan(s.X) {
+				exit = true
+				return
+			}
+		case *ast.ForStmt:
+			scanChildren(s, depth+1, scan)
+			return
+		case *ast.RangeStmt:
+			scanChildren(s, depth+1, scan)
+			return
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			scanChildren(s, depth+1, scan)
+			return
+		}
+		scanChildren(n, depth, scan)
+	}
+	scanChildren(loop.Body, 0, scan)
+	return exit
+}
+
+// scanChildren applies scan to n's direct children at the given depth.
+func scanChildren(n ast.Node, depth int, scan func(ast.Node, int)) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil || child == n {
+			return child == n
+		}
+		scan(child, depth)
+		return false
+	})
+}
+
+// isDoneChan reports whether e looks like a termination channel: a
+// ctx.Done()-style call, or a name matching the done/quit/stop family.
+func isDoneChan(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			return id.Name == "Done"
+		}
+	case *ast.Ident:
+		return doneNameRe.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return doneNameRe.MatchString(x.Sel.Name)
+	}
+	return false
+}
+
+// chanBindings classifies every channel-valued object the package binds
+// with make: "unbuffered" only when every binding is make(chan T) with
+// no or constant-zero capacity; any other binding degrades the object to
+// "unknown" and exempts it.
+func chanBindings(pkg *Package) map[types.Object]string {
+	kinds := map[types.Object]string{}
+	noteObj := func(obj types.Object, rhs ast.Expr) {
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+			return
+		}
+		kind := "unknown"
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 1 {
+				if _, ok := pkg.Info.Types[call.Args[0]].Type.(*types.Chan); ok {
+					switch {
+					case len(call.Args) == 1:
+						kind = "unbuffered"
+					case len(call.Args) == 2:
+						if tv := pkg.Info.Types[call.Args[1]]; tv.Value != nil && tv.Value.String() == "0" {
+							kind = "unbuffered"
+						} else {
+							kind = "buffered"
+						}
+					}
+				}
+			}
+		}
+		if prev, seen := kinds[obj]; seen && prev != kind {
+			kinds[obj] = "unknown"
+			return
+		}
+		kinds[obj] = kind
+	}
+	note := func(lhs ast.Expr, rhs ast.Expr) {
+		noteObj(objOfChan(pkg, lhs), rhs)
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						note(s.Lhs[i], s.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(s.Names) == len(s.Values) {
+					for i := range s.Names {
+						note(s.Names[i], s.Values[i])
+					}
+				}
+			case *ast.CompositeLit:
+				// mux{jobs: make(chan int)} binds a field too.
+				for _, el := range s.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						noteObj(pkg.Info.Uses[key], kv.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return kinds
+}
+
+// objOfChan resolves an ident or selector of channel type to its object.
+func objOfChan(pkg *Package, e ast.Expr) types.Object {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[x.Sel]
+	}
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	return obj
+}
+
+// chanName renders the channel expression for the message.
+func chanName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return chanName(x.X) + "." + x.Sel.Name
+	}
+	return "channel"
+}
+
+// inspectSkippingFuncLits walks n's subtree, pruning nested function
+// literals, and calls visit on every node.
+func inspectSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil {
+			return false
+		}
+		if _, ok := child.(*ast.FuncLit); ok && child != n {
+			return false
+		}
+		visit(child)
+		return true
+	})
+}

@@ -3,7 +3,6 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
-	"go/token"
 	"go/types"
 	"regexp"
 	"strings"
@@ -24,6 +23,13 @@ import (
 // mutex (the repo's existing convention) and are skipped. Plain functions
 // are out of scope: a constructor touching fields of a value that has not
 // escaped yet needs no lock.
+//
+// A dotted guard — "// guarded by stateShard.mu" — declares that the
+// protecting lock lives on another type entirely (the sharded engine's
+// per-unit accumulators are owned by their shard's lock, not by a State
+// sibling). Lockguard records such annotations but does not check them:
+// the receiver-scoped walk cannot see a foreign instance's lock. They
+// feed atomicmix, which tracks locks by type-qualified label.
 type Lockguard struct{}
 
 // NewLockguard returns the pass.
@@ -37,17 +43,35 @@ func (*Lockguard) Doc() string {
 	return `"guarded by <mu>" fields must be accessed with the mutex held`
 }
 
-var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+var guardedByRe = regexp.MustCompile(`guarded by (\w+(?:\.\w+)?)`)
 
-// guardSet maps a guarded field object to the name of the mutex field
-// that protects it.
-type guardSet map[types.Object]string
+// guardRef is one parsed "guarded by" annotation: the guard as written,
+// whether it is dotted (external — the lock lives on another type), and
+// the name of the struct type owning the annotated field.
+type guardRef struct {
+	mu     string
+	extern bool
+	owner  string
+}
 
-// Run implements Pass.
-func (lg *Lockguard) Run(pkg *Package) []Diagnostic {
+// label returns the guard as a type-qualified lock label: external
+// guards are already written that way; sibling guards qualify with the
+// owning struct's name.
+func (r guardRef) label() string {
+	if r.extern {
+		return r.mu
+	}
+	return r.owner + "." + r.mu
+}
+
+// collectGuards parses every "guarded by" annotation in the package.
+// It returns field object → guard, the named-type objects owning at
+// least one sibling-guarded field, and diagnostics for sibling guards
+// that name something that is not a field of the struct.
+func collectGuards(pkg *Package, pass string) (map[types.Object]guardRef, map[types.Object]bool, []Diagnostic) {
+	guards := map[types.Object]guardRef{}
+	structOf := map[types.Object]bool{}
 	var diags []Diagnostic
-	guards := guardSet{}
-	structOf := map[types.Object]bool{} // named types owning guarded fields
 
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -70,19 +94,22 @@ func (lg *Lockguard) Run(pkg *Package) []Diagnostic {
 				if mu == "" {
 					continue
 				}
-				if !fieldNames[mu] {
+				ref := guardRef{mu: mu, extern: strings.Contains(mu, "."), owner: ts.Name.Name}
+				if !ref.extern && !fieldNames[mu] {
 					diags = append(diags, Diagnostic{
 						Pos:  pkg.Fset.Position(fld.Pos()),
-						Pass: lg.Name(),
+						Pass: pass,
 						Msg:  fmt.Sprintf("guard comment names %q, which is not a field of %s", mu, ts.Name.Name),
 					})
 					continue
 				}
 				for _, name := range fld.Names {
 					if obj := pkg.Info.Defs[name]; obj != nil {
-						guards[obj] = mu
-						if tobj := pkg.Info.Defs[ts.Name]; tobj != nil {
-							structOf[tobj] = true
+						guards[obj] = ref
+						if !ref.extern {
+							if tobj := pkg.Info.Defs[ts.Name]; tobj != nil {
+								structOf[tobj] = true
+							}
 						}
 					}
 				}
@@ -90,7 +117,20 @@ func (lg *Lockguard) Run(pkg *Package) []Diagnostic {
 			return true
 		})
 	}
-	if len(guards) == 0 {
+	return guards, structOf, diags
+}
+
+// Run implements Pass.
+func (lg *Lockguard) Run(pkg *Package) []Diagnostic {
+	guards, structOf, diags := collectGuards(pkg, lg.Name())
+	// Only sibling guards are checkable by the receiver-scoped walk.
+	sibling := guardSet{}
+	for obj, ref := range guards {
+		if !ref.extern {
+			sibling[obj] = ref.mu
+		}
+	}
+	if len(sibling) == 0 {
 		return diags
 	}
 
@@ -107,11 +147,63 @@ func (lg *Lockguard) Run(pkg *Package) []Diagnostic {
 			if recvType == nil || recvVar == nil || !structOf[recvType] {
 				continue
 			}
-			w := &lockWalker{pkg: pkg, pass: lg.Name(), guards: guards, recv: recvVar}
-			w.block(fn.Body.List, map[string]bool{})
-			diags = append(diags, w.diags...)
+			diags = append(diags, runGuardWalk(pkg, lg.Name(), sibling, recvVar, fn)...)
 		}
 	}
+	return diags
+}
+
+// guardSet maps a guarded field object to the name of the sibling mutex
+// field that protects it.
+type guardSet map[types.Object]string
+
+// runGuardWalk checks one method body with the shared must-hold walker,
+// scoped to the receiver: recv.<mu>.Lock() acquires, and recv.<field>
+// accesses are checked against the held set.
+func runGuardWalk(pkg *Package, pass string, guards guardSet, recv types.Object, fn *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	muNames := map[string]bool{}
+	for _, mu := range guards {
+		muNames[mu] = true
+	}
+	w := &holdWalker{
+		pkg: pkg,
+		classify: func(call *ast.CallExpr) (string, string) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isMutexOpName(sel.Sel.Name) {
+				return "", ""
+			}
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				return "", ""
+			}
+			id, ok := inner.X.(*ast.Ident)
+			if !ok || pkg.Info.Uses[id] != recv || !muNames[inner.Sel.Name] {
+				return "", ""
+			}
+			return inner.Sel.Name, sel.Sel.Name
+		},
+		onAccess: func(sel *ast.SelectorExpr, held map[string]bool) {
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Info.Uses[id] != recv {
+				return
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			if obj == nil {
+				obj = pkg.Info.Defs[sel.Sel]
+			}
+			mu, guarded := guards[obj]
+			if !guarded || held[mu] {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(sel.Pos()),
+				Pass: pass,
+				Msg:  fmt.Sprintf("%s.%s is guarded by %s, which is not held here", id.Name, sel.Sel.Name, mu),
+			})
+		},
+	}
+	w.block(fn.Body.List, map[string]bool{})
 	return diags
 }
 
@@ -144,243 +236,6 @@ func receiverInfo(pkg *Package, fn *ast.FuncDecl) (types.Object, types.Object) {
 		return nil, nil
 	}
 	return pkg.Info.Uses[id], pkg.Info.Defs[fn.Recv.List[0].Names[0]]
-}
-
-// lockWalker performs the must-hold walk. held maps mutex field names to
-// "definitely held here"; statement lists thread it forward, and control
-// flow merges by intersection so a hold must survive every path to count.
-type lockWalker struct {
-	pkg    *Package
-	pass   string
-	guards guardSet
-	recv   types.Object
-	diags  []Diagnostic
-}
-
-// block analyzes a statement list, mutating held in place. It reports
-// whether control definitely leaves the list (return, panic, branch).
-func (w *lockWalker) block(stmts []ast.Stmt, held map[string]bool) bool {
-	for _, st := range stmts {
-		if w.stmt(st, held) {
-			return true
-		}
-	}
-	return false
-}
-
-// stmt analyzes one statement; the return value mirrors block.
-func (w *lockWalker) stmt(st ast.Stmt, held map[string]bool) bool {
-	switch s := st.(type) {
-	case *ast.BlockStmt:
-		return w.block(s.List, held)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		w.expr(s.Cond, held)
-		thenHeld := copyHeld(held)
-		thenTerm := w.block(s.Body.List, thenHeld)
-		elseHeld := copyHeld(held)
-		elseTerm := false
-		if s.Else != nil {
-			elseTerm = w.stmt(s.Else, elseHeld)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return true
-		case thenTerm:
-			replaceHeld(held, elseHeld)
-		case elseTerm:
-			replaceHeld(held, thenHeld)
-		default:
-			intersectHeld(held, thenHeld)
-			intersectHeld(held, elseHeld)
-		}
-		return false
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			w.expr(s.Cond, held)
-		}
-		bodyHeld := copyHeld(held)
-		w.block(s.Body.List, bodyHeld)
-		if s.Post != nil {
-			w.stmt(s.Post, bodyHeld)
-		}
-		if s.Cond == nil {
-			// for{}: only a break exits; treat the tail as unreachable
-			// rather than merging states we cannot track through breaks.
-			return true
-		}
-		intersectHeld(held, bodyHeld)
-		return false
-	case *ast.RangeStmt:
-		w.expr(s.X, held)
-		bodyHeld := copyHeld(held)
-		w.block(s.Body.List, bodyHeld)
-		intersectHeld(held, bodyHeld)
-		return false
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return w.switchStmt(st, held)
-	case *ast.DeferStmt:
-		if mu, op := w.muOp(s.Call, held); mu != "" && op == "Unlock" {
-			return false // deferred release: held until return
-		}
-		w.expr(s.Call, held)
-		return false
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			w.expr(r, held)
-		}
-		return true
-	case *ast.BranchStmt:
-		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
-	case *ast.ExprStmt:
-		w.expr(s.X, held)
-		return isPanic(s.X)
-	case *ast.AssignStmt:
-		for _, r := range s.Rhs {
-			w.expr(r, held)
-		}
-		for _, l := range s.Lhs {
-			w.expr(l, held)
-		}
-		return false
-	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt, *ast.LabeledStmt:
-		ast.Inspect(st, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
-				w.expr(e, held)
-				return false
-			}
-			return true
-		})
-		return false
-	default:
-		return false
-	}
-}
-
-// switchStmt merges switch/select clauses: held after the statement only
-// if held on entry and at the end of every non-terminating clause.
-func (w *lockWalker) switchStmt(st ast.Stmt, held map[string]bool) bool {
-	var body *ast.BlockStmt
-	switch s := st.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			w.expr(s.Tag, held)
-		}
-		body = s.Body
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		w.stmt(s.Assign, held)
-		body = s.Body
-	case *ast.SelectStmt:
-		body = s.Body
-	}
-	for _, clause := range body.List {
-		clauseHeld := copyHeld(held)
-		var stmts []ast.Stmt
-		switch c := clause.(type) {
-		case *ast.CaseClause:
-			for _, e := range c.List {
-				w.expr(e, clauseHeld)
-			}
-			stmts = c.Body
-		case *ast.CommClause:
-			if c.Comm != nil {
-				w.stmt(c.Comm, clauseHeld)
-			}
-			stmts = c.Body
-		}
-		if !w.block(stmts, clauseHeld) {
-			intersectHeld(held, clauseHeld)
-		}
-	}
-	return false
-}
-
-// expr walks an expression: mutex operations update held, guarded
-// receiver-field accesses are checked against it, and function literals
-// are analyzed with a copy of the current state (they either run inline
-// or inherit the caller's discipline).
-func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			w.block(n.Body.List, copyHeld(held))
-			return false
-		case *ast.CallExpr:
-			if mu, op := w.muOp(n, held); mu != "" {
-				switch op {
-				case "Lock", "RLock":
-					held[mu] = true
-				case "Unlock", "RUnlock":
-					held[mu] = false
-				}
-				return false // the recv.mu selector inside is not an access
-			}
-		case *ast.SelectorExpr:
-			w.checkAccess(n, held)
-		}
-		return true
-	})
-}
-
-// muOp recognizes recv.<mu>.Lock/Unlock/RLock/RUnlock calls for any mutex
-// named by a guard annotation on the receiver's struct.
-func (w *lockWalker) muOp(call *ast.CallExpr, held map[string]bool) (mu, op string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", ""
-	}
-	switch sel.Sel.Name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", ""
-	}
-	inner, ok := sel.X.(*ast.SelectorExpr)
-	if !ok {
-		return "", ""
-	}
-	id, ok := inner.X.(*ast.Ident)
-	if !ok || w.pkg.Info.Uses[id] != w.recv {
-		return "", ""
-	}
-	for _, muName := range w.guards {
-		if inner.Sel.Name == muName {
-			return muName, sel.Sel.Name
-		}
-	}
-	return "", ""
-}
-
-// checkAccess flags recv.<field> when field is guarded and its mutex is
-// not definitely held.
-func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
-	id, ok := sel.X.(*ast.Ident)
-	if !ok || w.pkg.Info.Uses[id] != w.recv {
-		return
-	}
-	obj := w.pkg.Info.Uses[sel.Sel]
-	if obj == nil {
-		obj = w.pkg.Info.Defs[sel.Sel]
-	}
-	mu, guarded := w.guards[obj]
-	if !guarded || held[mu] {
-		return
-	}
-	w.diags = append(w.diags, Diagnostic{
-		Pos:  w.pkg.Fset.Position(sel.Pos()),
-		Pass: w.pass,
-		Msg:  fmt.Sprintf("%s.%s is guarded by %s, which is not held here", id.Name, sel.Sel.Name, mu),
-	})
 }
 
 // isPanic reports whether e is a call to the builtin panic.

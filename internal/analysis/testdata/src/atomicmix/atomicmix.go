@@ -1,0 +1,86 @@
+// Package atomicmix is a fixture for the atomicmix pass: fields written
+// through sync/atomic and read plainly, with and without their guard
+// held, plus typed-atomic misuse.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter mirrors the rowsync version-shard pattern: hits is bumped
+// atomically on the hot path and snapshotted under mu, so plain reads
+// are legal only with mu held.
+type counter struct {
+	mu    sync.Mutex
+	hits  int64 // guarded by mu
+	total atomic.Int64
+}
+
+func (c *counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+	c.total.Add(1)
+}
+
+func (c *counter) GoodSnapshot() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *counter) BadPeek() int64 {
+	return c.hits // want "hits is accessed atomically elsewhere; this plain access needs counter\.mu held"
+}
+
+// hitsLocked asserts via its name that the caller holds mu.
+func (c *counter) hitsLocked() int64 { return c.hits }
+
+func (c *counter) GoodTyped() int64 {
+	return c.total.Load()
+}
+
+func (c *counter) BadTyped() *atomic.Int64 {
+	return &c.total // want "field total has a sync/atomic type; access it only through its atomic methods"
+}
+
+// shard owns the lock that guards table's cached row count — the dotted
+// guard names a foreign type, which the type-labelled hold walk can
+// still check.
+type shard struct{ mu sync.Mutex }
+
+type table struct {
+	rows int64 // guarded by shard.mu
+}
+
+func Bump(t *table) {
+	atomic.AddInt64(&t.rows, 1)
+}
+
+func GoodScan(t *table, sh *shard) int64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return t.rows
+}
+
+func BadScan(t *table) int64 {
+	return t.rows // want "rows is accessed atomically elsewhere; this plain access needs shard\.mu held"
+}
+
+// gauge mixes atomic and plain access with no annotation at all: the
+// pass demands a discipline be picked.
+type gauge struct {
+	level int64
+}
+
+func (g *gauge) Set(v int64) {
+	atomic.StoreInt64(&g.level, v)
+}
+
+func (g *gauge) BadRead() int64 {
+	return g.level // want "level mixes sync/atomic and plain access with no guard"
+}
+
+func (g *gauge) Startup() {
+	//roglint:ignore atomicmix construction-time store before the gauge is shared
+	g.level = 0
+}

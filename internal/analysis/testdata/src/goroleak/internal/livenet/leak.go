@@ -1,0 +1,119 @@
+// Package livenet is a goroleak fixture: goroutines with and without
+// termination paths, and unbuffered sends with and without an out. The
+// directory path puts it in the pass's scope.
+package livenet
+
+import "context"
+
+type mux struct {
+	jobs chan int
+	done chan struct{}
+}
+
+func newMux() *mux {
+	return &mux{jobs: make(chan int), done: make(chan struct{})}
+}
+
+func (m *mux) startLeaky() {
+	go func() {
+		for { // want "goroutine loop has no termination path"
+			m.process()
+		}
+	}()
+}
+
+func (m *mux) startCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-m.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func (m *mux) startDone() {
+	go func() {
+		for {
+			select {
+			case <-m.done:
+				return
+			case j := <-m.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func (m *mux) startReturning() {
+	go func() {
+		for {
+			if m.process() {
+				return
+			}
+		}
+	}()
+}
+
+// startRange drains until the channel closes — a close-driven unblock,
+// no finding.
+func (m *mux) startRange() {
+	go func() {
+		for j := range m.jobs {
+			_ = j
+		}
+	}()
+}
+
+// startFinite mirrors the http.Serve pattern: the body runs one blocking
+// call and falls off the end when Close unblocks it.
+func (m *mux) startFinite() {
+	go func() {
+		m.process()
+	}()
+}
+
+func (m *mux) startNamed() {
+	go m.pump()
+}
+
+func (m *mux) pump() {
+	for { // want "goroutine loop has no termination path"
+		m.process()
+	}
+}
+
+func (m *mux) process() bool { return true }
+
+func fanOutDeadEnd() {
+	results := make(chan int)
+	go func() {
+		results <- 1 // want "send on unbuffered channel results from a goroutine can block forever"
+	}()
+}
+
+func fanOutBuffered() {
+	results := make(chan int, 1)
+	go func() {
+		results <- 1
+	}()
+}
+
+func fanOutSelect(done chan struct{}) {
+	results := make(chan int)
+	go func() {
+		select {
+		case results <- 1:
+		case <-done:
+		}
+	}()
+}
+
+func (m *mux) fieldSend() {
+	go func() {
+		m.jobs <- 7 // want "send on unbuffered channel m\.jobs from a goroutine can block forever"
+	}()
+}

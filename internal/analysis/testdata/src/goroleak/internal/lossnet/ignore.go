@@ -1,0 +1,16 @@
+// Package lossnet exercises goroleak's suppression path in a second
+// in-scope package.
+package lossnet
+
+type pump struct{ ticks chan int }
+
+func (p *pump) run() {
+	go func() {
+		//roglint:ignore goroleak lifetime equals the process; shutdown kills it
+		for {
+			p.tick()
+		}
+	}()
+}
+
+func (p *pump) tick() {}

@@ -1,0 +1,10 @@
+// Package tool sits outside goroleak's scope: the same leaky shape as
+// the livenet fixture must produce no finding here.
+package tool
+
+func spin() {
+	go func() {
+		for {
+		}
+	}()
+}

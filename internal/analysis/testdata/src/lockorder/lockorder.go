@@ -1,0 +1,93 @@
+// Package lockorder is a fixture for the lockorder pass: a declared
+// acquisition order, conforming and inverted acquisitions (direct and
+// through a call), an undeclared cycle, a re-acquisition, and the
+// declaration grammar's failure modes.
+package lockorder
+
+import "sync"
+
+//roglint:lockorder A.mu < B.mu < C.mu
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+
+func InOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// InOrderTransitive relies on the chain's closure: A.mu < C.mu is
+// declared even though no single pair spells it.
+func InOrderTransitive(a *A, c *C) {
+	a.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func Inverted(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "acquiring A\.mu while holding B\.mu inverts the declared lock order \(A\.mu < B\.mu\)"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// IndirectInverted inverts through a call: the walk sees no Lock here,
+// but lockB's summary acquires B.mu while C.mu is held.
+func IndirectInverted(c *C, b *B) {
+	c.mu.Lock()
+	lockB(b) // want "call acquires B\.mu while holding C\.mu inverts the declared lock order \(B\.mu < C\.mu\)"
+	c.mu.Unlock()
+}
+
+// IgnoredInverted shows the escape hatch: a real inversion argued safe
+// (the lower lock's instance is private here) and suppressed with a
+// reason.
+func IgnoredInverted(a *A, b *B) {
+	b.mu.Lock()
+	//roglint:ignore lockorder a is freshly allocated by the caller and unshared
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// D and E have no declared order; acquiring them in both orders is a
+// cycle regardless.
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+func DE(d *D, e *E) {
+	d.mu.Lock()
+	e.mu.Lock() // want "acquiring E\.mu while holding D\.mu closes a lock-order cycle"
+	e.mu.Unlock()
+	d.mu.Unlock()
+}
+
+func ED(d *D, e *E) {
+	e.mu.Lock()
+	d.mu.Lock() // want "acquiring D\.mu while holding E\.mu closes a lock-order cycle"
+	d.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func Reacquire(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want "re-acquires A\.mu while it is already held"
+	a.mu.Unlock()
+}
+
+//roglint:lockorder A.mu // want "needs at least two labels"
+
+//roglint:lockorder lone < B.mu // want "label \"lone\" is not Type\.field"
+
+//roglint:lockorder X.mu < Y.mu
+
+//roglint:lockorder Y.mu < X.mu // want "declarations order X\.mu and Y\.mu both ways"

@@ -271,6 +271,11 @@ func (st *Store) RecoverSharded(policy engine.Policy, part *rowsync.Partition, w
 	sortDesc(seqs)
 	var firstErr error
 	for _, seq := range seqs {
+		// Recovery rebuilds a State that nothing else can reach yet — its
+		// locks are uncontended private plumbing until this call returns —
+		// so taking them under st.mu cannot deadlock, even though it reads
+		// as an inversion of the declared order.
+		//roglint:ignore lockorder recovered State is unshared until RecoverSharded returns
 		state, info, err := st.recoverFrom(seq, policy, part, workers, initialBudget, shards)
 		if err != nil {
 			if firstErr == nil {

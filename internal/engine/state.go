@@ -34,6 +34,13 @@ import (
 // The simnet kernel is single-threaded and calls everything from one
 // goroutine; the locks cost it nothing contended. The socket server calls
 // the merge path concurrently from its per-connection goroutines.
+//
+// The declaration below is the machine-checked form of that order: the
+// lockorder pass verifies every acquisition in the module against it
+// (Server.mu is livenet's, Store.mu is durable's; recovery inverts the
+// store edge deliberately and carries its own ignore with the argument).
+//
+//roglint:lockorder Server.mu < State.mu < stateShard.mu < Store.mu
 type State struct {
 	policy  Policy // guarded by mu (adaptive policies mutate on observe/plan)
 	part    *rowsync.Partition
@@ -45,12 +52,13 @@ type State struct {
 
 	// Acc[w] is worker w's averaged-gradient copy ḡ^s; detached workers'
 	// copies keep accumulating the backlog their rejoin resync replays.
-	// Unit data (and the dirty sets) are protected by the unit's shard lock.
+	// Unit data (and the dirty sets) are guarded by stateShard.mu — the
+	// unit's owning shard; the slice itself is set once at construction.
 	Acc      []*rowsync.GradStore
 	Versions *rowsync.VersionStore
 	// RowIter[u] is the latest iteration (any worker) whose gradients
 	// updated unit u — the freshness input of the server-mode importance
-	// metric. Guarded by unit u's shard lock.
+	// metric. Entries are guarded by stateShard.mu (unit u's owning shard).
 	RowIter []int64
 	Tracker *atp.TimeTracker   // guarded by mu
 	Churn   metrics.ChurnStats // guarded by mu; per-shard duplicate counts fold in via ChurnSnapshot
@@ -85,7 +93,10 @@ type stateShard struct {
 	mu      sync.Mutex
 	dups    int64 // guarded by mu; duplicate pushes dropped in this range
 	maxLead int64 // guarded by mu; largest stamped lead over Min() observed
-	wait    *WaitList
+	// wait is set once at construction and internally synchronized; its
+	// own lock is taken with no other lock held (retry closures run
+	// unlocked), so it sits outside the declared order.
+	wait *WaitList
 }
 
 // Duplicates returns the duplicate pushes dropped in this shard's range.

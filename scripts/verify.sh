@@ -1,7 +1,9 @@
 #!/bin/sh
 # verify.sh — the pre-merge gate, in order: formatting, build, vet,
 # roglint (the invariant analyzer — it runs before any test so a broken
-# invariant fails fast), the full test suite, a trace smoke (a tiny
+# invariant fails fast, prints per-pass wall time, and distinguishes a
+# tree the analyzer cannot load — exit 2, a build problem — from real
+# findings), the full test suite, a trace smoke (a tiny
 # traced simnet run piped through rogtrace — the observability pipeline
 # must stay usable end to end, not just unit-green), a crash-recovery
 # smoke (a run whose parameter server is killed and recovered from its
