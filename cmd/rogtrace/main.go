@@ -3,11 +3,18 @@
 // and staleness tables — the offline counterpart of the live metrics
 // registry.
 //
+// The critpath subcommand instead runs the causal critical-path analyzer:
+// each worker's wall time decomposed into compute / comm / gate-stall /
+// merge segments, the top blocking (worker, unit) pairs, and the stall
+// duration quantiles. It exits non-zero when the decomposition covers less
+// than 99% of any worker's wall time or the trace is structurally broken.
+//
 // Usage:
 //
 //	rogtrain -strategy rog -trace run.jsonl
 //	rogtrace run.jsonl
 //	rogtrace - < run.jsonl
+//	rogtrace critpath run.jsonl
 package main
 
 import (
@@ -23,17 +30,22 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rogtrace <trace.jsonl>  (or \"-\" for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: rogtrace [critpath] <trace.jsonl>  (or \"-\" for stdin)")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	args := flag.Args()
+	critpath := len(args) > 0 && args[0] == "critpath"
+	if critpath {
+		args = args[1:]
+	}
+	if len(args) != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	var in io.Reader = os.Stdin
-	if path := flag.Arg(0); path != "-" {
+	if path := args[0]; path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rogtrace: %v\n", err)
@@ -41,6 +53,18 @@ func main() {
 		}
 		defer f.Close()
 		in = f
+	}
+	if critpath {
+		rep, err := rog.CritPathFromTrace(in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rogtrace: %v\n", err)
+			os.Exit(1)
+		}
+		printCritPath(rep)
+		if len(rep.Errors) > 0 || rep.MinCoverage() < 0.99 {
+			os.Exit(1)
+		}
+		return
 	}
 	sum, err := rog.AggregateTrace(in)
 	if err != nil {
@@ -50,6 +74,75 @@ func main() {
 	printSummary(sum)
 	if len(sum.PairErrors) > 0 {
 		os.Exit(1)
+	}
+}
+
+// printCritPath renders the critical-path decomposition: the per-worker
+// segment table, the top blocking (worker, unit) pairs, and the stall
+// duration quantiles.
+func printCritPath(rep *rog.CritReport) {
+	fmt.Println("-- critical path (per worker) --")
+	rows := make([][]string, 0, len(rep.Workers))
+	for _, w := range rep.Workers {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", w.Worker),
+			fmt.Sprintf("%d", w.Iters),
+			fmt.Sprintf("%.2f", w.WallSeconds),
+			fmt.Sprintf("%.2f", w.ComputeSeconds),
+			fmt.Sprintf("%.2f", w.CommSeconds),
+			fmt.Sprintf("%.2f", w.StallSeconds),
+			fmt.Sprintf("%.2f", w.MergeSeconds),
+			fmt.Sprintf("%.1f%%", 100*w.Coverage),
+		})
+	}
+	fmt.Println(metrics.FormatTable(
+		[]string{"worker", "iters", "wall s", "compute s", "comm s", "stall s", "merge s", "coverage"}, rows))
+
+	compute, comm, stall, merge := rep.Totals()
+	fmt.Printf("\ntotals: compute %.2fs, comm %.2fs, stall %.2fs, merge %.2fs (min coverage %.1f%%)\n",
+		compute, comm, stall, merge, 100*rep.MinCoverage())
+
+	if len(rep.Blockers) > 0 {
+		fmt.Println("\n-- top blockers (who held the RSP gate) --")
+		rows = rows[:0]
+		for i, b := range rep.Blockers {
+			if i == 10 {
+				break
+			}
+			who, unit := fmt.Sprintf("%d", b.Worker), fmt.Sprintf("%d", b.Unit)
+			if b.Worker < 0 {
+				who = "unknown"
+			}
+			if b.Unit < 0 {
+				unit = "detach"
+			}
+			rows = append(rows, []string{
+				who, unit,
+				fmt.Sprintf("%.2f", b.StallSeconds),
+				fmt.Sprintf("%d", b.Stalls),
+			})
+		}
+		fmt.Println(metrics.FormatTable([]string{"worker", "unit", "stall s", "stalls"}, rows))
+	}
+
+	if rep.StallHist.Count > 0 {
+		fmt.Printf("\nstall durations: %d stalls, p50 %.3fs, p95 %.3fs, p99 %.3fs\n",
+			rep.StallHist.Count, rep.StallHist.P50, rep.StallHist.P95, rep.StallHist.P99)
+	}
+	if rep.InfraCommSeconds > 0 {
+		fmt.Printf("infrastructure (aggregator uplink) airtime: %.2fs\n", rep.InfraCommSeconds)
+	}
+	if rep.OpenStalls > 0 {
+		fmt.Printf("%d stall interval(s) left open (run ended or membership ended them)\n", rep.OpenStalls)
+	}
+	if rep.Unattributed > 0 {
+		fmt.Printf("%d stall(s) without a concrete blocker\n", rep.Unattributed)
+	}
+	if len(rep.Errors) > 0 {
+		fmt.Println("\n-- structural violations --")
+		for _, e := range rep.Errors {
+			fmt.Printf("  %s\n", e)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"rog/internal/engine"
+	"rog/internal/obs"
 	"rog/internal/simnet"
 	"rog/internal/trace"
 )
@@ -50,6 +51,10 @@ type aggregator struct {
 	queue map[int]*aggRow // unit → pending combined row
 	order []int           // units in first-arrival order (deterministic flush)
 	busy  bool
+	// flowSeq counts this aggregator's uplink flows — the correlation id on
+	// its RowsSent events. Incremented unconditionally (pure memory) so
+	// traced and untraced runs stay bit-identical.
+	flowSeq int64
 }
 
 // aggRow is a pending combined row: the element-wise sum of every queued
@@ -120,10 +125,18 @@ func (t *aggTier) flush(a *aggregator) {
 	a.queue = make(map[int]*aggRow, len(rows))
 	a.order = a.order[:0]
 	a.busy = true
+	a.flowSeq++
+	seq := a.flowSeq
+	start := t.c.k.Now()
 	t.up.StartFlow(a.id, bytes, func() {
 		for _, r := range rows {
 			t.c.state.MergeCombined(r.unit, r.vals, r.stamps)
 		}
+		// The backhaul hop is infrastructure time, not any robot's radio:
+		// the negative worker id routes it to the critical-path analyzer's
+		// infra bucket instead of a worker's comm segment.
+		t.c.probe.RowsSent(-(a.id + 1), 0, seq, obs.DirPush, len(rows), bytes,
+			t.c.k.Now()-start, false)
 		a.busy = false
 		t.c.state.WakeWaiters(t.c.k.Now())
 		t.flush(a)

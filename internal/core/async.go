@@ -35,12 +35,18 @@ func (c *cluster) wireSize(u int) float64 { return float64(c.part.WireSize(u)) }
 // flow. done receives the delivered unit count, the (possibly estimated)
 // MTA time and the elapsed transmission time.
 func (c *cluster) transmitPush(w int, n int64, plan engine.Plan, done func(delivered int, mtaTime, elapsed float64)) {
+	c.planSeq[w]++
+	seq := c.planSeq[w]
+	// Seed the engine state's per-worker plan seq so the Merge events this
+	// push produces carry the same correlation id (no-op when tracing is
+	// off).
+	c.state.NotePushSeq(w, seq)
 	ap := atp.NewPlanObserved(plan.Units, c.wireSize, c.probe)
-	c.probe.PushPlanned(w, n, len(ap.Units), plan.Must,
+	c.probe.PushPlanned(w, n, seq, len(ap.Units), plan.Must,
 		c.part.NumUnits()-len(ap.Units), ap.TotalBytes(), plan.Speculative, "")
 	deliver := func(u int) { c.deliverPush(w, u, n) }
 	finish := func(delivered int, mtaTime, elapsed float64) {
-		c.probe.RowsSent(w, n, obs.DirPush, delivered, ap.Prefix[delivered], elapsed, plan.Speculative)
+		c.probe.RowsSent(w, n, seq, obs.DirPush, delivered, ap.Prefix[delivered], elapsed, plan.Speculative)
 		done(delivered, mtaTime, elapsed)
 	}
 	if f := c.newLossFilter(w, n, obs.DirPush, plan, deliver); f != nil {
@@ -72,10 +78,11 @@ func (c *cluster) transmitPush(w int, n int64, plan engine.Plan, done func(deliv
 // transmitPull moves one pull plan of worker w's iteration n and reports
 // the elapsed transmission time.
 func (c *cluster) transmitPull(w int, n int64, plan engine.Plan, done func(elapsed float64)) {
+	seq := c.planSeq[w] // the pull completes the push plan's iteration
 	ap := atp.NewPlanObserved(plan.Units, c.wireSize, c.probe)
 	deliver := func(u int) { c.deliverPull(w, u) }
 	finish := func(delivered int, elapsed float64) {
-		c.probe.RowsSent(w, n, obs.DirPull, delivered, ap.Prefix[delivered], elapsed, plan.Speculative)
+		c.probe.RowsSent(w, n, seq, obs.DirPull, delivered, ap.Prefix[delivered], elapsed, plan.Speculative)
 		done(elapsed)
 	}
 	if f := c.newLossFilter(w, n, obs.DirPull, plan, deliver); f != nil {
@@ -135,12 +142,17 @@ func (c *cluster) parkStalled(w int, n int64, pull func() bool) {
 		c.state.ParkWaiter(w, start, pull)
 		return
 	}
-	c.probe.StallBegin(w, n, "gate")
+	// Causal attribution: StallBegin names the (worker, unit, version)
+	// currently pinning the RSP gate's version floor; StallEnd names the
+	// merge that last advanced the floor — the release that let the
+	// predicate pass.
+	seq := c.planSeq[w]
+	c.probe.StallBegin(w, n, seq, "gate", c.state.MinBlocker())
 	c.state.ParkWaiter(w, start, func() bool {
 		if !pull() {
 			return false
 		}
-		c.probe.StallEnd(w, n, "gate", c.k.Now()-start)
+		c.probe.StallEnd(w, n, seq, "gate", c.k.Now()-start, c.state.LastRelease())
 		return true
 	})
 }
@@ -175,7 +187,8 @@ func (c *cluster) runAsync() {
 			if plan.Skip {
 				// The scheduler (FLOWN) sat this one out: local gradients
 				// keep accumulating, nothing moves.
-				c.probe.PushPlanned(w, n, 0, 0, c.part.NumUnits(), 0, false, "skip")
+				c.planSeq[w]++
+				c.probe.PushPlanned(w, n, c.planSeq[w], 0, 0, c.part.NumUnits(), 0, false, "skip")
 				c.finishIteration(w, iterStart, 0)
 				startIter(w)
 				return

@@ -241,6 +241,10 @@ type Config struct {
 	// Metrics, when set, accumulates the runtime counters/gauges/histograms
 	// (rows sent, bytes on wire, staleness, stall causes, MTA budget).
 	Metrics *obs.Registry
+	// Flight, when set, retains the last-N events per worker in a bounded
+	// ring and dumps them when a servercrash recovery fires — the crash
+	// flight recorder. It sees the same event stream as Trace (teed).
+	Flight *obs.FlightRecorder
 }
 
 // Validate fills defaults and rejects nonsense.
@@ -412,6 +416,12 @@ type cluster struct {
 
 	iter   []int64 // completed iterations per worker
 	halted []bool
+	// planSeq[w] counts worker w's push plans (including skips) — the
+	// correlation id threaded through PushPlanned/RowsSent/Stall*/Merge so
+	// the critical-path analyzer can tie a stall to the plan that parked it.
+	// Incremented unconditionally (pure memory), so traced and untraced runs
+	// stay bit-identical.
+	planSeq []int64
 
 	// Fault-tolerance state: crashed workers and the driver's per-worker
 	// resume hook for rejoins. RSP parks blocked workers on the engine
@@ -505,8 +515,16 @@ func newCluster(cfg Config, wl Workload) *cluster {
 		}
 	}
 	c.state.OnMerge = cfg.OnMerge
-	c.probe = obs.NewProbe(cfg.Trace, cfg.Metrics, k.Now)
+	// The flight recorder rides the same event stream as the trace sink.
+	// The typed-nil check matters: a nil *FlightRecorder in a Tracer
+	// interface would survive Tee's nil filter.
+	tr := cfg.Trace
+	if cfg.Flight != nil {
+		tr = obs.Tee(cfg.Flight, cfg.Trace)
+	}
+	c.probe = obs.NewProbe(tr, cfg.Metrics, k.Now)
 	c.state.Probe = c.probe
+	c.planSeq = make([]int64, cfg.Workers)
 	c.serverAcc = c.state.Acc
 	c.versions = c.state.Versions
 	c.series.Name = fmt.Sprintf("%s-%d", cfg.Strategy, cfg.Threshold)

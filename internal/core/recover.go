@@ -152,6 +152,10 @@ func (c *cluster) crashServer(duration float64) {
 	if c.store != nil {
 		c.store.Crash()
 	}
+	// Flight-recorder dump at the crash instant: the retained tail is the
+	// last N events before the server died — exactly what a postmortem
+	// wants. Best-effort diagnostics; a sink failure must not kill the run.
+	_ = c.cfg.Flight.Dump(fmt.Sprintf("servercrash at t=%.3f", c.k.Now()))
 	if duration > 0 || c.cfg.RecoverySecondsPerMB > 0 {
 		for w := 0; w < c.cfg.Workers; w++ {
 			c.ch.SetLinkDown(w, true)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"rog/internal/atp"
 	"rog/internal/metrics"
@@ -75,6 +76,20 @@ type State struct {
 	// utilization). nil — the default — costs one pointer check per site.
 	Probe *obs.Probe
 
+	// pushSeq[w] is worker w's latest push-plan sequence number, noted by
+	// the driver before that push's rows merge so every Merge event
+	// carries its originating plan's correlation ID. Entry w is written by
+	// the goroutine carrying worker w's push and read on that same push's
+	// merge path, so no lock is needed.
+	pushSeq []int64
+
+	// lastRelease records the most recent merge (or detach) that advanced
+	// the global minimum — the causal releaser a closing staleness gate
+	// attributes its stall to. Written only when Probe is set, so the
+	// disabled path stays allocation-free; a single atomic pointer swap
+	// keeps the three fields torn-read-safe against concurrent gate exits.
+	lastRelease atomic.Pointer[obs.Blocker]
+
 	// Journal, when set, receives every durable transition (see Journal) —
 	// the write-ahead log the crash-recovery store replays. Handles are
 	// internally synchronized; records from different shards commute under
@@ -139,6 +154,7 @@ func NewStateSharded(policy Policy, part *rowsync.Partition, workers int, initia
 		Versions: rowsync.NewVersionStoreSharded(workers, part.NumUnits(), sm),
 		RowIter:  make([]int64, part.NumUnits()),
 		Tracker:  atp.NewTimeTracker(workers, initialBudget),
+		pushSeq:  make([]int64, workers),
 	}
 	for i := 0; i < workers; i++ {
 		s.Acc = append(s.Acc, rowsync.NewGradStoreSharded(part, sm))
@@ -210,7 +226,11 @@ func (s *State) Merge(worker, unit int, vals []float32, iter int64) bool {
 	sh.mu.Lock()
 	s.mergeUnitLocked(sh, worker, unit, vals, iter)
 	sh.mu.Unlock()
-	return s.Versions.Min() > before
+	adv := s.Versions.Min() > before
+	if adv && s.Probe != nil {
+		s.lastRelease.Store(&obs.Blocker{Worker: worker, Unit: unit, Version: iter})
+	}
+	return adv
 }
 
 // MergeBatch merges one push's rows — units ascending, vals[i] the row for
@@ -228,7 +248,12 @@ func (s *State) MergeBatch(worker int, units []int, vals [][]float32, iter int64
 		}
 		sh.mu.Unlock()
 	}
-	return s.Versions.Min() > before
+	adv := s.Versions.Min() > before
+	if adv && s.Probe != nil && len(units) > 0 {
+		// The batch is one causal push; its last unit stands for it.
+		s.lastRelease.Store(&obs.Blocker{Worker: worker, Unit: units[len(units)-1], Version: iter})
+	}
+	return adv
 }
 
 // Stamp is one originating-worker iteration carried by an aggregated row.
@@ -278,7 +303,11 @@ func (s *State) MergeCombined(unit int, vals []float32, stamps []Stamp) bool {
 		s.stampLocked(sh, st.Worker, unit, st.Iter)
 	}
 	sh.mu.Unlock()
-	return s.Versions.Min() > before
+	adv := s.Versions.Min() > before
+	if adv && s.Probe != nil {
+		s.lastRelease.Store(&obs.Blocker{Worker: live[0].Worker, Unit: unit, Version: live[0].Iter})
+	}
+	return adv
 }
 
 // mergeUnitLocked is the single-row merge body; the caller holds the lock
@@ -332,7 +361,7 @@ func (s *State) stampLocked(sh *stateShard, worker, unit int, iter int64) {
 		s.OnMerge(worker, unit, iter)
 	}
 	if s.Probe != nil {
-		s.Probe.Merge(worker, unit, iter, iter, lag)
+		s.Probe.Merge(worker, unit, iter, s.pushSeq[worker], iter, lag)
 	}
 }
 
@@ -357,6 +386,50 @@ func (s *State) CanAdvance(iter int64) bool {
 	s.mu.Unlock()
 	s.Probe.GateCheck(ok)
 	return ok
+}
+
+// NotePushSeq records worker w's current push-plan sequence number so the
+// Merge events its rows produce carry the plan's correlation ID. Entry w
+// is only touched by the goroutine carrying w's push (see pushSeq).
+func (s *State) NotePushSeq(w int, seq int64) {
+	if s.Probe == nil || w < 0 || w >= len(s.pushSeq) {
+		return
+	}
+	s.pushSeq[w] = seq
+}
+
+// LastRelease returns the most recent merge or detach that advanced the
+// global minimum — the blocker a just-released staleness gate charges its
+// stall to. NoBlocker before any release (or with the probe disabled).
+func (s *State) LastRelease() obs.Blocker {
+	if b := s.lastRelease.Load(); b != nil {
+		return *b
+	}
+	return obs.NoBlocker()
+}
+
+// MinBlocker scans for the (worker, unit) pinning the global minimum
+// version — what a gate about to park is actually waiting on. The scan is
+// deterministic (lowest unit, then lowest worker, among attached workers)
+// and quiesces the state, so it runs only on the already-blocked slow path
+// of an enabled probe; NoBlocker (with the minimum as Version) when no
+// attached entry matches.
+func (s *State) MinBlocker() obs.Blocker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockShardsLocked()
+	defer s.unlockShardsLocked()
+	min := s.Versions.Min()
+	for u := 0; u < s.part.NumUnits(); u++ {
+		for w := 0; w < s.workers; w++ {
+			if s.Versions.IsActive(w) && s.Versions.Get(w, u) == min {
+				return obs.Blocker{Worker: w, Unit: u, Version: min}
+			}
+		}
+	}
+	blk := obs.NoBlocker()
+	blk.Version = min
+	return blk
 }
 
 // PlanPull asks the policy which averaged rows to return to worker after
@@ -450,6 +523,12 @@ func (s *State) Detach(worker int) {
 	}
 	s.Versions.Detach(worker)
 	s.Churn.Disconnects++
+	if s.Probe != nil {
+		// A detach can release the gate without any merge: the departing
+		// worker's rows stop pinning the minimum. Unit -1 marks the
+		// non-merge release; Version is the surviving minimum.
+		s.lastRelease.Store(&obs.Blocker{Worker: worker, Unit: -1, Version: s.Versions.Min()})
+	}
 }
 
 // Attach re-admits a detached worker, re-baselining its rows at the

@@ -85,5 +85,39 @@ func DriftTable(base, cur *Report) string {
 		[]string{"system", "iters (base)", "iters (now)", "Δiters", "Δfinal", "Δjoules", "staleness"},
 		rows,
 	))
+	critDrift(&b, base, cur)
 	return b.String()
+}
+
+// critDrift appends the critical-path comm/stall split per system, with the
+// baseline's split alongside when its snapshot carried one (older snapshots
+// predate the analyzer and render as "-").
+func critDrift(b *strings.Builder, base, cur *Report) {
+	byLabel := make(map[string]*SystemReport, len(base.Systems))
+	for i := range base.Systems {
+		byLabel[base.Systems[i].Label] = &base.Systems[i]
+	}
+	wrote := false
+	for i := range cur.Systems {
+		c := &cur.Systems[i]
+		if c.CritPath == nil {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(b, "\ncritical path (comm/stall split, seconds summed over workers):\n")
+			wrote = true
+		}
+		_, comm, stall, _ := c.CritPath.Totals()
+		baseline := "-"
+		if o, ok := byLabel[c.Label]; ok && o.CritPath != nil {
+			_, bc, bs, _ := o.CritPath.Totals()
+			baseline = fmt.Sprintf("comm %.1f stall %.1f", bc, bs)
+		}
+		top := ""
+		if len(c.CritPath.Blockers) > 0 {
+			blk := c.CritPath.Blockers[0]
+			top = fmt.Sprintf("; top blocker worker %d unit %d (%.1fs)", blk.Worker, blk.Unit, blk.StallSeconds)
+		}
+		fmt.Fprintf(b, "  %-8s comm %.1f stall %.1f (base: %s)%s\n", c.Label, comm, stall, baseline, top)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"rog/internal/core"
 	"rog/internal/durable"
 	"rog/internal/lossnet"
+	"rog/internal/obs"
 	"rog/internal/simnet"
 	"rog/internal/trace"
 )
@@ -108,6 +109,10 @@ type EndToEndOptions struct {
 	SnapshotEverySeconds float64
 	RecoverySecondsPerMB float64
 	WALSyncEvery         int
+	// MakeTrace, when set, builds a tracer for each system run (label is
+	// the system's Label()); a nil return leaves that run untraced. The
+	// JSON exporter hangs the streaming critical-path analyzer on it.
+	MakeTrace func(label string) obs.Tracer
 }
 
 // paradigmConfig returns the per-paradigm timing constants: compute time
@@ -178,6 +183,9 @@ func RunEndToEnd(o EndToEndOptions) ([]*core.Result, error) {
 			Faults:            o.Faults,
 			Loss:              o.Loss,
 			Reliability:       o.Reliability,
+		}
+		if o.MakeTrace != nil {
+			cfg.Trace = o.MakeTrace(sys.Label())
 		}
 		if o.Checkpoint {
 			st, err := durable.Open(durable.NewMemFS(), "ckpt")

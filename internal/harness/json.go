@@ -8,6 +8,7 @@ import (
 	"rog/internal/core"
 	"rog/internal/lossnet"
 	"rog/internal/metrics"
+	"rog/internal/obs"
 	"rog/internal/simnet"
 	"rog/internal/trace"
 )
@@ -63,7 +64,11 @@ type SystemReport struct {
 	Churn           *ChurnReport    `json:"churn,omitempty"`
 	Loss            *LossReport     `json:"loss,omitempty"`
 	Recovery        *RecoveryReport `json:"recovery,omitempty"`
-	Series          []SeriesPoint   `json:"series"`
+	// CritPath is the causal critical-path decomposition of this system's
+	// run: per-worker compute/comm/stall/merge segments, the top blocking
+	// (worker, unit) pairs and the stall duration quantiles.
+	CritPath *obs.CritReport `json:"critpath,omitempty"`
+	Series   []SeriesPoint   `json:"series"`
 }
 
 // ChurnReport mirrors metrics.ChurnStats with stable JSON names.
@@ -161,12 +166,26 @@ func RunJSONReport(id string, s Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Ride the critical-path analyzer on each system's event stream: the
+	// simnet is bit-identical traced or untraced, so the decomposition is
+	// free of observer effects.
+	crit := make(map[string]*obs.CritPath)
+	opts.MakeTrace = func(label string) obs.Tracer {
+		cp := obs.NewCritPath()
+		crit[label] = cp
+		return cp
+	}
 	results, err := RunEndToEnd(opts)
 	if err != nil {
 		return nil, err
 	}
 	rep.Scale = s.Name
 	fillReport(&rep, results, len(opts.Faults) > 0, opts.Loss.Enabled())
+	for i := range rep.Systems {
+		if cp := crit[rep.Systems[i].Label]; cp != nil {
+			rep.Systems[i].CritPath = cp.Report()
+		}
+	}
 	return &rep, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -56,6 +57,19 @@ type ServerConfig struct {
 	// HTTP on this listen address ("127.0.0.1:0" picks a free port; see
 	// DebugAddr() for the bound address). Empty disables the endpoint.
 	DebugAddr string
+	// DebugPprof additionally mounts net/http/pprof under /debug/pprof/ on
+	// the DebugAddr listener — opt-in runtime profiling for live servers.
+	// Ignored when DebugAddr is empty.
+	DebugPprof bool
+	// Flight, when set, retains the last-N events per worker and dumps the
+	// tail when a detach storm hits (see DetachStormCount/Window) — the
+	// crash flight recorder. It sees the same event stream as Trace.
+	Flight *obs.FlightRecorder
+	// DetachStormCount is the number of detaches within DetachStormWindow
+	// that triggers a flight dump (default 3). Only meaningful with Flight.
+	DetachStormCount int
+	// DetachStormWindow is the detach-storm detection window (default 10s).
+	DetachStormWindow time.Duration
 	// Durable, when set, makes the server crash-consistent: every state
 	// transition is journaled to the store's WAL, Checkpoint() rotates full
 	// snapshots, and a NewServer over a store that already holds state
@@ -126,6 +140,13 @@ type Server struct {
 	pending     [][]compress.Payload // guarded by mu — rows encoded for an in-flight pull
 	closed      bool                 // guarded by mu
 	detachEpoch int64                // guarded by mu — bumped on every detach; attributes wait time to churn
+	detachTimes []time.Time          // guarded by mu — recent detaches, for storm detection
+
+	// pushSeq[w] counts worker w's pushes — the correlation id on this
+	// connection's gate-stall and merge events. Entry w is written only by
+	// worker w's handler goroutine (callers must not run two handlers for
+	// one worker), so it needs no lock.
+	pushSeq []int64
 }
 
 // NewServer creates a server for a model decomposed by part. It returns an
@@ -159,10 +180,17 @@ func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 		}
 		cfg.Policy = pol
 	}
+	if cfg.DetachStormCount <= 0 {
+		cfg.DetachStormCount = 3
+	}
+	if cfg.DetachStormWindow <= 0 {
+		cfg.DetachStormWindow = 10 * time.Second
+	}
 	s := &Server{
-		cfg:   cfg,
-		part:  part,
-		state: engine.NewStateSharded(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds, cfg.Shards),
+		cfg:     cfg,
+		part:    part,
+		state:   engine.NewStateSharded(cfg.Policy, part, cfg.Workers, cfg.MTAFloorSeconds, cfg.Shards),
+		pushSeq: make([]int64, cfg.Workers),
 	}
 	if cfg.Durable != nil {
 		if cfg.Durable.HasState() {
@@ -191,7 +219,13 @@ func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 	// uses the monotonic clock) and comparable to the simnet's virtual-time
 	// origin, so the same aggregation reads both.
 	t0 := time.Now()
-	s.probe = obs.NewProbe(cfg.Trace, cfg.Metrics, func() float64 { return time.Since(t0).Seconds() })
+	// The flight recorder rides the same event stream as the trace sink;
+	// a typed-nil *FlightRecorder must not reach the Tracer interface.
+	tr := cfg.Trace
+	if cfg.Flight != nil {
+		tr = obs.Tee(cfg.Flight, cfg.Trace)
+	}
+	s.probe = obs.NewProbe(tr, cfg.Metrics, func() float64 { return time.Since(t0).Seconds() })
 	s.state.Probe = s.probe
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -204,10 +238,21 @@ func NewServer(part *rowsync.Partition, cfg ServerConfig) (*Server, error) {
 			return nil, fmt.Errorf("livenet: debug endpoint: %w", err)
 		}
 		s.debug = ln
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.DebugHandler(cfg.Metrics))
+		if cfg.DebugPprof {
+			// Explicit mounts rather than the DefaultServeMux side effect,
+			// so pprof is exposed only when asked for and only here.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		go func() {
 			// Serve returns when Close tears the listener down; that exit
 			// path is the expected shutdown, not an error to surface.
-			_ = http.Serve(ln, obs.DebugHandler(cfg.Metrics))
+			_ = http.Serve(ln, mux)
 		}()
 	}
 	return s, nil
@@ -372,6 +417,14 @@ func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 			batch.vals = append(batch.vals, vals)
 			batch.iters = append(batch.iters, msg.iter)
 		case kindPushDone:
+			// The push seq is this connection's correlation id: noted into
+			// the engine state before the flush so every merge this push
+			// produces carries it, and stamped on the gate-stall events
+			// below. Incremented unconditionally (pure memory) so traced
+			// and untraced servers behave identically.
+			s.pushSeq[worker]++
+			seq := s.pushSeq[worker]
+			s.state.NotePushSeq(worker, seq)
 			s.flushPush(worker, &batch)
 			n := msg.iter
 			s.state.ObservePush(worker, n, msg.mta, msg.mta, true)
@@ -386,11 +439,14 @@ func (s *Server) serve(worker int, conn net.Conn) (DisconnectReason, error) {
 			if !s.closed && !s.state.CanAdvance(n) {
 				epoch := s.detachEpoch
 				waitStart := time.Now()
-				s.probe.StallBegin(worker, n, "gate")
+				// Causal attribution: StallBegin names the (worker, unit,
+				// version) pinning the gate's version floor; StallEnd names
+				// the merge that last advanced it — the release.
+				s.probe.StallBegin(worker, n, seq, "gate", s.state.MinBlocker())
 				for !s.closed && !s.state.CanAdvance(n) {
 					s.cond.Wait()
 				}
-				s.probe.StallEnd(worker, n, "gate", time.Since(waitStart).Seconds())
+				s.probe.StallEnd(worker, n, seq, "gate", time.Since(waitStart).Seconds(), s.state.LastRelease())
 				if s.detachEpoch != epoch {
 					s.state.AddDetachStall(time.Since(waitStart).Seconds())
 				}
@@ -419,6 +475,7 @@ func (s *Server) detach(worker int, cause string) {
 	s.state.Detach(worker)
 	s.probe.Detach(worker, s.state.Versions.Min(), cause)
 	s.detachEpoch++
+	s.noteDetachLocked()
 	// Pull rows cut off mid-flight stay in pending; fold their mass back
 	// into the accumulator so nothing is lost across the disconnect.
 	for _, p := range s.pending[worker] {
@@ -428,6 +485,31 @@ func (s *Server) detach(worker int, cause string) {
 	}
 	s.pending[worker] = nil
 	s.cond.Broadcast()
+}
+
+// noteDetachLocked records one detach for storm detection and dumps the
+// flight recorder when DetachStormCount detaches landed within
+// DetachStormWindow — a fleet-wide connectivity event worth a postmortem
+// tail. The recent-detach list resets after a dump so one storm yields one
+// dump. Must hold s.mu.
+func (s *Server) noteDetachLocked() {
+	if s.cfg.Flight == nil {
+		return
+	}
+	now := time.Now()
+	keep := s.detachTimes[:0]
+	for _, t := range s.detachTimes {
+		if now.Sub(t) <= s.cfg.DetachStormWindow {
+			keep = append(keep, t)
+		}
+	}
+	s.detachTimes = append(keep, now)
+	if len(s.detachTimes) >= s.cfg.DetachStormCount {
+		// Best-effort diagnostics; a sink failure must not affect serving.
+		_ = s.cfg.Flight.Dump(fmt.Sprintf("detach storm: %d detaches within %v",
+			len(s.detachTimes), s.cfg.DetachStormWindow))
+		s.detachTimes = s.detachTimes[:0]
+	}
 }
 
 // attach re-admits a previously detached worker: it replays every averaged

@@ -52,10 +52,11 @@ type Worker struct {
 	rc       *transport.Receiver
 	probe    *obs.Probe // nil when tracing and metrics are both off
 
-	iter   int64
-	budget float64 // MTA-time budget from the server's last pull-done
-	minVer int64   // global minimum row version, from the last pull-done
-	epoch  uint64  // server recovery epoch, from the last resync-done
+	iter    int64
+	planSeq int64   // push plans made (incl. skips) — correlation id on trace events
+	budget  float64 // MTA-time budget from the server's last pull-done
+	minVer  int64   // global minimum row version, from the last pull-done
+	epoch   uint64  // server recovery epoch, from the last resync-done
 }
 
 // NewWorker wires a worker to its model and server connection.
@@ -162,8 +163,10 @@ func (w *Worker) push(n int64) (skipped bool, err error) {
 		Min:    w.minVer,
 		Budget: w.budget,
 	})
+	w.planSeq++
+	seq := w.planSeq
 	if plan.Skip {
-		w.probe.PushPlanned(w.cfg.ID, n, 0, 0, numUnits, 0, false, "skip")
+		w.probe.PushPlanned(w.cfg.ID, n, seq, 0, 0, numUnits, 0, false, "skip")
 		return true, nil
 	}
 	must := plan.Must
@@ -171,7 +174,7 @@ func (w *Worker) push(n int64) (skipped bool, err error) {
 		must = len(plan.Units)
 	}
 	ap := atp.NewPlanObserved(plan.Units, func(u int) float64 { return float64(w.part.WireSize(u)) }, w.probe)
-	w.probe.PushPlanned(w.cfg.ID, n, len(ap.Units), must,
+	w.probe.PushPlanned(w.cfg.ID, n, seq, len(ap.Units), must,
 		numUnits-len(ap.Units), ap.TotalBytes(), plan.Speculative, "")
 
 	frames := make([][]byte, len(plan.Units))
@@ -202,7 +205,7 @@ func (w *Worker) push(n int64) (skipped bool, err error) {
 		}
 	}
 	elapsed := time.Since(start).Seconds()
-	w.probe.RowsSent(w.cfg.ID, n, obs.DirPush, sent, ap.Prefix[sent], elapsed, plan.Speculative)
+	w.probe.RowsSent(w.cfg.ID, n, seq, obs.DirPush, sent, ap.Prefix[sent], elapsed, plan.Speculative)
 	mtaTime := elapsed
 	if sent > must && ap.Prefix[sent] > 0 {
 		// Everything (or more than the floor) fit in the budget: the floor's

@@ -110,6 +110,10 @@ type BurstSender struct {
 	RTO   time.Duration
 	seq   uint32
 	Stats DgramStats
+	// OnAbandon, when set, is called once per abandon notice sent — the
+	// hook a crash flight recorder hangs its dump on, so giving up on a
+	// best-effort payload leaves an event tail behind.
+	OnAbandon func()
 }
 
 // NewBurstSender sends to peer over conn.
@@ -195,6 +199,9 @@ func (s *BurstSender) SendBurst(payloads [][]byte, reliable func(i int) bool, de
 					return err
 				}
 				s.Stats.Abandons++
+				if s.OnAbandon != nil {
+					s.OnAbandon()
+				}
 			}
 		}
 		return nil

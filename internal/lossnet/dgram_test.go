@@ -122,6 +122,37 @@ func TestBurstSelectiveReliabilityUnderLoss(t *testing.T) {
 	}
 }
 
+func TestBurstAbandonHook(t *testing.T) {
+	// Lossy data direction with a mostly best-effort burst: some payloads
+	// must be abandoned, and the hook must fire once per abandon notice —
+	// that is the contract the flight recorder's dump trigger rides on.
+	a, b := PacketPipe(NewGilbertElliott(0.25, 4, 42), nil)
+	defer a.Close()
+	defer b.Close()
+	payloads := burstPayloads(120)
+	s := NewBurstSender(a, b.LocalAddr())
+	var fired int64
+	s.OnAbandon = func() { fired++ }
+	r := NewBurstReceiver(b)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RecvBurst(time.Now().Add(20*time.Second), func([]byte) {})
+		done <- err
+	}()
+	if _, err := s.SendBurst(payloads, func(i int) bool { return i < 10 }, time.Now().Add(20*time.Second)); err != nil {
+		t.Fatalf("SendBurst: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("RecvBurst: %v", err)
+	}
+	if fired != s.Stats.Abandons {
+		t.Errorf("hook fired %d times for %d abandon notices", fired, s.Stats.Abandons)
+	}
+	if fired == 0 {
+		t.Error("no abandons under 25%% loss — the hook path went unexercised")
+	}
+}
+
 func TestBurstAllReliableUnderLoss(t *testing.T) {
 	a, b := PacketPipe(NewGilbertElliott(0.3, 4, 7), nil)
 	defer a.Close()

@@ -116,7 +116,16 @@ func Aggregate(r io.Reader) (*Summary, error) {
 	}
 	byIter := make(map[int64]*IterRow)
 	units := make(map[int]*UnitRow)
-	stallDepth := make(map[int]int)
+	// Stall pairing is keyed by (worker, cause), not worker alone: a worker
+	// can legitimately nest stalls of different causes (a detach stall
+	// opening inside a gate stall), and worker-keyed depth counting would
+	// silently pair a StallEnd of one cause against a StallBegin of
+	// another.
+	type stallKey struct {
+		worker int
+		cause  string
+	}
+	stallDepth := make(map[stallKey]int)
 	detached := make(map[int]bool)
 	ckptDepth := 0
 
@@ -149,14 +158,16 @@ func Aggregate(r io.Reader) (*Summary, error) {
 				s.BytesPushed += e.Bytes
 			}
 		case KindStallBegin:
-			stallDepth[e.Worker]++
+			stallDepth[stallKey{e.Worker, e.Cause}]++
 		case KindStallEnd:
-			if stallDepth[e.Worker] == 0 {
+			k := stallKey{e.Worker, e.Cause}
+			if stallDepth[k] == 0 {
 				s.PairErrors = append(s.PairErrors, fmt.Sprintf(
-					"worker %d: StallEnd without StallBegin at t=%.3f", e.Worker, e.Time))
+					"worker %d: StallEnd(%s) without matching StallBegin at t=%.3f",
+					e.Worker, e.Cause, e.Time))
 				break
 			}
-			stallDepth[e.Worker]--
+			stallDepth[k]--
 			s.StallByCause[e.Cause] += e.Seconds
 		case KindMerge:
 			s.Merges++

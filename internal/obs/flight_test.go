@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFlightRecorder(2, 4, &buf)
+	// Ten events for worker 0 through a 4-slot ring: only the last 4 live.
+	for i := 1; i <= 10; i++ {
+		f.Emit(Event{Kind: KindMerge, Worker: 0, Iter: int64(i), Version: int64(i)})
+	}
+	f.Emit(Event{Kind: KindDetach, Worker: 1, Iter: 3, Cause: "crash"})
+	// Out-of-range worker lands in the shared overflow ring.
+	f.Emit(Event{Kind: KindWALAppend, Worker: -1, Bytes: 64})
+
+	if err := f.Dump("test trigger"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Dumps() != 1 {
+		t.Errorf("dumps = %d, want 1", f.Dumps())
+	}
+	var got []Event
+	if err := ReadEvents(bytes.NewReader(buf.Bytes()), func(e Event) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("dump is not ReadEvents-parseable: %v", err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("dump carries %d events, want 7 (header + 6 retained)", len(got))
+	}
+	head := got[0]
+	if head.Kind != KindFlightDump || head.Cause != "test trigger" || head.Units != 6 {
+		t.Errorf("dump header = %+v", head)
+	}
+	// Worker 0's ring wrapped: iterations 7..10 retained, in emission order.
+	for i, want := range []int64{7, 8, 9, 10} {
+		if e := got[1+i]; e.Kind != KindMerge || e.Iter != want {
+			t.Errorf("entry %d = %+v, want Merge iter %d", i, e, want)
+		}
+	}
+	if got[5].Kind != KindDetach || got[5].Worker != 1 {
+		t.Errorf("entry 4 = %+v, want the worker-1 Detach", got[5])
+	}
+	if got[6].Kind != KindWALAppend || got[6].Worker != -1 {
+		t.Errorf("entry 5 = %+v, want the overflow-ring WALAppend", got[6])
+	}
+}
+
+func TestFlightRecorderConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	const workers, perSource, events = 4, 8, 1000
+	f := NewFlightRecorder(workers, perSource, &buf)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				f.Emit(Event{Kind: KindMerge, Worker: w, Iter: int64(i)})
+			}
+		}(w)
+	}
+	// Dump while the writers hammer the rings: must stay race-free and the
+	// mid-flight dump must still parse.
+	if err := f.Dump("mid-flight"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	buf.Reset()
+	if err := f.Dump("post"); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	if err := ReadEvents(bytes.NewReader(buf.Bytes()), func(e Event) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("concurrent-writer dump is not parseable: %v", err)
+	}
+	// All rings full: header + workers*perSource entries, each worker's
+	// slice being its last perSource iterations in order.
+	if want := 1 + workers*perSource; len(got) != want {
+		t.Fatalf("dump carries %d events, want %d", len(got), want)
+	}
+	last := make(map[int]int64)
+	counts := make(map[int]int)
+	for _, e := range got[1:] {
+		if prev, ok := last[e.Worker]; ok && e.Iter <= prev {
+			t.Fatalf("worker %d entries out of order: %d after %d", e.Worker, e.Iter, prev)
+		}
+		last[e.Worker] = e.Iter
+		counts[e.Worker]++
+	}
+	for w := 0; w < workers; w++ {
+		if counts[w] != perSource {
+			t.Errorf("worker %d retained %d events, want %d", w, counts[w], perSource)
+		}
+		if last[w] != events-1 {
+			t.Errorf("worker %d newest retained iter = %d, want %d", w, last[w], events-1)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	if err := f.Dump("nil recorder"); err != nil {
+		t.Errorf("nil recorder Dump errored: %v", err)
+	}
+	if f.Dumps() != 0 {
+		t.Error("nil recorder reports dumps")
+	}
+	// Sink-less recorder retains but does not dump.
+	nf := NewFlightRecorder(1, 2, nil)
+	nf.Emit(Event{Kind: KindMerge, Worker: 0, Iter: 1})
+	if err := nf.Dump("no sink"); err != nil {
+		t.Errorf("sink-less Dump errored: %v", err)
+	}
+	if got := nf.SnapshotEvents(); len(got) != 1 || got[0].Iter != 1 {
+		t.Errorf("snapshot = %+v, want the one retained merge", got)
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := &collectTracer{}, &collectTracer{}
+	if Tee(nil, nil) != nil {
+		t.Error("Tee of nothing should be nil")
+	}
+	if got := Tee(nil, a); got != Tracer(a) {
+		t.Error("Tee of one tracer should unwrap it")
+	}
+	tee := Tee(a, b)
+	tee.Emit(Event{Kind: KindIterStart, Worker: 2, Iter: 5})
+	if len(a.events) != 1 || len(b.events) != 1 {
+		t.Fatalf("fan-out reached %d/%d tracers, want 1/1", len(a.events), len(b.events))
+	}
+	if a.events[0] != b.events[0] {
+		t.Error("tracers saw different events")
+	}
+}

@@ -35,7 +35,19 @@ func NewJSONLTracer(w io.Writer) *JSONLTracer {
 func (t *JSONLTracer) Emit(e Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	b := t.buf[:0]
+	b := appendEvent(t.buf[:0], e)
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		// A broken sink cannot fail the training run; the trace is lossy
+		// from here and Close reports the flush error.
+		return
+	}
+}
+
+// appendEvent renders one event as a JSONL line (trailing newline
+// included). Shared by the live tracer and the flight-recorder dump so
+// both streams parse with ReadEvents.
+func appendEvent(b []byte, e Event) []byte {
 	b = append(b, `{"ev":"`...)
 	b = append(b, e.Kind.String()...)
 	b = append(b, `","t":`...)
@@ -44,6 +56,10 @@ func (t *JSONLTracer) Emit(e Event) {
 	b = strconv.AppendInt(b, int64(e.Worker), 10)
 	b = append(b, `,"iter":`...)
 	b = strconv.AppendInt(b, e.Iter, 10)
+	if e.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendInt(b, e.Seq, 10)
+	}
 	if e.Unit != 0 || e.Kind == KindMerge {
 		b = append(b, `,"unit":`...)
 		b = strconv.AppendInt(b, int64(e.Unit), 10)
@@ -100,13 +116,19 @@ func (t *JSONLTracer) Emit(e Event) {
 		b = append(b, `,"cause":`...)
 		b = strconv.AppendQuote(b, e.Cause)
 	}
-	b = append(b, '}', '\n')
-	t.buf = b
-	if _, err := t.w.Write(b); err != nil {
-		// A broken sink cannot fail the training run; the trace is lossy
-		// from here and Close reports the flush error.
-		return
+	// Stall blocker attribution: worker/unit 0 are real identities, so the
+	// stall kinds carry all three fields unconditionally (-1 = unknown) and
+	// everything else omits the zero values.
+	if e.Kind == KindStallBegin || e.Kind == KindStallEnd ||
+		e.BlockWorker != 0 || e.BlockUnit != 0 || e.BlockVersion != 0 {
+		b = append(b, `,"bw":`...)
+		b = strconv.AppendInt(b, int64(e.BlockWorker), 10)
+		b = append(b, `,"bu":`...)
+		b = strconv.AppendInt(b, int64(e.BlockUnit), 10)
+		b = append(b, `,"bver":`...)
+		b = strconv.AppendInt(b, e.BlockVersion, 10)
 	}
+	return append(b, '}', '\n')
 }
 
 // Close flushes buffered lines and closes the underlying writer when it is
@@ -148,6 +170,10 @@ type jsonEvent struct {
 	Dir      string  `json:"dir"`
 	Spec     bool    `json:"spec"`
 	Cause    string  `json:"cause"`
+	Seq      int64   `json:"seq"`
+	Bw       int     `json:"bw"`
+	Bu       int     `json:"bu"`
+	Bver     int64   `json:"bver"`
 }
 
 // ReadEvents streams a JSONL trace, invoking fn per decoded event. Blank
@@ -183,7 +209,8 @@ func ReadEvents(r io.Reader, fn func(Event) error) error {
 			Unit: je.Unit, Units: je.Units, Must: je.Must, Deferred: je.Deferred,
 			Version: je.Ver, Lag: je.Lag, Bytes: je.Bytes, Seconds: je.Sec,
 			Compute: je.Compute, Comm: je.Comm, Stall: je.Stall,
-			Dir: dir, Spec: je.Spec, Cause: je.Cause,
+			Dir: dir, Spec: je.Spec, Cause: je.Cause, Seq: je.Seq,
+			BlockWorker: je.Bw, BlockUnit: je.Bu, BlockVersion: je.Bver,
 		}
 		if err := fn(e); err != nil {
 			return err

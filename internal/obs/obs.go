@@ -80,6 +80,10 @@ const (
 	// carries the WAL records replayed, Bytes the snapshot+WAL bytes read,
 	// Version the new recovery epoch.
 	KindRecoveryReplay
+	// KindFlightDump heads a flight-recorder dump: Cause names the trigger
+	// (servercrash recovery, a detach storm, a loss abandon) and Units
+	// counts the retained events that follow it in the dump stream.
+	KindFlightDump
 )
 
 var kindNames = [...]string{
@@ -99,6 +103,7 @@ var kindNames = [...]string{
 	KindCheckpointEnd:   "CheckpointEnd",
 	KindWALAppend:       "WALAppend",
 	KindRecoveryReplay:  "RecoveryReplay",
+	KindFlightDump:      "FlightDump",
 }
 
 // String names the kind.
@@ -169,7 +174,36 @@ type Event struct {
 	Dir   Dir
 	Spec  bool   // speculative transmission
 	Cause string // stall/detach cause, or "skip" for a sat-out push
+
+	// Seq is the per-worker push-plan sequence number, the causal
+	// correlation ID: a PushPlanned, its RowsSent transmissions, the
+	// Merges it produced server-side and any stall it resolved all carry
+	// the same (Worker, Iter, Seq) triple.
+	Seq int64
+
+	// BlockWorker/BlockUnit/BlockVersion attribute a StallBegin/StallEnd
+	// to the concrete blocker: on StallBegin, the (worker, unit) currently
+	// pinning the global minimum version the gate is waiting on; on
+	// StallEnd, the merge (or detach, Unit -1) whose minimum advance
+	// released the gate. Worker and Unit are -1 when unknown.
+	BlockWorker  int
+	BlockUnit    int
+	BlockVersion int64
 }
+
+// Blocker identifies the causal party of a staleness-gate stall: the
+// (worker, unit) whose stamped version pins — or whose merge released —
+// the global minimum the gate compares against. Zero is a real identity
+// (worker 0, unit 0), so the unknown blocker is NoBlocker.
+type Blocker struct {
+	Worker  int
+	Unit    int
+	Version int64
+}
+
+// NoBlocker is the attribution placeholder when no concrete blocker is
+// known (for example a stall released by run shutdown).
+func NoBlocker() Blocker { return Blocker{Worker: -1, Unit: -1} }
 
 // Tracer receives every emitted event. Implementations must be safe for
 // concurrent use when driven from the socket runtime (the simnet kernel is
@@ -242,13 +276,15 @@ func (p *Probe) IterEnd(w int, n int64, compute, comm, stall float64) {
 }
 
 // PushPlanned records a push plan: units scheduled, the MTA floor, units
-// deferred, total planned wire bytes. cause is "" normally and "skip" when
-// the policy sat the iteration out (units is then 0).
-func (p *Probe) PushPlanned(w int, n int64, units, must, deferred int, bytes float64, spec bool, cause string) {
+// deferred, total planned wire bytes. seq is the per-worker plan sequence
+// number correlating this plan with its transmissions and merges. cause is
+// "" normally and "skip" when the policy sat the iteration out (units is
+// then 0).
+func (p *Probe) PushPlanned(w int, n, seq int64, units, must, deferred int, bytes float64, spec bool, cause string) {
 	if p == nil {
 		return
 	}
-	p.emit(Event{Kind: KindPushPlanned, Worker: w, Iter: n,
+	p.emit(Event{Kind: KindPushPlanned, Worker: w, Iter: n, Seq: seq,
 		Units: units, Must: must, Deferred: deferred, Bytes: bytes, Spec: spec, Cause: cause})
 	if p.reg != nil {
 		p.reg.Counter("rows_planned").Add(int64(units))
@@ -256,12 +292,13 @@ func (p *Probe) PushPlanned(w int, n int64, units, must, deferred int, bytes flo
 	}
 }
 
-// RowsSent records one completed transmission for worker w's iteration n.
-func (p *Probe) RowsSent(w int, n int64, dir Dir, units int, bytes, seconds float64, spec bool) {
+// RowsSent records one completed transmission for worker w's iteration n,
+// under plan sequence seq.
+func (p *Probe) RowsSent(w int, n, seq int64, dir Dir, units int, bytes, seconds float64, spec bool) {
 	if p == nil {
 		return
 	}
-	p.emit(Event{Kind: KindRowsSent, Worker: w, Iter: n,
+	p.emit(Event{Kind: KindRowsSent, Worker: w, Iter: n, Seq: seq,
 		Units: units, Bytes: bytes, Seconds: seconds, Dir: dir, Spec: spec})
 	if p.reg != nil {
 		if dir == DirPull {
@@ -273,32 +310,41 @@ func (p *Probe) RowsSent(w int, n int64, dir Dir, units int, bytes, seconds floa
 	}
 }
 
-// StallBegin marks worker w blocking during iteration n for cause.
-func (p *Probe) StallBegin(w int, n int64, cause string) {
+// StallBegin marks worker w blocking during iteration n for cause. blk
+// names the (worker, unit, version) currently pinning the minimum the gate
+// waits on (NoBlocker when unknown).
+func (p *Probe) StallBegin(w int, n, seq int64, cause string, blk Blocker) {
 	if p == nil {
 		return
 	}
-	p.emit(Event{Kind: KindStallBegin, Worker: w, Iter: n, Cause: cause})
+	p.emit(Event{Kind: KindStallBegin, Worker: w, Iter: n, Seq: seq, Cause: cause,
+		BlockWorker: blk.Worker, BlockUnit: blk.Unit, BlockVersion: blk.Version})
 }
 
-// StallEnd closes the matching StallBegin with the stalled duration.
-func (p *Probe) StallEnd(w int, n int64, cause string, seconds float64) {
+// StallEnd closes the matching StallBegin with the stalled duration. blk
+// names the merge (unit -1 for a detach) whose minimum advance released
+// the gate.
+func (p *Probe) StallEnd(w int, n, seq int64, cause string, seconds float64, blk Blocker) {
 	if p == nil {
 		return
 	}
-	p.emit(Event{Kind: KindStallEnd, Worker: w, Iter: n, Cause: cause, Seconds: seconds})
+	p.emit(Event{Kind: KindStallEnd, Worker: w, Iter: n, Seq: seq, Cause: cause, Seconds: seconds,
+		BlockWorker: blk.Worker, BlockUnit: blk.Unit, BlockVersion: blk.Version})
 	if p.reg != nil {
 		p.reg.FloatCounter("stall_seconds/" + cause).Add(seconds)
+		p.reg.Histogram("stall_duration_seconds", StallDurationBounds).Observe(seconds)
 	}
 }
 
 // Merge records one row merged into the server state: unit u stamped at
-// version, lagging the global minimum by lag iterations.
-func (p *Probe) Merge(w, u int, n, version, lag int64) {
+// version, lagging the global minimum by lag iterations. seq is the plan
+// sequence of the push that carried the row (0 when unknown, e.g. a
+// recovery re-stamp).
+func (p *Probe) Merge(w, u int, n, seq, version, lag int64) {
 	if p == nil {
 		return
 	}
-	p.emit(Event{Kind: KindMerge, Worker: w, Iter: n, Unit: u, Version: version, Lag: lag})
+	p.emit(Event{Kind: KindMerge, Worker: w, Iter: n, Seq: seq, Unit: u, Version: version, Lag: lag})
 	if p.reg != nil {
 		p.reg.Counter("rows_merged").Add(1)
 		p.reg.Histogram("staleness", StalenessBounds).Observe(float64(lag))
@@ -455,6 +501,11 @@ func (p *Probe) ObservePlan(units int, totalBytes float64) {
 // StalenessBounds are the histogram bucket upper bounds for row staleness
 // lag (iterations); lags above the last bound land in the overflow bucket.
 var StalenessBounds = []float64{0, 1, 2, 4, 8, 16, 32}
+
+// StallDurationBounds are the histogram bucket upper bounds for stall
+// durations (seconds); the quantile estimates in rogtrace and the debug
+// endpoint interpolate within these buckets.
+var StallDurationBounds = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
 // itoa is a minimal non-negative integer formatter (avoids strconv for the
 // one hot-path name join).

@@ -16,7 +16,7 @@ type collectTracer struct {
 func (c *collectTracer) Emit(e Event) { c.events = append(c.events, e) }
 
 func TestKindStringRoundTrip(t *testing.T) {
-	for k := KindIterStart; k <= KindResync; k++ {
+	for k := KindIterStart; k <= KindFlightDump; k++ {
 		name := k.String()
 		if name == "Unknown" {
 			t.Fatalf("kind %d has no name", k)
@@ -34,11 +34,11 @@ func TestNilProbeIsSafe(t *testing.T) {
 	var p *Probe
 	p.IterStart(0, 1)
 	p.IterEnd(0, 1, 1, 2, 3)
-	p.PushPlanned(0, 1, 3, 1, 2, 100, true, "")
-	p.RowsSent(0, 1, DirPush, 3, 100, 0.5, true)
-	p.StallBegin(0, 1, "gate")
-	p.StallEnd(0, 1, "gate", 0.25)
-	p.Merge(0, 2, 1, 1, 0)
+	p.PushPlanned(0, 1, 1, 3, 1, 2, 100, true, "")
+	p.RowsSent(0, 1, 1, DirPush, 3, 100, 0.5, true)
+	p.StallBegin(0, 1, 1, "gate", NoBlocker())
+	p.StallEnd(0, 1, 1, "gate", 0.25, NoBlocker())
+	p.Merge(0, 2, 1, 1, 1, 0)
 	p.GateCheck(false)
 	p.BudgetUsed(0, 1, 1, 0.5)
 	p.Detach(0, 1, "crash")
@@ -59,11 +59,11 @@ func TestNilProbeAllocationFree(t *testing.T) {
 	var p *Probe
 	allocs := testing.AllocsPerRun(1000, func() {
 		p.IterStart(1, 7)
-		p.Merge(1, 3, 7, 7, 2)
-		p.RowsSent(1, 7, DirPush, 5, 1e4, 0.3, true)
+		p.Merge(1, 3, 7, 7, 7, 2)
+		p.RowsSent(1, 7, 7, DirPush, 5, 1e4, 0.3, true)
 		p.GateCheck(true)
-		p.StallBegin(1, 7, "gate")
-		p.StallEnd(1, 7, "gate", 0.1)
+		p.StallBegin(1, 7, 7, "gate", Blocker{Worker: 2, Unit: 3, Version: 5})
+		p.StallEnd(1, 7, 7, "gate", 0.1, Blocker{Worker: 2, Unit: 3, Version: 6})
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled probe allocated %.1f times per run, want 0", allocs)
@@ -92,13 +92,13 @@ func TestProbeStampsClock(t *testing.T) {
 func sampleEvents() []Event {
 	return []Event{
 		{Kind: KindIterStart, Time: 0, Worker: 0, Iter: 1},
-		{Kind: KindPushPlanned, Time: 2.64, Worker: 0, Iter: 1, Units: 5, Must: 2, Deferred: 1, Bytes: 5000, Spec: true},
-		{Kind: KindRowsSent, Time: 3.1, Worker: 0, Iter: 1, Units: 4, Bytes: 4000, Seconds: 0.46, Dir: DirPush, Spec: true},
-		{Kind: KindMerge, Time: 3.1, Worker: 0, Iter: 1, Unit: 0, Version: 1, Lag: 0},
-		{Kind: KindMerge, Time: 3.1, Worker: 0, Iter: 1, Unit: 3, Version: 1, Lag: 2},
-		{Kind: KindStallBegin, Time: 3.2, Worker: 0, Iter: 1, Cause: "gate"},
-		{Kind: KindStallEnd, Time: 4.0, Worker: 0, Iter: 1, Cause: "gate", Seconds: 0.8},
-		{Kind: KindRowsSent, Time: 4.4, Worker: 0, Iter: 1, Units: 6, Bytes: 6000, Seconds: 0.4, Dir: DirPull, Spec: true},
+		{Kind: KindPushPlanned, Time: 2.64, Worker: 0, Iter: 1, Seq: 1, Units: 5, Must: 2, Deferred: 1, Bytes: 5000, Spec: true},
+		{Kind: KindRowsSent, Time: 3.1, Worker: 0, Iter: 1, Seq: 1, Units: 4, Bytes: 4000, Seconds: 0.46, Dir: DirPush, Spec: true},
+		{Kind: KindMerge, Time: 3.1, Worker: 0, Iter: 1, Seq: 1, Unit: 0, Version: 1, Lag: 0},
+		{Kind: KindMerge, Time: 3.1, Worker: 0, Iter: 1, Seq: 1, Unit: 3, Version: 1, Lag: 2},
+		{Kind: KindStallBegin, Time: 3.2, Worker: 0, Iter: 1, Seq: 1, Cause: "gate", BlockWorker: 1, BlockUnit: 3, BlockVersion: 1},
+		{Kind: KindStallEnd, Time: 4.0, Worker: 0, Iter: 1, Seq: 1, Cause: "gate", Seconds: 0.8, BlockWorker: 1, BlockUnit: 3, BlockVersion: 2},
+		{Kind: KindRowsSent, Time: 4.4, Worker: 0, Iter: 1, Seq: 1, Units: 6, Bytes: 6000, Seconds: 0.4, Dir: DirPull, Spec: true},
 		{Kind: KindIterEnd, Time: 4.4, Worker: 0, Iter: 1, Compute: 2.64, Comm: 0.86, Stall: 0.9},
 		{Kind: KindDetach, Time: 5.0, Worker: 1, Iter: 2, Cause: "crash"},
 		{Kind: KindReconnect, Time: 7.0, Worker: 1, Iter: 3, Version: 3},
@@ -274,11 +274,11 @@ func TestProbeFeedsRegistry(t *testing.T) {
 	r := NewRegistry()
 	p := NewProbe(nil, r, nil)
 	p.IterEnd(0, 1, 2, 1, 0.5)
-	p.PushPlanned(0, 1, 5, 2, 3, 5000, true, "")
-	p.RowsSent(0, 1, DirPush, 4, 4000, 0.4, true)
-	p.RowsSent(0, 1, DirPull, 6, 6000, 0.6, true)
-	p.StallEnd(0, 1, "gate", 0.8)
-	p.Merge(0, 2, 1, 1, 3)
+	p.PushPlanned(0, 1, 1, 5, 2, 3, 5000, true, "")
+	p.RowsSent(0, 1, 1, DirPush, 4, 4000, 0.4, true)
+	p.RowsSent(0, 1, 1, DirPull, 6, 6000, 0.6, true)
+	p.StallEnd(0, 1, 1, "gate", 0.8, Blocker{Worker: 1, Unit: 2, Version: 1})
+	p.Merge(0, 2, 1, 1, 1, 3)
 	p.GateCheck(false)
 	p.GateCheck(true)
 	p.BudgetUsed(0, 1, 1.0, 0.4)
@@ -317,6 +317,9 @@ func TestProbeFeedsRegistry(t *testing.T) {
 	}
 	if got := s.Histograms["staleness/unit2"].Count; got != 1 {
 		t.Errorf("per-unit staleness observations = %d, want 1", got)
+	}
+	if got := s.Histograms["stall_duration_seconds"].Count; got != 1 {
+		t.Errorf("stall duration observations = %d, want 1", got)
 	}
 }
 
@@ -399,7 +402,7 @@ func BenchmarkDisabledProbeMergePath(b *testing.B) {
 	var p *Probe
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p.Merge(1, 3, int64(i), int64(i), 0)
+		p.Merge(1, 3, int64(i), int64(i), int64(i), 0)
 		p.GateCheck(true)
 	}
 }
@@ -409,7 +412,7 @@ func BenchmarkJSONLEmit(b *testing.B) {
 	p := NewProbe(tr, nil, func() float64 { return 1.5 })
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p.RowsSent(1, int64(i), DirPush, 5, 1e4, 0.3, true)
+		p.RowsSent(1, int64(i), int64(i), DirPush, 5, 1e4, 0.3, true)
 	}
 }
 

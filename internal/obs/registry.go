@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -77,12 +78,17 @@ func (h *Histogram) Observe(v float64) {
 	h.n.Add(1)
 }
 
-// HistSnapshot is a histogram's frozen state.
+// HistSnapshot is a histogram's frozen state. P50/P95/P99 are the
+// interpolated quantile estimates (see Quantile), filled by
+// Registry.Snapshot so the debug endpoint serves them directly.
 type HistSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"` // len(Bounds)+1; the last is overflow
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
 }
 
 // Mean returns the average observed value (0 when empty).
@@ -91,6 +97,53 @@ func (h HistSnapshot) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// inside the bucket holding the q-th observation. The first bucket's lower
+// edge is taken as 0 (every histogram here observes non-negative values);
+// observations in the overflow bucket report the last bound — the
+// histogram cannot see past it.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Counts) == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// fillQuantiles stamps the standard quantile estimates.
+func (h *HistSnapshot) fillQuantiles() {
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
 }
 
 // Registry is a named collection of counters, float counters, gauges and
@@ -206,15 +259,38 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		hs.fillQuantiles()
 		s.Histograms[name] = hs
 	}
 	return s
 }
 
+// SampleVitals samples Go runtime health into gauges: goroutine count,
+// heap bytes, cumulative GC pause seconds and GC cycles. It reads only the
+// runtime package (no clocks), so it is legal anywhere in the
+// wallclock-restricted core; callers pick the cadence — the debug endpoint
+// samples once per scrape, which keeps the deterministic runtimes free of
+// sampling timers.
+func (r *Registry) SampleVitals() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("vitals/goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("vitals/heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("vitals/heap_sys_bytes").Set(float64(ms.HeapSys))
+	r.Gauge("vitals/gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	r.Gauge("vitals/num_gc").Set(float64(ms.NumGC))
+}
+
 // DebugHandler serves the registry snapshot as pretty-printed JSON — the
 // expvar-style debug endpoint the live server exposes when configured.
+// Runtime vitals are sampled per scrape, so the served snapshot always
+// carries fresh goroutine/heap/GC gauges.
 func DebugHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		r.SampleVitals()
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

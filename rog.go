@@ -218,3 +218,42 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // AggregateTrace folds a JSONL event stream into per-iteration, per-unit
 // and per-cause summaries.
 func AggregateTrace(r io.Reader) (*TraceSummary, error) { return obs.Aggregate(r) }
+
+// CritReport is the critical-path decomposition of a traced run: each
+// worker's wall time split into compute / comm / gate-stall / merge
+// segments, plus the top blocking (worker, unit) pairs and the stall
+// duration distribution. Produced by CritPathFromTrace or rog.CritPath.
+type CritReport = obs.CritReport
+
+// WorkerPath is one worker's critical-path row in a CritReport.
+type WorkerPath = obs.WorkerPath
+
+// BlockerRow is one blocking (worker, unit) pair in a CritReport, ranked
+// by the stall seconds its merges released.
+type BlockerRow = obs.BlockerRow
+
+// CritPath streams trace events into a critical-path decomposition; feed
+// it as a Tracer (or tee it next to a JSONL sink) and call Report.
+type CritPath = obs.CritPath
+
+// NewCritPath creates an empty streaming critical-path analyzer.
+func NewCritPath() *CritPath { return obs.NewCritPath() }
+
+// CritPathFromTrace decomposes a recorded JSONL trace into per-worker
+// critical-path segments (what `rogtrace critpath` prints).
+func CritPathFromTrace(r io.Reader) (*CritReport, error) { return obs.CritPathFromReader(r) }
+
+// FlightRecorder is the bounded lock-free crash flight recorder: it
+// retains the last N events per worker and dumps the tail on crash-class
+// triggers. Set Config.Flight / ServerConfig.Flight to enable it.
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder retains perSource events for each of sources workers
+// (plus a shared overflow ring); Dump writes JSONL to sink.
+func NewFlightRecorder(sources, perSource int, sink io.Writer) *FlightRecorder {
+	return obs.NewFlightRecorder(sources, perSource, sink)
+}
+
+// TeeTracers fans one event stream out to several tracers (nil entries
+// are dropped; nil is returned when none remain).
+func TeeTracers(tracers ...Tracer) Tracer { return obs.Tee(tracers...) }

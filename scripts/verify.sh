@@ -5,7 +5,10 @@
 # tree the analyzer cannot load — exit 2, a build problem — from real
 # findings), the full test suite, a trace smoke (a tiny
 # traced simnet run piped through rogtrace — the observability pipeline
-# must stay usable end to end, not just unit-green), a crash-recovery
+# must stay usable end to end, not just unit-green), a critical-path
+# smoke (the same traced run through rogtrace critpath, which exits
+# non-zero unless ≥99% of every worker's wall time decomposes and the
+# gate stalls attribute), a crash-recovery
 # smoke (a run whose parameter server is killed and recovered from its
 # checkpoint store, then resumed by a fresh process), and the
 # race-sensitive packages (the concurrent livenet server, the policy
@@ -40,7 +43,7 @@ check_fmt() {
 run_race() {
 	go test -race ./internal/livenet/... ./internal/engine/... \
 		./internal/rowsync/... ./internal/core/... ./internal/transport/... \
-		./internal/lossnet/... ./internal/durable/...
+		./internal/lossnet/... ./internal/durable/... ./internal/obs/...
 }
 
 run_recover_smoke() {
@@ -94,6 +97,36 @@ run_trace_smoke() {
 	esac
 }
 
+run_critpath_smoke() {
+	tmp=$(mktemp -d)
+	go run ./cmd/rogtrain -paradigm crimp -strategy rog -threshold 4 \
+		-minutes 2 -trace "$tmp/run.jsonl" >/dev/null
+	# rogtrace critpath exits non-zero when any worker's decomposition
+	# covers <99% of its wall time or the trace is structurally broken —
+	# that exit code IS the assertion.
+	out=$(go run ./cmd/rogtrace critpath "$tmp/run.jsonl") || {
+		echo "$out" >&2
+		rm -rf "$tmp"
+		echo "critpath smoke: decomposition incomplete or trace broken" >&2
+		return 1
+	}
+	rm -rf "$tmp"
+	case "$out" in
+	*"critical path"*) ;;
+	*)
+		echo "critpath smoke: rogtrace critpath missing the per-worker table" >&2
+		return 1
+		;;
+	esac
+	case "$out" in
+	*"top blockers"*) ;;
+	*)
+		echo "critpath smoke: no stall attribution in a gated RSP run" >&2
+		return 1
+		;;
+	esac
+}
+
 run_bench_drift() {
 	latest=$(ls BENCH_[0-9]*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
 	if [ -z "$latest" ]; then
@@ -110,6 +143,7 @@ stage vet go vet ./...
 stage lint sh scripts/lint.sh
 stage test go test ./...
 stage trace-smoke run_trace_smoke
+stage critpath-smoke run_critpath_smoke
 stage recover-smoke run_recover_smoke
 stage race run_race
 stage bench-drift run_bench_drift
