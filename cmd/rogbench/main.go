@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"rog"
@@ -22,13 +23,14 @@ import (
 )
 
 func main() {
+	jsonIDs := strings.Join(harness.JSONExperimentIDs(), ", ")
 	var (
 		exp   = flag.String("exp", "", "experiment id to run (see -list)")
 		all   = flag.Bool("all", false, "run every experiment")
 		full  = flag.Bool("full", false, "run at paper scale (60 virtual minutes per system)")
 		list  = flag.Bool("list", false, "list available experiments")
 		seeds = flag.Int("seeds", 1, "replicate fig1/fig6/fig7 across N seeds and report mean±std")
-		jsonP = flag.String("json", "", "write a machine-readable report of -exp (fig1, fig6, fig7, churn, loss or fleet) to this file")
+		jsonP = flag.String("json", "", "write a machine-readable report of -exp ("+jsonIDs+") to this file")
 		drift = flag.String("drift", "", "rerun the experiment recorded in this BENCH_*.json snapshot and report drift against it (never fails)")
 	)
 	flag.Parse()
@@ -59,7 +61,7 @@ func main() {
 		runDrift(*drift)
 	case *jsonP != "":
 		if *exp == "" {
-			fmt.Fprintln(os.Stderr, "rogbench: -json needs -exp (fig1, fig6, fig7, churn, loss or fleet)")
+			fmt.Fprintf(os.Stderr, "rogbench: -json needs -exp (%s)\n", jsonIDs)
 			os.Exit(2)
 		}
 		writeJSON(*exp, scale, *jsonP)

@@ -253,6 +253,27 @@ func printSummary(s *rog.TraceSummary) {
 		}
 	}
 
+	if s.RequestsServed > 0 || s.SnapshotPublishes > 0 {
+		fmt.Println("\n-- serving tier --")
+		avg := 0.0
+		if s.RequestsServed > 0 {
+			avg = s.ServeSeconds / float64(s.RequestsServed)
+		}
+		fmt.Println(metrics.FormatTable(
+			[]string{"metric", "value"},
+			[][]string{
+				{"snapshots published", fmt.Sprintf("%d", s.SnapshotPublishes)},
+				{"requests enqueued", fmt.Sprintf("%d", s.RequestsEnqueued)},
+				{"requests served", fmt.Sprintf("%d", s.RequestsServed)},
+				{"latency avg / max", fmt.Sprintf("%.1fms / %.1fms", 1000*avg, 1000*s.MaxServeSeconds)},
+				{"read stalls", fmt.Sprintf("%d (%.2fs parked)", s.ReadStalls, s.ReadStallSeconds)},
+				{"max read lag", fmt.Sprintf("%d", s.MaxReadLag)},
+			}))
+		if s.OpenReadStalls > 0 {
+			fmt.Printf("%d read stall(s) left open (requests still parked at trace end)\n", s.OpenReadStalls)
+		}
+	}
+
 	if s.Detaches > 0 || s.Reconnects > 0 {
 		fmt.Printf("\nchurn: %d detaches, %d reconnects, %d resyncs (%d rows, %.0f bytes)\n",
 			s.Detaches, s.Reconnects, s.Resyncs, s.ResyncRows, s.ResyncBytes)

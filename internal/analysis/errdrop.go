@@ -14,8 +14,10 @@ import (
 // descriptor a rejoining worker needs — and on the checkpoint path, a
 // dropped Sync or Rename error is the classic torn-checkpoint bug: the
 // snapshot "publishes" without ever being durable, and the crash it
-// existed for destroys it. The pass applies to the socket and checkpoint
-// packages only and flags statement- or defer-position calls of the risky
+// existed for destroys it. The same failure shape exists on the serving
+// tier: a dropped reply-write error makes a dead client look served. The
+// pass applies to the socket, checkpoint and serving packages and flags
+// statement- or defer-position calls of the risky
 // methods whose final result is an error; assigning the error away
 // explicitly (_ = conn.Close()) is a visible decision and passes.
 type Errdrop struct {
@@ -28,7 +30,7 @@ type Errdrop struct {
 // NewErrdrop returns the pass scoped to the wire and checkpoint packages.
 func NewErrdrop() *Errdrop {
 	return &Errdrop{
-		Scoped: []string{"internal/livenet", "internal/transport", "internal/durable"},
+		Scoped: []string{"internal/livenet", "internal/transport", "internal/durable", "internal/serve"},
 		Methods: map[string]bool{
 			"Close": true, "Write": true, "Encode": true, "Flush": true,
 			"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,

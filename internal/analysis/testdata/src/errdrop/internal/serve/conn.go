@@ -1,0 +1,18 @@
+// Package serve is a fixture for the errdrop pass: a dropped reply-write
+// error makes a dead client look served.
+package serve
+
+import "net"
+
+func bad(conn net.Conn, reply []byte) {
+	conn.Write(reply)  // want "dropped"
+	defer conn.Close() // want "dropped"
+}
+
+func good(conn net.Conn, reply []byte) error {
+	if _, err := conn.Write(reply); err != nil {
+		return err
+	}
+	_ = conn.Close() // per-conn close errors end that client only
+	return nil
+}

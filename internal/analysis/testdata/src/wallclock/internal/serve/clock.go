@@ -1,0 +1,18 @@
+// Package serve is a fixture for the wallclock pass: the serving tier's
+// batching window must run on the injected Clock, never on package time.
+package serve
+
+import "time"
+
+// flushLater is the tempting wrong implementation of the batch window.
+func flushLater(fn func()) {
+	time.AfterFunc(time.Millisecond, fn) // want "time.AfterFunc"
+}
+
+// latency is the tempting wrong request-latency measurement.
+func latency(enq time.Time) float64 {
+	return time.Since(enq).Seconds() // want "time.Since"
+}
+
+// virtualLatency measures on injected time — clean.
+func virtualLatency(now, enq float64) float64 { return now - enq }

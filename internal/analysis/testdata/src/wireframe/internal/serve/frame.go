@@ -1,0 +1,37 @@
+// Package serve is a fixture for the wireframe pass: the inference
+// request/reply frames must use fixed-width integers and keyed literals.
+package serve
+
+// requestFrame is detected by its name suffix.
+type requestFrame struct {
+	ID         uint64
+	MinVersion int64
+	N          int // want "platform-width"
+	Input      []float32
+}
+
+// replyFrame is a clean frame struct: fixed-width throughout, and the
+// float32 vector resolves to a fixed-width element type.
+type replyFrame struct {
+	ID      uint64
+	Version int64
+	Output  []float32
+}
+
+// batchPlan is not a wire struct: bare ints are fine off the wire.
+type batchPlan struct {
+	Depth  int
+	Window float64
+}
+
+func buildKeyed() replyFrame {
+	return replyFrame{ID: 1, Version: 2}
+}
+
+func buildPositional() replyFrame {
+	return replyFrame{1, 2, nil} // want "keyed"
+}
+
+func buildPlan() batchPlan {
+	return batchPlan{Depth: 4, Window: 0.05}
+}

@@ -15,6 +15,10 @@ import (
 // may read the real clock. internal/obs is restricted because its probes
 // are invoked from inside the simulated runtime: event timestamps must
 // come from the injected clock closure, never from package time.
+// internal/serve is restricted because its batching window and request
+// latencies run on the injected Clock — the serve harness replays on a
+// simnet kernel, and a stray wall read there would desynchronize the
+// latency quantiles from the virtual schedule.
 type Wallclock struct {
 	// Restricted lists package-path suffixes (module-prefix independent)
 	// where wall-clock calls are forbidden.
@@ -27,7 +31,7 @@ type Wallclock struct {
 // restricted.
 func NewWallclock() *Wallclock {
 	return &Wallclock{
-		Restricted: []string{"internal/core", "internal/engine", "internal/simnet", "internal/atp", "internal/obs"},
+		Restricted: []string{"internal/core", "internal/engine", "internal/simnet", "internal/atp", "internal/obs", "internal/serve"},
 		Banned: map[string]bool{
 			"Now": true, "Sleep": true, "Since": true, "Until": true,
 			"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,

@@ -22,7 +22,7 @@ type Wireframe struct {
 
 // NewWireframe returns the pass scoped to the wire packages.
 func NewWireframe() *Wireframe {
-	return &Wireframe{Scoped: []string{"internal/livenet", "internal/transport", "internal/lossnet", "internal/durable"}}
+	return &Wireframe{Scoped: []string{"internal/livenet", "internal/transport", "internal/lossnet", "internal/durable", "internal/serve"}}
 }
 
 // Name implements Pass.

@@ -95,6 +95,15 @@ type State struct {
 	// internally synchronized; records from different shards commute under
 	// replay.
 	Journal Journal
+
+	// RowSink, when set, observes every merged row's averaged contribution:
+	// vals scaled by scale is exactly the mass addMassLocked folded into
+	// each worker's averaged copy, and iter is the highest version the
+	// merge stamped. The serving tier's weight shadow consumes this stream.
+	// It runs under the owning shard's lock, after the version stamp, and
+	// must not call back into the State (reading the lock-free
+	// Versions.Min() is fine).
+	RowSink func(unit int, vals []float32, scale float32, iter int64)
 }
 
 // stateShard is the independently lockable slice of server state owning
@@ -298,9 +307,16 @@ func (s *State) MergeCombined(unit int, vals []float32, stamps []Stamp) bool {
 			}
 		}
 	}
-	s.addMassLocked(unit, vals)
+	inv := s.addMassLocked(unit, vals)
+	maxIter := live[0].Iter
 	for _, st := range live {
 		s.stampLocked(sh, st.Worker, unit, st.Iter)
+		if st.Iter > maxIter {
+			maxIter = st.Iter
+		}
+	}
+	if s.RowSink != nil {
+		s.RowSink(unit, vals, inv, maxIter)
 	}
 	sh.mu.Unlock()
 	adv := s.Versions.Min() > before
@@ -320,14 +336,18 @@ func (s *State) mergeUnitLocked(sh *stateShard, worker, unit int, vals []float32
 	if s.Journal != nil {
 		s.Journal.JournalMerge(worker, unit, iter, vals)
 	}
-	s.addMassLocked(unit, vals)
+	inv := s.addMassLocked(unit, vals)
 	s.stampLocked(sh, worker, unit, iter)
+	if s.RowSink != nil {
+		s.RowSink(unit, vals, inv, iter)
+	}
 }
 
 // addMassLocked folds vals into every worker's averaged copy of unit,
-// normalized by the attached team size. Caller holds the unit's shard
-// lock, which also pins membership (written only under all shard locks).
-func (s *State) addMassLocked(unit int, vals []float32) {
+// normalized by the attached team size, and returns the normalization
+// factor applied. Caller holds the unit's shard lock, which also pins
+// membership (written only under all shard locks).
+func (s *State) addMassLocked(unit int, vals []float32) float32 {
 	active := s.Versions.ActiveWorkers()
 	if active == 0 {
 		active = s.workers
@@ -336,6 +356,7 @@ func (s *State) addMassLocked(unit int, vals []float32) {
 	for w := range s.Acc {
 		s.Acc[w].AddUnit(unit, vals, inv)
 	}
+	return inv
 }
 
 // stampLocked advances worker's version of unit to iter and fires the

@@ -155,12 +155,12 @@ func TestRegistryCompleteness(t *testing.T) {
 		"ablation-granularity", "ablation-importance", "ablation-speculative",
 		"churn",
 	}
-	// +7: ext-pipeline, ext-dssp, ext-convmlp, ext-gridmap, ext-loss,
-	// ext-recovery, fleet
-	if len(reg) != len(want)+7 {
-		t.Fatalf("registry has %d entries, want %d", len(reg), len(want)+7)
+	// +8: ext-pipeline, ext-dssp, ext-convmlp, ext-gridmap, ext-loss,
+	// ext-recovery, fleet, serve
+	if len(reg) != len(want)+8 {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want)+8)
 	}
-	for _, id := range []string{"ext-loss", "ext-recovery", "fleet"} {
+	for _, id := range []string{"ext-loss", "ext-recovery", "fleet", "serve"} {
 		if _, ok := Find(id); !ok {
 			t.Fatalf("experiment %q missing", id)
 		}

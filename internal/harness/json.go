@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
 	"rog/internal/core"
 	"rog/internal/lossnet"
@@ -64,6 +66,9 @@ type SystemReport struct {
 	Churn           *ChurnReport    `json:"churn,omitempty"`
 	Loss            *LossReport     `json:"loss,omitempty"`
 	Recovery        *RecoveryReport `json:"recovery,omitempty"`
+	// Serve carries one serve-sweep cell's latency/throughput/staleness
+	// metrics (the serve experiment only).
+	Serve *ServeCellReport `json:"serve,omitempty"`
 	// CritPath is the causal critical-path decomposition of this system's
 	// run: per-worker compute/comm/stall/merge segments, the top blocking
 	// (worker, unit) pairs and the stall duration quantiles.
@@ -148,20 +153,51 @@ func jsonExperiments(id string, s Scale) (EndToEndOptions, Report, error) {
 				Metric: "accuracy", Increasing: true}, nil
 	default:
 		return EndToEndOptions{}, Report{}, fmt.Errorf(
-			"harness: experiment %q has no JSON export (want fig1, fig6, fig7, churn, loss, fleet or ext-recovery)", id)
+			"harness: experiment %q is not an end-to-end comparison", id)
 	}
+}
+
+// jsonRunners maps every JSON-exportable experiment id to its report
+// builder: the end-to-end comparisons share runEndToEndJSON, the sweeps
+// (ext-recovery, fleet, serve) bring their own shapes. This map is the
+// single registry the error message and the CLI help derive from — adding
+// an entry here is the whole wiring.
+func jsonRunners() map[string]func(Scale) (*Report, error) {
+	m := map[string]func(Scale) (*Report, error){
+		"ext-recovery": runExtRecoveryJSON,
+		"fleet":        runFleetJSON,
+		"serve":        runServeJSON,
+	}
+	for _, id := range []string{"fig1", "fig6", "fig7", "churn", "loss"} {
+		id := id
+		m[id] = func(s Scale) (*Report, error) { return runEndToEndJSON(id, s) }
+	}
+	return m
+}
+
+// JSONExperimentIDs lists the JSON-exportable experiment ids, sorted.
+func JSONExperimentIDs() []string {
+	m := jsonRunners()
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // RunJSONReport executes one JSON-exportable experiment at the given scale.
 func RunJSONReport(id string, s Scale) (*Report, error) {
-	// ext-recovery and fleet are sweeps, not systems comparisons, so they
-	// have their own report builders.
-	if id == "ext-recovery" {
-		return runExtRecoveryJSON(s)
+	run, ok := jsonRunners()[id]
+	if !ok {
+		return nil, fmt.Errorf("harness: experiment %q has no JSON export (want %s)",
+			id, strings.Join(JSONExperimentIDs(), ", "))
 	}
-	if id == "fleet" {
-		return runFleetJSON(s)
-	}
+	return run(s)
+}
+
+// runEndToEndJSON executes one end-to-end comparison and serializes it.
+func runEndToEndJSON(id string, s Scale) (*Report, error) {
 	opts, rep, err := jsonExperiments(id, s)
 	if err != nil {
 		return nil, err

@@ -46,6 +46,7 @@ func Registry() []Experiment {
 		{"ext-pipeline", "Future-work extension: pipelined computation and communication (Sec. VI-D)", runExtPipeline},
 		{"ext-dssp", "Extension: dynamic-staleness SSP (Zhao et al.) vs fixed SSP and ROG", runExtDSSP},
 		{"fleet", "Fleet scaling: sharded parameter service × edge aggregation, up to 256 robots", runFleet},
+		{"serve", "Inference tier: bounded-staleness serving over versioned snapshots — latency × staleness sweep", runServe},
 		{"ext-convmlp", "Architecture-faithful CRUDA: ConvMLP stem + MLP head on synthetic images", runExtConvMLP},
 		{"ext-gridmap", "Architecture-faithful CRIMP: NICE-SLAM-style feature-grid map", runExtGridMap},
 	}

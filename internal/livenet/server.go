@@ -324,6 +324,14 @@ func (s *Server) Churn() metrics.ChurnStats {
 	return s.state.ChurnSnapshot()
 }
 
+// State exposes the engine state so sidecars can hook its merge stream —
+// the serving tier's Publisher attaches through State().RowSink. The
+// pointer is set once in NewServer and internally locked; set hooks
+// before the first HandleConn, exactly as with OnMerge.
+func (s *Server) State() *engine.State {
+	return s.state
+}
+
 // HandleConn serves one worker's connection until it ends. It processes
 // pushes (Algo. 2 lines 1–6), enforces the policy's staleness gate (lines
 // 7–9), and answers each iteration with the policy's pull plan (lines

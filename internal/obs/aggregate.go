@@ -74,6 +74,17 @@ type Summary struct {
 	RetransmitBytes   float64
 	RetransmitSeconds float64
 
+	// Serving totals from SnapshotPublish/Request*/ReadStall* events. Max
+	// values track the empirical read-staleness and latency envelopes.
+	SnapshotPublishes int64
+	RequestsEnqueued  int64
+	RequestsServed    int64
+	ServeSeconds      float64 // summed request latency
+	MaxServeSeconds   float64
+	ReadStalls        int64
+	ReadStallSeconds  float64
+	MaxReadLag        int64 // largest demanded-floor shortfall at enqueue
+
 	// Durability totals from CheckpointEnd/WALAppend/RecoveryReplay events.
 	Checkpoints     int64
 	CheckpointBytes float64
@@ -95,6 +106,10 @@ type Summary struct {
 	// OpenCheckpoints counts CheckpointBegin events never closed — at most
 	// one for a run the crash fault killed mid-snapshot.
 	OpenCheckpoints int
+
+	// OpenReadStalls counts ReadStallBegin intervals never closed (requests
+	// still parked on the read gate when the trace ended).
+	OpenReadStalls int
 }
 
 // Composition returns the average per-iteration compute/comm/stall seconds
@@ -128,6 +143,10 @@ func Aggregate(r io.Reader) (*Summary, error) {
 	stallDepth := make(map[stallKey]int)
 	detached := make(map[int]bool)
 	ckptDepth := 0
+	// Read-stall pairing is keyed by request id (Seq): each request parks
+	// on the read gate at most once, so a second Begin for the same id or
+	// an End without its Begin is structural corruption.
+	readStalled := make(map[int64]bool)
 
 	err := ReadEvents(r, func(e Event) error {
 		s.Events[e.Kind.String()]++
@@ -231,6 +250,35 @@ func Aggregate(r io.Reader) (*Summary, error) {
 		case KindRecoveryReplay:
 			s.Recoveries++
 			s.ReplayedRecords += int64(e.Units)
+		case KindSnapshotPublish:
+			s.SnapshotPublishes++
+		case KindRequestEnqueue:
+			s.RequestsEnqueued++
+			if e.Lag > s.MaxReadLag {
+				s.MaxReadLag = e.Lag
+			}
+		case KindRequestServe:
+			s.RequestsServed++
+			s.ServeSeconds += e.Seconds
+			if e.Seconds > s.MaxServeSeconds {
+				s.MaxServeSeconds = e.Seconds
+			}
+		case KindReadStallBegin:
+			if readStalled[e.Seq] {
+				s.PairErrors = append(s.PairErrors, fmt.Sprintf(
+					"request %d: ReadStallBegin while already parked at t=%.3f", e.Seq, e.Time))
+				break
+			}
+			readStalled[e.Seq] = true
+			s.ReadStalls++
+		case KindReadStallEnd:
+			if !readStalled[e.Seq] {
+				s.PairErrors = append(s.PairErrors, fmt.Sprintf(
+					"request %d: ReadStallEnd without matching ReadStallBegin at t=%.3f", e.Seq, e.Time))
+				break
+			}
+			delete(readStalled, e.Seq)
+			s.ReadStallSeconds += e.Seconds
 		}
 		return nil
 	})
@@ -242,6 +290,7 @@ func Aggregate(r io.Reader) (*Summary, error) {
 		s.OpenStalls += d
 	}
 	s.OpenCheckpoints = ckptDepth
+	s.OpenReadStalls = len(readStalled)
 	// Every best-effort gap must be folded back and every reliable loss
 	// retransmitted: a RowsLost(retransmit) count that diverges from the
 	// Retransmit unit total means a row was dropped and never settled.

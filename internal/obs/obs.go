@@ -84,6 +84,27 @@ const (
 	// (servercrash recovery, a detach storm, a loss abandon) and Units
 	// counts the retained events that follow it in the dump stream.
 	KindFlightDump
+	// KindSnapshotPublish records the serving tier publishing one immutable
+	// model snapshot: Version is the training version it captures (the
+	// global row minimum at publish), Seq the publish sequence number, and
+	// Units the snapshot's row count.
+	KindSnapshotPublish
+	// KindRequestEnqueue records one inference request entering the serving
+	// tier: Seq carries the request id, Version the staleness floor it
+	// demands (version ≥ Version), and Lag the shortfall of the currently
+	// published snapshot against that floor (0 when it can serve now).
+	KindRequestEnqueue
+	// KindRequestServe records one inference request answered: Seq the
+	// request id, Version the snapshot version that served it, Units the
+	// batch size it rode in, Seconds its enqueue-to-reply latency.
+	KindRequestServe
+	// KindReadStallBegin marks a request parking on the bounded-staleness
+	// read gate: Seq the request id, Version the demanded floor,
+	// BlockVersion the version published when it parked.
+	KindReadStallBegin
+	// KindReadStallEnd closes the matching ReadStallBegin: Seconds the time
+	// parked, Version the snapshot version that finally admitted it.
+	KindReadStallEnd
 )
 
 var kindNames = [...]string{
@@ -104,6 +125,11 @@ var kindNames = [...]string{
 	KindWALAppend:       "WALAppend",
 	KindRecoveryReplay:  "RecoveryReplay",
 	KindFlightDump:      "FlightDump",
+	KindSnapshotPublish: "SnapshotPublish",
+	KindRequestEnqueue:  "RequestEnqueue",
+	KindRequestServe:    "RequestServe",
+	KindReadStallBegin:  "ReadStallBegin",
+	KindReadStallEnd:    "ReadStallEnd",
 }
 
 // String names the kind.
@@ -487,6 +513,73 @@ func (p *Probe) RecoveryReplay(records int, bytes float64, epoch uint64) {
 	}
 }
 
+// SnapshotPublish records the serving tier publishing snapshot seq at
+// training version, holding units rows.
+func (p *Probe) SnapshotPublish(version, seq int64, units int) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindSnapshotPublish, Version: version, Seq: seq, Units: units})
+	if p.reg != nil {
+		p.reg.Counter("snapshots_published").Add(1)
+		p.reg.Gauge("snapshot_version").Set(float64(version))
+	}
+}
+
+// RequestEnqueue records inference request id entering the serving tier,
+// demanding version ≥ minVersion while cur is published (lag is the
+// shortfall, 0 when it can serve immediately).
+func (p *Probe) RequestEnqueue(id, minVersion, cur int64) {
+	if p == nil {
+		return
+	}
+	lag := minVersion - cur
+	if lag < 0 {
+		lag = 0
+	}
+	p.emit(Event{Kind: KindRequestEnqueue, Seq: id, Version: minVersion, Lag: lag})
+	if p.reg != nil {
+		p.reg.Counter("requests_enqueued").Add(1)
+	}
+}
+
+// RequestServe records request id answered from the snapshot at version,
+// in a batch of batch requests, seconds after it enqueued.
+func (p *Probe) RequestServe(id, version int64, batch int, seconds float64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindRequestServe, Seq: id, Version: version, Units: batch, Seconds: seconds})
+	if p.reg != nil {
+		p.reg.Counter("requests_served").Add(1)
+		p.reg.Histogram("serve_latency_seconds", ServeLatencyBounds).Observe(seconds)
+	}
+}
+
+// ReadStallBegin marks request id parking on the read gate: it demands
+// version ≥ minVersion but only cur is published.
+func (p *Probe) ReadStallBegin(id, minVersion, cur int64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindReadStallBegin, Seq: id, Version: minVersion, BlockVersion: cur})
+	if p.reg != nil {
+		p.reg.Counter("read_stalls").Add(1)
+	}
+}
+
+// ReadStallEnd closes request id's ReadStallBegin: the snapshot at version
+// admitted it after seconds parked.
+func (p *Probe) ReadStallEnd(id, version int64, seconds float64) {
+	if p == nil {
+		return
+	}
+	p.emit(Event{Kind: KindReadStallEnd, Seq: id, Version: version, Seconds: seconds})
+	if p.reg != nil {
+		p.reg.FloatCounter("read_stall_seconds").Add(seconds)
+	}
+}
+
 // ObservePlan implements the atp plan-construction observer: every built
 // transmission plan reports its size here.
 func (p *Probe) ObservePlan(units int, totalBytes float64) {
@@ -506,6 +599,11 @@ var StalenessBounds = []float64{0, 1, 2, 4, 8, 16, 32}
 // durations (seconds); the quantile estimates in rogtrace and the debug
 // endpoint interpolate within these buckets.
 var StallDurationBounds = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// ServeLatencyBounds are the histogram bucket upper bounds for inference
+// request latency (seconds): sub-window batching delays up through
+// read-gate stalls spanning several training iterations.
+var ServeLatencyBounds = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
 
 // itoa is a minimal non-negative integer formatter (avoids strconv for the
 // one hot-path name join).

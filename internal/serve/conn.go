@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"rog/internal/transport"
+)
+
+// ServeConn answers serve-protocol requests from one connection until the
+// stream ends, decoding each marker-framed request and writing the reply
+// when its batch flushes. Replies from concurrent batches interleave in
+// completion order; the request id pairs them. A clean peer close returns
+// nil; the first read, decode or reply-write error otherwise.
+//
+// The caller owns the connection and closes it after ServeConn returns.
+func (s *Server) ServeConn(conn net.Conn) error {
+	rc := transport.NewReceiver(conn)
+	var wmu sync.Mutex // serializes reply writes; guards werr
+	var werr error
+	for {
+		wmu.Lock()
+		failed := werr
+		wmu.Unlock()
+		if failed != nil {
+			return failed
+		}
+		payload, err := rc.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			return err
+		}
+		err = s.Submit(Request{
+			ID:         int64(req.ID),
+			MinVersion: req.MinVersion,
+			Input:      req.Input,
+		}, func(rep Reply) {
+			buf := EncodeReply(ReplyFrame{
+				ID:      uint64(rep.ID),
+				Version: rep.Version,
+				Seq:     uint64(rep.Seq),
+				Output:  rep.Output,
+			})
+			wmu.Lock()
+			if werr == nil {
+				// First write error sticks; the read loop surfaces it.
+				werr = transport.WriteFrame(conn, buf)
+			}
+			wmu.Unlock()
+		})
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Serve accepts connections from l and runs ServeConn on each until Accept
+// fails (closing the listener is the shutdown signal).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveAndClose(conn)
+	}
+}
+
+// serveAndClose runs one connection to completion and closes it.
+func (s *Server) serveAndClose(conn net.Conn) {
+	_ = s.ServeConn(conn) // per-conn errors end that client only
+	_ = conn.Close()
+}
+
+// Client is a synchronous serve-protocol client over one connection. Do
+// calls are serialized; for concurrent load, open one Client per
+// goroutine (connections are cheap — the server batches across them).
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	rc     *transport.Receiver
+	nextID uint64
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, rc: transport.NewReceiver(conn)}
+}
+
+// Do sends one request demanding version ≥ minVersion and blocks for its
+// reply. Replies for other ids (stale answers outliving a lossy exchange)
+// are skipped. Deadlines and retries are the caller's: set them on the
+// underlying connection when the channel may drop frames.
+func (c *Client) Do(input []float32, minVersion int64) (Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	buf := EncodeRequest(RequestFrame{ID: id, MinVersion: minVersion, Input: input})
+	if err := transport.WriteFrame(c.conn, buf); err != nil {
+		return Reply{}, fmt.Errorf("serve: client send: %w", err)
+	}
+	for {
+		payload, err := c.rc.Recv()
+		if err != nil {
+			return Reply{}, fmt.Errorf("serve: client recv: %w", err)
+		}
+		rep, err := DecodeReply(payload)
+		if err != nil {
+			return Reply{}, err
+		}
+		if rep.ID != id {
+			continue
+		}
+		return Reply{
+			ID:      int64(rep.ID),
+			Version: rep.Version,
+			Seq:     int64(rep.Seq),
+			Output:  rep.Output,
+		}, nil
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }

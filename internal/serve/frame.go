@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The serve wire protocol: one request or reply per transport frame (the
+// marker-framed payload transport.WriteFrame/Receiver carry), so the
+// lossnet channel wrapper drops whole serve calls the same way it drops
+// whole training pushes. Payloads are little-endian with fixed-width
+// fields throughout — roglint's wireframe pass checks the structs below.
+//
+// Request: 'Q' | id u64 | minVersion u64 (two's-complement i64) | n u32 | n × f32
+// Reply:   'S' | id u64 | version u64 (i64) | seq u64 | n u32 | n × f32
+
+const (
+	kindRequest = 'Q'
+	kindReply   = 'S'
+)
+
+// MaxVectorLen bounds the feature/output vector a frame may carry; longer
+// counts are rejected as corruption before any allocation.
+const MaxVectorLen = 1 << 16
+
+// RequestFrame is the decoded form of one inference request on the wire.
+type RequestFrame struct {
+	ID         uint64
+	MinVersion int64
+	Input      []float32
+}
+
+// ReplyFrame is the decoded form of one inference reply on the wire.
+type ReplyFrame struct {
+	ID      uint64
+	Version int64
+	Seq     uint64
+	Output  []float32
+}
+
+// EncodeRequest serializes the frame.
+func EncodeRequest(f RequestFrame) []byte {
+	buf := make([]byte, 0, 1+8+8+4+4*len(f.Input))
+	buf = append(buf, kindRequest)
+	buf = binary.LittleEndian.AppendUint64(buf, f.ID)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(f.MinVersion))
+	buf = appendVector(buf, f.Input)
+	return buf
+}
+
+// DecodeRequest parses a request payload, rejecting truncated, oversized
+// and trailing-garbage encodings.
+func DecodeRequest(b []byte) (RequestFrame, error) {
+	if len(b) < 1+8+8+4 {
+		return RequestFrame{}, fmt.Errorf("serve: request frame truncated at %d bytes", len(b))
+	}
+	if b[0] != kindRequest {
+		return RequestFrame{}, fmt.Errorf("serve: frame kind %#x is not a request", b[0])
+	}
+	f := RequestFrame{
+		ID:         binary.LittleEndian.Uint64(b[1:]),
+		MinVersion: int64(binary.LittleEndian.Uint64(b[9:])),
+	}
+	vec, err := decodeVector(b[17:])
+	if err != nil {
+		return RequestFrame{}, fmt.Errorf("serve: request %d: %w", f.ID, err)
+	}
+	f.Input = vec
+	return f, nil
+}
+
+// EncodeReply serializes the frame.
+func EncodeReply(f ReplyFrame) []byte {
+	buf := make([]byte, 0, 1+8+8+8+4+4*len(f.Output))
+	buf = append(buf, kindReply)
+	buf = binary.LittleEndian.AppendUint64(buf, f.ID)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Version))
+	buf = binary.LittleEndian.AppendUint64(buf, f.Seq)
+	buf = appendVector(buf, f.Output)
+	return buf
+}
+
+// DecodeReply parses a reply payload with the same strictness as
+// DecodeRequest.
+func DecodeReply(b []byte) (ReplyFrame, error) {
+	if len(b) < 1+8+8+8+4 {
+		return ReplyFrame{}, fmt.Errorf("serve: reply frame truncated at %d bytes", len(b))
+	}
+	if b[0] != kindReply {
+		return ReplyFrame{}, fmt.Errorf("serve: frame kind %#x is not a reply", b[0])
+	}
+	f := ReplyFrame{
+		ID:      binary.LittleEndian.Uint64(b[1:]),
+		Version: int64(binary.LittleEndian.Uint64(b[9:])),
+		Seq:     binary.LittleEndian.Uint64(b[17:]),
+	}
+	vec, err := decodeVector(b[25:])
+	if err != nil {
+		return ReplyFrame{}, fmt.Errorf("serve: reply %d: %w", f.ID, err)
+	}
+	f.Output = vec
+	return f, nil
+}
+
+// appendVector encodes a length-prefixed float32 vector.
+func appendVector(buf []byte, v []float32) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+	}
+	return buf
+}
+
+// decodeVector parses a length-prefixed float32 vector occupying all of b.
+func decodeVector(b []byte) ([]float32, error) {
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > MaxVectorLen {
+		return nil, fmt.Errorf("vector length %d exceeds max %d", n, MaxVectorLen)
+	}
+	if len(b) != 4+4*n {
+		return nil, fmt.Errorf("vector of %d floats needs %d payload bytes, have %d", n, 4+4*n, len(b))
+	}
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4+4*i:]))
+	}
+	return v, nil
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRequestFrameRoundTrip(t *testing.T) {
+	cases := []RequestFrame{
+		{ID: 1, MinVersion: 0, Input: []float32{1, 2, 3}},
+		{ID: 1<<63 + 7, MinVersion: -3, Input: nil},
+		{ID: 42, MinVersion: 1 << 40, Input: make([]float32, 257)},
+	}
+	for _, want := range cases {
+		got, err := DecodeRequest(EncodeRequest(want))
+		if err != nil {
+			t.Fatalf("roundtrip %+v: %v", want, err)
+		}
+		if got.ID != want.ID || got.MinVersion != want.MinVersion || len(got.Input) != len(want.Input) {
+			t.Fatalf("roundtrip mismatch: got %+v want %+v", got, want)
+		}
+		for i := range want.Input {
+			if got.Input[i] != want.Input[i] {
+				t.Fatalf("input[%d] = %v, want %v", i, got.Input[i], want.Input[i])
+			}
+		}
+	}
+}
+
+func TestReplyFrameRoundTrip(t *testing.T) {
+	want := ReplyFrame{ID: 9, Version: 12, Seq: 4, Output: []float32{-0.5, 3.25}}
+	got, err := DecodeReply(EncodeReply(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.Version != want.Version || got.Seq != want.Seq {
+		t.Fatalf("roundtrip mismatch: got %+v want %+v", got, want)
+	}
+	for i := range want.Output {
+		if got.Output[i] != want.Output[i] {
+			t.Fatalf("output[%d] = %v, want %v", i, got.Output[i], want.Output[i])
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedFrames(t *testing.T) {
+	valid := EncodeRequest(RequestFrame{ID: 7, MinVersion: 2, Input: []float32{1, 2}})
+	cases := []struct {
+		name string
+		b    []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"header cut", valid[:10], "truncated"},
+		{"wrong kind", EncodeReply(ReplyFrame{ID: 7}), "not a request"},
+		{"vector cut", valid[:len(valid)-3], "payload bytes"},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0xAA), "payload bytes"},
+		{"inflated length", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[17], b[18], b[19], b[20] = 0xFF, 0xFF, 0xFF, 0xFF
+			return b
+		}(), "exceeds max"},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.b); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := DecodeReply(valid); err == nil || !strings.Contains(err.Error(), "not a reply") {
+		t.Fatalf("reply decode of a request: err = %v", err)
+	}
+	if _, err := DecodeReply(valid[:4]); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("reply decode of a stub: err = %v", err)
+	}
+}
+
+// FuzzServeFrameDecode mirrors transport's FuzzRecv for the serve payload
+// layer: the decoders must never panic, and anything they accept must
+// re-encode to the identical byte string (the frames are canonical — one
+// encoding per value).
+func FuzzServeFrameDecode(f *testing.F) {
+	f.Add(EncodeRequest(RequestFrame{ID: 3, MinVersion: 1, Input: []float32{0.5, -2}}))
+	f.Add(EncodeReply(ReplyFrame{ID: 3, Version: 5, Seq: 2, Output: []float32{1}}))
+	f.Add(EncodeRequest(RequestFrame{ID: 1}))
+	f.Add([]byte{})
+	f.Add([]byte{'Q'})
+	f.Add([]byte{'S', 1, 2, 3})
+	truncated := EncodeRequest(RequestFrame{ID: 8, Input: []float32{9, 9, 9}})
+	f.Add(truncated[:len(truncated)-2])
+	inflated := EncodeReply(ReplyFrame{ID: 8, Output: []float32{1, 2}})
+	f.Add(append(inflated[:25], 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Add(append([]byte("garbage \xF0\x9F"), EncodeRequest(RequestFrame{ID: 2})...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeRequest(data); err == nil {
+			re := EncodeRequest(req)
+			if string(re) != string(data) {
+				t.Fatalf("accepted request is not canonical:\n in  %x\n out %x", data, re)
+			}
+			if len(req.Input) > MaxVectorLen {
+				t.Fatalf("accepted input of %d floats past MaxVectorLen", len(req.Input))
+			}
+		}
+		if rep, err := DecodeReply(data); err == nil {
+			re := EncodeReply(rep)
+			if string(re) != string(data) {
+				t.Fatalf("accepted reply is not canonical:\n in  %x\n out %x", data, re)
+			}
+			if len(rep.Output) > MaxVectorLen {
+				t.Fatalf("accepted output of %d floats past MaxVectorLen", len(rep.Output))
+			}
+		}
+	})
+}

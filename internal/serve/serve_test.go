@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"testing"
+
+	"rog/internal/engine"
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/simnet"
+	"rog/internal/tensor"
+)
+
+// harnessFor builds the shared test rig: a tiny MLP, a sharded training
+// state over its row partition, and a publisher shadowing the merges.
+type rig struct {
+	k      *simnet.Kernel
+	st     *engine.State
+	part   *rowsync.Partition
+	pub    *Publisher
+	srv    *Server
+	units  int
+	inDim  int
+	outDim int
+}
+
+func newRig(t *testing.T, workers, shards int, cfg Config) *rig {
+	t.Helper()
+	model := nn.NewClassifierMLP(4, []int{6}, 3, tensor.NewRNG(7))
+	part := rowsync.NewPartition(model.Params(), rowsync.Rows)
+	pol, err := engine.New("rog", engine.Params{Workers: workers, Threshold: 1 << 30, NumUnits: part.NumUnits()})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	st := engine.NewStateSharded(pol, part, workers, 1.0, shards)
+	pub := NewPublisher(st, part, model.Params(), 0.05)
+	r := &rig{
+		k: simnet.NewKernel(), st: st, part: part, pub: pub,
+		units: part.NumUnits(), inDim: 4, outDim: 3,
+	}
+	scratch := nn.NewClassifierMLP(4, []int{6}, 3, tensor.NewRNG(7))
+	if cfg.Clock == nil {
+		cfg.Clock = KernelClock{K: r.k}
+	}
+	r.srv = NewServer(pub, scratch, r.inDim, cfg)
+	return r
+}
+
+// mergeRound merges iteration iter of every worker over every unit —
+// after it the global minimum is iter.
+func (r *rig) mergeRound(iter int64) {
+	vals := make([]float32, 0, 8)
+	for u := 0; u < r.units; u++ {
+		un := r.part.Unit(u)
+		vals = vals[:0]
+		for i := 0; i < un.Len; i++ {
+			vals = append(vals, float32(u%5)*0.01+float32(iter)*0.001)
+		}
+		for w := 0; w < 2; w++ {
+			r.st.Merge(w, u, vals, iter)
+		}
+	}
+}
+
+func TestPublisherInitialSnapshot(t *testing.T) {
+	r := newRig(t, 2, 2, Config{})
+	snap := r.pub.Current()
+	if snap == nil {
+		t.Fatal("no initial snapshot")
+	}
+	if snap.Version() != 0 || snap.Seq() != 1 {
+		t.Fatalf("initial snapshot version=%d seq=%d, want 0/1", snap.Version(), snap.Seq())
+	}
+	if snap.NumUnits() != r.units {
+		t.Fatalf("snapshot has %d units, want %d", snap.NumUnits(), r.units)
+	}
+}
+
+func TestPublisherAdvancesWithMinimum(t *testing.T) {
+	r := newRig(t, 2, 2, Config{})
+	// A single worker's merges do not move the minimum: no publication.
+	vals := make([]float32, r.part.Unit(0).Len)
+	r.st.Merge(0, 0, vals, 1)
+	if got := r.pub.Version(); got != 0 {
+		t.Fatalf("published version %d after one worker's merge, want 0", got)
+	}
+	r.mergeRound(1)
+	if got := r.pub.Version(); got != 1 {
+		t.Fatalf("published version %d after full round, want 1", got)
+	}
+	r.mergeRound(2)
+	if got := r.pub.Version(); got != 2 {
+		t.Fatalf("published version %d after two rounds, want 2", got)
+	}
+	if n := r.pub.Publishes(); n != 3 { // initial + two advances
+		t.Fatalf("publishes = %d, want 3", n)
+	}
+}
+
+func TestSnapshotImmutableUnderLaterMerges(t *testing.T) {
+	r := newRig(t, 2, 2, Config{})
+	r.mergeRound(1)
+	snap := r.pub.Current()
+	frozen := make([][]float32, snap.NumUnits())
+	for u := range frozen {
+		frozen[u] = append([]float32(nil), snap.Row(u)...)
+	}
+	for it := int64(2); it <= 5; it++ {
+		r.mergeRound(it)
+	}
+	for u := range frozen {
+		got := snap.Row(u)
+		for i := range frozen[u] {
+			if got[i] != frozen[u][i] {
+				t.Fatalf("unit %d elem %d mutated after later merges: %v != %v",
+					u, i, got[i], frozen[u][i])
+			}
+		}
+	}
+	if r.pub.Version() != 5 {
+		t.Fatalf("live version %d, want 5", r.pub.Version())
+	}
+}
+
+func TestServerBatchesWindow(t *testing.T) {
+	r := newRig(t, 2, 1, Config{WindowSeconds: 0.01})
+	var replies []Reply
+	input := []float32{0.1, 0.2, 0.3, 0.4}
+	for i := 0; i < 5; i++ {
+		if err := r.srv.Submit(Request{ID: int64(i + 1), Input: input}, func(rep Reply) {
+			replies = append(replies, rep)
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if len(replies) != 0 {
+		t.Fatalf("%d replies before the window elapsed", len(replies))
+	}
+	r.k.RunUntilIdle(100)
+	if len(replies) != 5 {
+		t.Fatalf("got %d replies, want 5", len(replies))
+	}
+	st := r.srv.Stats()
+	if st.Batches != 1 {
+		t.Fatalf("ran %d forward passes for one window, want 1", st.Batches)
+	}
+	for _, rep := range replies {
+		if rep.Version != 0 || len(rep.Output) != r.outDim {
+			t.Fatalf("reply %+v: want version 0, %d outputs", rep, r.outDim)
+		}
+	}
+}
+
+func TestServerMaxBatchFlushesEarly(t *testing.T) {
+	r := newRig(t, 2, 1, Config{WindowSeconds: 10, MaxBatch: 3})
+	served := 0
+	input := []float32{1, 2, 3, 4}
+	for i := 0; i < 3; i++ {
+		if err := r.srv.Submit(Request{ID: int64(i + 1), Input: input}, func(Reply) { served++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if served != 3 {
+		t.Fatalf("maxBatch reached but only %d served", served)
+	}
+	// The still-armed window timer must no-op on the empty queue, and a
+	// later submit must arm a fresh flush.
+	r.k.RunUntilIdle(100)
+	if err := r.srv.Submit(Request{ID: 9, Input: input}, func(Reply) { served++ }); err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunUntilIdle(100)
+	if served != 4 {
+		t.Fatalf("served %d after post-flush submit, want 4", served)
+	}
+}
+
+func TestReadGateParksUntilFreshSnapshot(t *testing.T) {
+	r := newRig(t, 2, 2, Config{WindowSeconds: 0})
+	var got *Reply
+	err := r.srv.Submit(Request{ID: 1, MinVersion: 2, Input: []float32{1, 0, 0, 1}}, func(rep Reply) {
+		got = &rep
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunUntilIdle(100)
+	if got != nil {
+		t.Fatalf("request served at version %d before its floor published", got.Version)
+	}
+	if r.pub.Parked() != 1 {
+		t.Fatalf("parked = %d, want 1", r.pub.Parked())
+	}
+	r.mergeRound(1)
+	r.k.RunUntilIdle(100)
+	if got != nil {
+		t.Fatal("request served below its staleness floor")
+	}
+	r.mergeRound(2)
+	r.k.RunUntilIdle(100)
+	if got == nil {
+		t.Fatal("request still parked after its floor published")
+	}
+	if got.Version < 2 {
+		t.Fatalf("served version %d < demanded floor 2", got.Version)
+	}
+	if r.pub.Parked() != 0 {
+		t.Fatalf("parked = %d after serve, want 0", r.pub.Parked())
+	}
+}
+
+func TestSubmitRejectsBadWidthAndClosed(t *testing.T) {
+	r := newRig(t, 2, 1, Config{})
+	if err := r.srv.Submit(Request{ID: 1, Input: []float32{1, 2}}, func(Reply) {}); err == nil {
+		t.Fatal("submit accepted a wrong-width input")
+	}
+	r.srv.Close()
+	if err := r.srv.Submit(Request{ID: 2, Input: []float32{1, 2, 3, 4}}, func(Reply) {}); err == nil {
+		t.Fatal("submit accepted a request after Close")
+	}
+}
+
+func TestCloseFlushesQueued(t *testing.T) {
+	r := newRig(t, 2, 1, Config{WindowSeconds: 100})
+	served := 0
+	if err := r.srv.Submit(Request{ID: 1, Input: []float32{1, 2, 3, 4}}, func(Reply) { served++ }); err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Close()
+	if served != 1 {
+		t.Fatalf("Close served %d queued requests, want 1", served)
+	}
+}
+
+// TestServedMatchesMaterializedForward pins the serving math: a reply must
+// equal a forward pass through a model holding exactly the snapshot's rows.
+func TestServedMatchesMaterializedForward(t *testing.T) {
+	r := newRig(t, 2, 2, Config{})
+	r.mergeRound(1)
+	input := []float32{0.3, -0.1, 0.7, 0.2}
+	var got *Reply
+	if err := r.srv.Submit(Request{ID: 1, MinVersion: 1, Input: input}, func(rep Reply) {
+		got = &rep
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunUntilIdle(100)
+	if got == nil {
+		t.Fatal("no reply")
+	}
+	ref := nn.NewClassifierMLP(4, []int{6}, 3, tensor.NewRNG(99))
+	r.pub.Current().Materialize(r.part, ref.Params())
+	want := ref.Forward(tensor.NewFrom(1, 4, append([]float32(nil), input...)))
+	for i, v := range got.Output {
+		if v != want.Data[i] {
+			t.Fatalf("output[%d] = %v, want %v", i, v, want.Data[i])
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"rog/internal/rowsync"
+	"rog/internal/tensor"
+)
+
+// Snapshot is one immutable published model version: every synchronization
+// unit's weight row, captured per shard under that shard's lock and
+// assembled lock-free. Rows are shared with the publisher's live shadow
+// under copy-on-write — a published row is never written again — so a
+// request served from a Snapshot observes exactly one training state no
+// matter how long the forward pass takes or how many versions publish
+// meanwhile.
+type Snapshot struct {
+	version int64
+	seq     int64
+	rows    [][]float32
+}
+
+// Version is the training version the snapshot captures: the global
+// row-version minimum at publish time. Every row in the snapshot has
+// absorbed at least `version` iterations from every attached worker — the
+// read-side RSP guarantee.
+func (s *Snapshot) Version() int64 { return s.version }
+
+// Seq is the publish sequence number (1 is the initial pre-training
+// snapshot).
+func (s *Snapshot) Seq() int64 { return s.seq }
+
+// NumUnits returns the snapshot's row count.
+func (s *Snapshot) NumUnits() int { return len(s.rows) }
+
+// Row returns unit u's weight row. The slice is immutable — callers must
+// not write it.
+func (s *Snapshot) Row(u int) []float32 { return s.rows[u] }
+
+// Materialize copies every row into params (a model with the architecture
+// part was built from) — the step that turns a snapshot into a runnable
+// replica for a forward pass.
+func (s *Snapshot) Materialize(part *rowsync.Partition, params []*tensor.Matrix) {
+	for u := range s.rows {
+		copy(part.Slice(params, u), s.rows[u])
+	}
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rog/internal/engine"
+	"rog/internal/nn"
+	"rog/internal/rowsync"
+	"rog/internal/tensor"
+)
+
+// TestStressSnapshotPrefixConsistency is the torn-read proof for the
+// serving tier, meant to run under -race. W workers concurrently merge
+// deterministic updates while readers continuously grab snapshots and
+// check, for every row, that its bytes are bit-identical to some prefix of
+// that row's applied-update sequence — i.e. no request can ever observe a
+// row mid-write or a shard mixing updates out of order.
+//
+// The construction makes every prefix enumerable: each unit u is always
+// merged with the same vector c_u, and with all W workers attached the
+// engine's averaging scale is the constant 1/W, so the shadow row after k
+// absorbs is exactly `init - k applications of step·c_u` in float32 —
+// independent of which workers' merges those k were or how they
+// interleaved. The readers then assert three invariants per snapshot:
+//
+//  1. every row matches a precomputed prefix state k (no torn rows);
+//  2. within one shard, k is non-increasing across ascending units and
+//     spans at most W (the shard was captured atomically: its rows are one
+//     instant of its lock-serialized absorb order, in which each worker
+//     walks units ascending);
+//  3. per unit, k never decreases across snapshot sequence numbers, and a
+//     snapshot at version v has k ≥ W·v everywhere (version-v publication
+//     implies all W workers merged iterations 1..v into every unit).
+func TestStressSnapshotPrefixConsistency(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 60
+		readers = 3
+	)
+	model := nn.NewClassifierMLP(4, []int{6}, 3, tensor.NewRNG(7))
+	part := rowsync.NewPartition(model.Params(), rowsync.Rows)
+	units := part.NumUnits()
+	pol, err := engine.New("rog", engine.Params{Workers: workers, Threshold: 1 << 30, NumUnits: units})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := engine.NewStateSharded(pol, part, workers, 1.0, 4)
+	const lr = 1.0
+	pub := NewPublisher(st, part, model.Params(), lr)
+
+	// The constant per-unit update vectors and the resulting prefix table:
+	// prefix[u][k] is row u's exact float32 state after k absorbs, keyed by
+	// its raw bit pattern for the readers' lookup.
+	step := float32(lr) * (1 / float32(workers)) // the engine's averaging scale
+	upd := make([][]float32, units)
+	prefixOf := make([]map[string]int, units)
+	maxK := workers * iters
+	for u := 0; u < units; u++ {
+		n := part.Unit(u).Len
+		c := make([]float32, n)
+		for i := range c {
+			c[i] = 0.003*float32(u+1) + 0.0007*float32(i+1)
+		}
+		upd[u] = c
+		row := append([]float32(nil), part.Slice(model.Params(), u)...)
+		prefixOf[u] = make(map[string]int, maxK+1)
+		for k := 0; k <= maxK; k++ {
+			key := rowKey(row)
+			if _, dup := prefixOf[u][key]; !dup {
+				prefixOf[u][key] = k
+			}
+			for i := range row {
+				row[i] -= step * c[i]
+			}
+		}
+	}
+
+	sm := st.ShardMap()
+	var stop atomic.Bool
+	var mergeWG, readWG sync.WaitGroup
+	errc := make(chan error, workers+readers)
+	fail := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+		stop.Store(true)
+	}
+
+	for w := 0; w < workers; w++ {
+		mergeWG.Add(1)
+		go func(w int) {
+			defer mergeWG.Done()
+			// Private copies: Merge holds vals across the shard lock.
+			mine := make([][]float32, units)
+			for u := range mine {
+				mine[u] = append([]float32(nil), upd[u]...)
+			}
+			for it := int64(1); it <= iters && !stop.Load(); it++ {
+				for u := 0; u < units; u++ {
+					st.Merge(w, u, mine[u], it)
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			lastK := make([]int, units)
+			lastSeq := int64(0)
+			for !stop.Load() {
+				snap := pub.Current()
+				ks := make([]int, units)
+				for u := 0; u < units; u++ {
+					k, ok := prefixOf[u][rowKey(snap.Row(u))]
+					if !ok {
+						fail("snapshot seq %d: unit %d row matches no prefix state — torn read", snap.Seq(), u)
+						return
+					}
+					ks[u] = k
+					if minK := workers * int(snap.Version()); k < minK {
+						fail("snapshot seq %d at version %d: unit %d has only %d absorbs, need ≥ %d",
+							snap.Seq(), snap.Version(), u, k, minK)
+						return
+					}
+				}
+				for sh := 0; sh < sm.NumShards(); sh++ {
+					lo, hi := sm.Range(sh)
+					for u := lo + 1; u < hi; u++ {
+						if ks[u] > ks[u-1] {
+							fail("snapshot seq %d: shard %d not captured atomically: k[%d]=%d > k[%d]=%d",
+								snap.Seq(), sh, u, ks[u], u-1, ks[u-1])
+							return
+						}
+					}
+					if hi > lo && ks[lo]-ks[hi-1] > workers {
+						fail("snapshot seq %d: shard %d spans %d absorbs across its units, max %d",
+							snap.Seq(), sh, ks[lo]-ks[hi-1], workers)
+						return
+					}
+				}
+				if snap.Seq() > lastSeq {
+					for u := range ks {
+						if ks[u] < lastK[u] {
+							fail("unit %d went backwards: %d absorbs at seq %d after %d at seq %d",
+								u, ks[u], snap.Seq(), lastK[u], lastSeq)
+							return
+						}
+					}
+					lastSeq = snap.Seq()
+					copy(lastK, ks)
+				}
+			}
+		}()
+	}
+
+	mergeWG.Wait()
+	stop.Store(true) // merges done; release the readers
+	readWG.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if got := pub.Version(); got != iters {
+		t.Fatalf("final published version %d, want %d", got, iters)
+	}
+	final := pub.Current()
+	for u := 0; u < units; u++ {
+		k, ok := prefixOf[u][rowKey(final.Row(u))]
+		if !ok || k != maxK {
+			t.Fatalf("final snapshot unit %d is at prefix %d (found=%v), want %d", u, k, ok, maxK)
+		}
+	}
+}
+
+// rowKey is a row's exact bit pattern — the equality the no-torn-reads
+// claim is made in.
+func rowKey(row []float32) string {
+	b := make([]byte, 4*len(row))
+	for i, v := range row {
+		bits := math.Float32bits(v)
+		b[4*i] = byte(bits)
+		b[4*i+1] = byte(bits >> 8)
+		b[4*i+2] = byte(bits >> 16)
+		b[4*i+3] = byte(bits >> 24)
+	}
+	return string(b)
+}

@@ -10,11 +10,15 @@
 # non-zero unless ≥99% of every worker's wall time decomposes and the
 # gate stalls attribute), a crash-recovery
 # smoke (a run whose parameter server is killed and recovered from its
-# checkpoint store, then resumed by a fresh process), and the
+# checkpoint store, then resumed by a fresh process), a serve smoke (a
+# rogserve -listen process training in the background while a gated
+# client and then a lossy retrying client exercise the inference tier
+# over a real socket), and the
 # race-sensitive packages (the concurrent livenet server, the policy
 # engine it executes, the simnet drivers and version store that share
 # engine.State with it, the wire transport, the lossnet datagram
-# transport and the durable checkpoint store) again under -race. When a
+# transport, the durable checkpoint store and the serving tier's
+# snapshot publisher) again under -race. When a
 # BENCH_<n>.json snapshot exists, a final non-fatal stage reruns its
 # experiment and prints the drift — informational only, never a gate.
 # Each stage reports its wall time.
@@ -43,7 +47,54 @@ check_fmt() {
 run_race() {
 	go test -race ./internal/livenet/... ./internal/engine/... \
 		./internal/rowsync/... ./internal/core/... ./internal/transport/... \
-		./internal/lossnet/... ./internal/durable/... ./internal/obs/...
+		./internal/lossnet/... ./internal/durable/... ./internal/obs/... \
+		./internal/serve/...
+}
+
+run_serve_smoke() {
+	tmp=$(mktemp -d)
+	# The inference tier end to end over a real socket: a rogserve -listen
+	# process trains in the background while a -connect client demands a
+	# snapshot at least 2 versions in (the read gate must hold it until
+	# training publishes that far), then a lossy client retries through a
+	# frame-dropping channel.
+	go build -o "$tmp/rogserve" ./cmd/rogserve
+	"$tmp/rogserve" -listen 127.0.0.1:7917 -period 0.1 >"$tmp/listen.out" 2>&1 &
+	srv=$!
+	sleep 1
+	out=$("$tmp/rogserve" -connect 127.0.0.1:7917 -n 5 -min-version 2) || {
+		kill "$srv" 2>/dev/null
+		cat "$tmp/listen.out" >&2
+		rm -rf "$tmp"
+		echo "serve smoke: gated client failed" >&2
+		return 1
+	}
+	case "$out" in
+	*"reply  4"*) ;;
+	*)
+		kill "$srv" 2>/dev/null
+		echo "$out" >&2
+		rm -rf "$tmp"
+		echo "serve smoke: gated client finished short of 5 replies" >&2
+		return 1
+		;;
+	esac
+	out=$("$tmp/rogserve" -connect 127.0.0.1:7917 -n 5 -loss 0.5 -timeout 0.3 -retries 20 -seed 11) || {
+		kill "$srv" 2>/dev/null
+		rm -rf "$tmp"
+		echo "serve smoke: lossy client never completed" >&2
+		return 1
+	}
+	kill "$srv" 2>/dev/null
+	rm -rf "$tmp"
+	case "$out" in
+	*"lossy channel dropped"*) ;;
+	*)
+		echo "$out" >&2
+		echo "serve smoke: loss channel report missing" >&2
+		return 1
+		;;
+	esac
 }
 
 run_recover_smoke() {
@@ -145,6 +196,7 @@ stage test go test ./...
 stage trace-smoke run_trace_smoke
 stage critpath-smoke run_critpath_smoke
 stage recover-smoke run_recover_smoke
+stage serve-smoke run_serve_smoke
 stage race run_race
 stage bench-drift run_bench_drift
 
